@@ -1,0 +1,91 @@
+// Ablation A2: barrier algorithm comparison (paper §III-B4).
+//
+// The paper argues a centralized barrier "is not suitable since it is hard
+// to make a centralized shared counter in the switchless interconnect
+// network" and picks a ring start/end doorbell circulation instead. This
+// bench measures all three on rings of 2..8 hosts:
+//   * paper ring (doorbell start/end circulation, Fig. 6),
+//   * centralized (atomic counter on PE 0 + release fan-out — every token
+//     is a full transport round trip over the ring),
+//   * dissemination (log2(n) pairwise token rounds over the transport).
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "shmem/api.hpp"
+#include "shmem/collectives.hpp"
+
+namespace ntbshmem::bench {
+namespace {
+
+using namespace ntbshmem::shmem;
+
+constexpr int kReps = 5;
+
+RuntimeOptions options(int npes) {
+  RuntimeOptions opts;
+  opts.npes = npes;
+  opts.completion = CompletionMode::kLocalDma;
+  opts.symheap_chunk_bytes = 1u << 20;
+  opts.symheap_max_bytes = 8u << 20;
+  opts.host_memory_bytes = 16u << 20;
+  return opts;
+}
+
+sim::Dur measure(int npes, BarrierAlgorithm alg) {
+  Runtime rt(options(npes));
+  sim::Dur total = 0;
+  rt.run([&] {
+    shmem_init();
+    Context& c = *Runtime::current();
+    barrier_all(c, alg);  // warm-up: align PEs
+    sim::Engine& eng = c.runtime().engine();
+    for (int r = 0; r < kReps; ++r) {
+      const sim::Time t0 = eng.now();
+      barrier_all(c, alg);
+      if (c.pe() == 0) total += eng.now() - t0;
+    }
+    shmem_finalize();
+  });
+  return total / kReps;
+}
+
+void print_table() {
+  Table t("Ablation A2: shmem_barrier_all latency by algorithm (us)",
+          {"Hosts", "Paper ring (Fig.6)", "Centralized", "Dissemination"});
+  for (int hosts = 2; hosts <= 8; ++hosts) {
+    t.add_row(std::to_string(hosts),
+              {sim::to_us(measure(hosts, BarrierAlgorithm::kPaperRing)),
+               sim::to_us(measure(hosts, BarrierAlgorithm::kCentralized)),
+               sim::to_us(measure(hosts, BarrierAlgorithm::kDissemination))});
+  }
+  t.print(std::cout);
+}
+
+void BM_Barrier(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  const auto alg = static_cast<BarrierAlgorithm>(state.range(1));
+  for (auto _ : state) {
+    state.SetIterationTime(sim::to_seconds(measure(hosts, alg)));
+  }
+}
+
+}  // namespace
+}  // namespace ntbshmem::bench
+
+BENCHMARK(ntbshmem::bench::BM_Barrier)
+    ->ArgsProduct({{3, 8}, {0, 1, 2}})
+    ->UseManualTime()
+    ->Iterations(3)  // each iteration is a full deterministic sim run
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ntbshmem::bench::print_table();
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Ablation A1: aggregate network throughput vs ring size.
+//
+// The paper claims (§IV) that "overall network throughput increases as the
+// number of nodes increases" because every cable carries traffic
+// concurrently. This bench sweeps 2..8 hosts with every host streaming
+// blocks to its right neighbour simultaneously and reports the aggregate
+// and per-link rates.
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "fabric/ring.hpp"
+
+namespace ntbshmem::bench {
+namespace {
+
+constexpr int kReps = 12;
+constexpr std::uint64_t kBlock = 256_KiB;
+
+fabric::FabricConfig config(int hosts) {
+  fabric::FabricConfig cfg;
+  cfg.num_hosts = hosts;
+  cfg.timing = paper_testbed();
+  cfg.host_memory_bytes = 8ull << 20;
+  cfg.link_dma_rates_Bps = {3.0e9, 2.6e9, 2.8e9};
+  return cfg;
+}
+
+// All hosts stream rightward simultaneously; returns {aggregate, min-link}
+// throughput in MB/s.
+std::pair<double, double> measure(int hosts) {
+  sim::Engine engine;
+  fabric::RingFabric ring(engine, config(hosts));
+  std::vector<std::byte> payload(kBlock, std::byte{0x11});
+  std::vector<sim::Dur> elapsed(static_cast<std::size_t>(hosts), 0);
+  for (int h = 0; h < hosts; ++h) {
+    auto dst = ring.host(ring.right_neighbor(h)).memory().allocate(kBlock, 4096);
+    ring.right_port(h).program_window(ntb::kRawWindow, dst);
+    engine.spawn("x" + std::to_string(h), [&, h] {
+      const sim::Time start = engine.now();
+      for (int r = 0; r < kReps; ++r) {
+        ring.right_port(h).dma_write(ntb::kRawWindow, 0, payload);
+      }
+      elapsed[static_cast<std::size_t>(h)] = engine.now() - start;
+    });
+  }
+  engine.run();
+  double aggregate = 0;
+  double min_link = 1e18;
+  for (int h = 0; h < hosts; ++h) {
+    const double mbps = to_MBps(kBlock * kReps,
+                                elapsed[static_cast<std::size_t>(h)]);
+    aggregate += mbps;
+    min_link = std::min(min_link, mbps);
+  }
+  return {aggregate, min_link};
+}
+
+void print_table() {
+  Table t("Ablation A1: network throughput vs ring size (256KB blocks, all "
+          "hosts streaming rightward)",
+          {"Hosts", "Aggregate MB/s", "Slowest link MB/s"});
+  for (int hosts = 2; hosts <= 8; ++hosts) {
+    const auto [agg, min_link] = measure(hosts);
+    t.add_row(std::to_string(hosts), {agg, min_link});
+  }
+  t.print(std::cout);
+}
+
+void BM_RingSize(benchmark::State& state) {
+  const int hosts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Engine engine;
+    fabric::RingFabric ring(engine, config(hosts));
+    std::vector<std::byte> payload(kBlock, std::byte{0x22});
+    for (int h = 0; h < hosts; ++h) {
+      auto dst =
+          ring.host(ring.right_neighbor(h)).memory().allocate(kBlock, 4096);
+      ring.right_port(h).program_window(ntb::kRawWindow, dst);
+      engine.spawn("x" + std::to_string(h), [&, h] {
+        for (int r = 0; r < kReps; ++r) {
+          ring.right_port(h).dma_write(ntb::kRawWindow, 0, payload);
+        }
+      });
+    }
+    const sim::Time t0 = engine.now();
+    engine.run();
+    const sim::Dur elapsed = engine.now() - t0;
+    state.SetIterationTime(sim::to_seconds(elapsed));
+    state.counters["aggregate_MB/s"] =
+        to_MBps(kBlock * kReps * static_cast<std::uint64_t>(hosts), elapsed);
+  }
+}
+
+}  // namespace
+}  // namespace ntbshmem::bench
+
+BENCHMARK(ntbshmem::bench::BM_RingSize)
+    ->DenseRange(2, 8, 2)
+    ->UseManualTime()
+    ->Iterations(3)  // each iteration is a full deterministic sim run
+    ->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  ntbshmem::bench::print_table();
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Each bench binary does two things:
+//   1. registers google-benchmark benchmarks (manual time, fed from the
+//      virtual clock) so `--benchmark_filter` etc. work as usual, and
+//   2. prints the paper-style table for its figure: one row per request
+//      size, one column per series — the same layout as the gnuplot data
+//      behind the paper's plots.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/units.hpp"
+#include "sim/time.hpp"
+
+namespace ntbshmem::bench {
+
+// The request-size axis used by every experiment in the paper (Figs. 8-10).
+inline std::vector<std::uint64_t> paper_sizes() {
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = 1_KiB; s <= 512_KiB; s *= 2) sizes.push_back(s);
+  return sizes;
+}
+
+inline double to_MBps(std::uint64_t bytes, sim::Dur elapsed) {
+  if (elapsed <= 0) return 0.0;
+  return Bps_to_MBps(static_cast<double>(bytes) / sim::to_seconds(elapsed));
+}
+
+}  // namespace ntbshmem::bench

@@ -1,0 +1,106 @@
+// Distributed histogram — exercises remote atomics, reductions and
+// collects: every PE generates a deterministic stream of samples, bins
+// them with remote atomic adds onto the bin owners (bins are block-
+// distributed across PEs), then the bin counts are summed to all with the
+// reduction collective and validated against the expected totals.
+//
+// Build & run:   ./build/examples/histogram [npes] [samples_per_pe]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "shmem/api.hpp"
+
+using namespace ntbshmem::shmem;
+
+namespace {
+
+constexpr int kBins = 32;
+int g_samples = 512;
+int g_exit_code = 0;
+
+// Deterministic per-PE sample stream (xorshift).
+unsigned next_sample(unsigned& state) {
+  state ^= state << 13;
+  state ^= state >> 17;
+  state ^= state << 5;
+  return state;
+}
+
+void pe_main() {
+  shmem_init();
+  const int me = shmem_my_pe();
+  const int n = shmem_n_pes();
+  const int bins_per_pe = (kBins + n - 1) / n;
+
+  // Each PE owns a contiguous block of bins in symmetric memory.
+  auto* my_bins = static_cast<long*>(
+      shmem_calloc(static_cast<std::size_t>(bins_per_pe), sizeof(long)));
+  shmem_barrier_all();
+
+  // Bin the local stream with remote atomic adds on the owners.
+  unsigned rng = static_cast<unsigned>(12345 + me * 77);
+  for (int s = 0; s < g_samples; ++s) {
+    const int bin = static_cast<int>(next_sample(rng) % kBins);
+    const int owner = bin / bins_per_pe;
+    const int slot = bin % bins_per_pe;
+    shmem_long_atomic_inc(&my_bins[slot], owner);
+  }
+  shmem_barrier_all();
+
+  // Gather every PE's bin block to all PEs (fixed-size collect).
+  static long psync[SHMEM_COLLECT_SYNC_SIZE];
+  auto* all_bins = static_cast<long*>(shmem_calloc(
+      static_cast<std::size_t>(bins_per_pe) * static_cast<std::size_t>(n),
+      sizeof(long)));
+  shmem_fcollect64(all_bins, my_bins, static_cast<std::size_t>(bins_per_pe),
+                   0, 0, n, psync);
+
+  // Validate: total count equals samples, and matches a local re-count.
+  if (me == 0) {
+    std::vector<long> expected(kBins, 0);
+    for (int pe = 0; pe < n; ++pe) {
+      unsigned check_rng = static_cast<unsigned>(12345 + pe * 77);
+      for (int s = 0; s < g_samples; ++s) {
+        expected[next_sample(check_rng) % kBins]++;
+      }
+    }
+    long total = 0;
+    bool ok = true;
+    for (int b = 0; b < kBins; ++b) {
+      total += all_bins[b];
+      if (all_bins[b] != expected[static_cast<std::size_t>(b)]) ok = false;
+    }
+    std::printf("histogram: %d PEs x %d samples -> %d bins\n", n, g_samples,
+                kBins);
+    const bool all_ok = ok && total == static_cast<long>(n) * g_samples;
+    std::printf("  total counted: %ld (expected %ld) %s\n", total,
+                static_cast<long>(n) * g_samples,
+                all_ok ? "(OK)" : "(MISMATCH)");
+    if (!all_ok) g_exit_code = 1;
+    // A small ASCII rendering of the distribution.
+    long peak = 1;
+    for (int b = 0; b < kBins; ++b) peak = std::max(peak, all_bins[b]);
+    for (int b = 0; b < kBins; b += 4) {
+      const int width = static_cast<int>(40 * all_bins[b] / peak);
+      std::printf("  bin %2d | %-40.*s %ld\n", b, width,
+                  "########################################", all_bins[b]);
+    }
+  }
+  shmem_barrier_all();
+  shmem_free(all_bins);
+  shmem_free(my_bins);
+  shmem_finalize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RuntimeOptions opts;
+  opts.npes = argc > 1 ? std::atoi(argv[1]) : 4;
+  g_samples = argc > 2 ? std::atoi(argv[2]) : 512;
+  Runtime runtime(opts);
+  const ntbshmem::sim::Dur elapsed = runtime.run(pe_main);
+  std::printf("simulated time: %.2f ms\n", ntbshmem::sim::to_ms(elapsed));
+  return g_exit_code;
+}

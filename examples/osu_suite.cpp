@@ -1,0 +1,136 @@
+// OSU-style microbenchmark suite for the NTB OpenSHMEM library — the
+// standard first-contact benchmarks of any SHMEM release:
+//
+//   put latency, get latency, put bandwidth (windowed back-to-back puts),
+//   bidirectional bandwidth, atomic fetch-add latency/rate, and barrier.
+//
+// All numbers are virtual-clock measurements on the simulated ring;
+// PE 0 <-> PE 1 (neighbours) unless noted.
+//
+// Build & run:   ./build/examples/osu_suite [npes]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "shmem/api.hpp"
+
+using namespace ntbshmem::shmem;
+
+namespace {
+
+constexpr std::size_t kMaxBytes = 512 * 1024;
+constexpr int kWindow = 8;  // back-to-back ops per bandwidth sample
+
+double now_us() {
+  return ntbshmem::sim::to_us(
+      Runtime::current()->runtime().engine().now());
+}
+
+void settle(ntbshmem::sim::Dur d) {
+  Runtime::current()->runtime().engine().wait_for(d);
+}
+
+void bench_put_latency(std::byte* buf, const std::vector<std::byte>& payload) {
+  if (shmem_my_pe() != 0) return;
+  std::printf("\n# shmem_putmem latency (PE0 -> PE1)\n%-10s %12s\n", "bytes",
+              "us");
+  for (std::size_t size = 1; size <= kMaxBytes; size *= 4) {
+    const double t0 = now_us();
+    shmem_putmem(buf, payload.data(), size, 1);
+    std::printf("%-10zu %12.2f\n", size, now_us() - t0);
+    settle(ntbshmem::sim::msec(5));
+  }
+}
+
+void bench_get_latency(std::byte* buf, std::vector<std::byte>& sink) {
+  if (shmem_my_pe() != 0) return;
+  std::printf("\n# shmem_getmem latency (PE0 <- PE1)\n%-10s %12s\n", "bytes",
+              "us");
+  for (std::size_t size = 1; size <= kMaxBytes; size *= 4) {
+    const double t0 = now_us();
+    shmem_getmem(sink.data(), buf, size, 1);
+    std::printf("%-10zu %12.2f\n", size, now_us() - t0);
+    settle(ntbshmem::sim::msec(2));
+  }
+}
+
+void bench_put_bandwidth(std::byte* buf,
+                         const std::vector<std::byte>& payload) {
+  if (shmem_my_pe() != 0) return;
+  std::printf("\n# shmem_putmem windowed bandwidth (window=%d, + quiet)\n"
+              "%-10s %12s\n",
+              kWindow, "bytes", "MB/s");
+  for (std::size_t size = 4096; size <= kMaxBytes; size *= 4) {
+    const double t0 = now_us();
+    for (int w = 0; w < kWindow; ++w) {
+      shmem_putmem_nbi(buf, payload.data(), size, 1);
+    }
+    shmem_quiet();
+    const double dt_us = now_us() - t0;
+    std::printf("%-10zu %12.1f\n", size,
+                static_cast<double>(size) * kWindow / dt_us);
+    settle(ntbshmem::sim::msec(5));
+  }
+}
+
+void bench_atomics(long* counter) {
+  if (shmem_my_pe() != 0) return;
+  std::printf("\n# shmem_long_atomic_fetch_add latency by hop count\n"
+              "%-10s %12s\n",
+              "target", "us");
+  const int n = shmem_n_pes();
+  for (int target = 1; target < n; ++target) {
+    const double t0 = now_us();
+    constexpr int kReps = 4;
+    for (int r = 0; r < kReps; ++r) {
+      shmem_long_atomic_fetch_add(counter, 1, target);
+    }
+    std::printf("PE%-8d %12.2f\n", target, (now_us() - t0) / kReps);
+  }
+}
+
+void bench_barrier() {
+  const int reps = 5;
+  double t0 = 0;
+  if (shmem_my_pe() == 0) t0 = now_us();
+  for (int r = 0; r < reps; ++r) shmem_barrier_all();
+  if (shmem_my_pe() == 0) {
+    std::printf("\n# shmem_barrier_all (%d PEs)\navg %12.2f us\n",
+                shmem_n_pes(), (now_us() - t0) / reps);
+  }
+}
+
+void pe_main() {
+  shmem_init();
+  auto* buf = static_cast<std::byte*>(shmem_malloc(kMaxBytes));
+  auto* counter = static_cast<long*>(shmem_calloc(1, sizeof(long)));
+  std::vector<std::byte> payload(kMaxBytes, std::byte{0x2a});
+  std::vector<std::byte> sink(kMaxBytes);
+  shmem_barrier_all();
+
+  bench_put_latency(buf, payload);
+  shmem_barrier_all();
+  bench_get_latency(buf, sink);
+  shmem_barrier_all();
+  bench_put_bandwidth(buf, payload);
+  shmem_barrier_all();
+  bench_atomics(counter);
+  shmem_barrier_all();
+  bench_barrier();
+
+  shmem_free(counter);
+  shmem_free(buf);
+  shmem_finalize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RuntimeOptions opts;
+  opts.npes = argc > 1 ? std::atoi(argv[1]) : 3;
+  opts.completion = CompletionMode::kFullDelivery;
+  Runtime runtime(opts);
+  const ntbshmem::sim::Dur elapsed = runtime.run(pe_main);
+  std::printf("\nsimulated time: %.2f ms\n", ntbshmem::sim::to_ms(elapsed));
+  return 0;
+}

@@ -1,0 +1,122 @@
+// Distributed power iteration: dominant eigenvalue of a row-distributed
+// matrix, using the full collective stack — fcollect to assemble the
+// iterate on every PE and sum reductions for dot products and norms.
+//
+// The matrix is the rank-one update A = I + u u^T with a known unit vector
+// u, so the dominant eigenpair is exact in closed form (lambda_max = 2,
+// eigenvector u) and the example validates itself; the wide spectral gap
+// makes the iteration converge in a handful of steps.
+//
+// Build & run:   ./build/examples/power_iteration [npes] [rows_per_pe]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "shmem/api.hpp"
+
+using namespace ntbshmem::shmem;
+
+namespace {
+
+int g_rows_per_pe = 16;
+int g_exit_code = 0;
+
+void pe_main() {
+  shmem_init();
+  const int me = shmem_my_pe();
+  const int n_pes = shmem_n_pes();
+  const int local_rows = g_rows_per_pe;
+  const int n = n_pes * local_rows;
+
+  // Symmetric buffers: full iterate x (assembled everywhere), local slice
+  // of A*x, and scalars for the reductions.
+  auto* x = static_cast<double*>(shmem_malloc(static_cast<std::size_t>(n) *
+                                              sizeof(double)));
+  auto* slice = static_cast<double*>(shmem_malloc(
+      static_cast<std::size_t>(local_rows) * sizeof(double)));
+  auto* scalar_in = static_cast<double*>(shmem_malloc(sizeof(double)));
+  auto* scalar_out = static_cast<double*>(shmem_malloc(sizeof(double)));
+  static long psync[SHMEM_REDUCE_SYNC_SIZE];
+
+  // Unit vector u defining A = I + u u^T (normalized linear ramp).
+  std::vector<double> u(static_cast<std::size_t>(n));
+  double u_norm2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    u[static_cast<std::size_t>(i)] = static_cast<double>(i + 1);
+    u_norm2 += u[static_cast<std::size_t>(i)] * u[static_cast<std::size_t>(i)];
+  }
+  for (int i = 0; i < n; ++i) u[static_cast<std::size_t>(i)] /= std::sqrt(u_norm2);
+
+  for (int i = 0; i < n; ++i) x[i] = 1.0;  // same start vector everywhere
+  shmem_barrier_all();
+
+  const int row0 = me * local_rows;
+  double lambda = 0.0;
+  for (int iter = 0; iter < 15; ++iter) {
+    // Global dot u . x from local partials (x is globally replicated, but
+    // each PE only sums its own rows — the reduction assembles the total).
+    double dot_part = 0.0;
+    for (int r = 0; r < local_rows; ++r) {
+      dot_part += u[static_cast<std::size_t>(row0 + r)] * x[row0 + r];
+    }
+    *scalar_in = dot_part;
+    shmem_double_sum_to_all(scalar_out, scalar_in, 1, 0, 0, n_pes, nullptr,
+                            psync);
+    const double dot_ux = *scalar_out;
+
+    // Local slice of y = A x = x + u (u . x).
+    for (int r = 0; r < local_rows; ++r) {
+      slice[r] = x[row0 + r] + u[static_cast<std::size_t>(row0 + r)] * dot_ux;
+    }
+    // ||y||^2 via an all-reduce of the local partial sums.
+    double partial = 0.0;
+    for (int r = 0; r < local_rows; ++r) partial += slice[r] * slice[r];
+    *scalar_in = partial;
+    shmem_double_sum_to_all(scalar_out, scalar_in, 1, 0, 0, n_pes, nullptr,
+                            psync);
+    const double norm = std::sqrt(*scalar_out);
+
+    // Rayleigh quotient numerator: x . y (valid once ||x|| == 1).
+    double rq_part = 0.0;
+    for (int r = 0; r < local_rows; ++r) rq_part += x[row0 + r] * slice[r];
+    *scalar_in = rq_part;
+    shmem_double_sum_to_all(scalar_out, scalar_in, 1, 0, 0, n_pes, nullptr,
+                            psync);
+    lambda = *scalar_out;
+
+    // Normalize the slice and assemble the next iterate on every PE.
+    for (int r = 0; r < local_rows; ++r) slice[r] /= norm;
+    shmem_fcollect64(x, slice, static_cast<std::size_t>(local_rows), 0, 0,
+                     n_pes, psync);
+  }
+
+  if (me == 0) {
+    const double expected = 2.0;  // 1 + ||u||^2 with ||u|| == 1
+    std::printf("power_iteration: %d PEs x %d rows (N=%d)\n", n_pes,
+                local_rows, n);
+    const bool ok = std::fabs(lambda - expected) < 1e-4;
+    std::printf("  lambda_max: computed %.6f, closed form %.6f, |err| %.2e %s\n",
+                lambda, expected, std::fabs(lambda - expected),
+                ok ? "(OK)" : "(MISMATCH)");
+    if (!ok) g_exit_code = 1;
+  }
+  shmem_barrier_all();
+  shmem_free(scalar_out);
+  shmem_free(scalar_in);
+  shmem_free(slice);
+  shmem_free(x);
+  shmem_finalize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RuntimeOptions opts;
+  opts.npes = argc > 1 ? std::atoi(argv[1]) : 4;
+  g_rows_per_pe = argc > 2 ? std::atoi(argv[2]) : 16;
+  Runtime runtime(opts);
+  const ntbshmem::sim::Dur elapsed = runtime.run(pe_main);
+  std::printf("simulated time: %.2f ms\n", ntbshmem::sim::to_ms(elapsed));
+  return g_exit_code;
+}

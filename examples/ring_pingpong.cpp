@@ -1,0 +1,85 @@
+// Ring ping-pong microbench as an application: PE 0 bounces messages of
+// increasing size off each other PE (put + flag, remote echoes back) and
+// prints a latency/bandwidth ladder — the first thing anyone runs on a new
+// interconnect. Demonstrates put + wait_until signalling and the effect of
+// hop count on the switchless ring.
+//
+// Build & run:   ./build/examples/ring_pingpong [npes]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "shmem/api.hpp"
+
+using namespace ntbshmem::shmem;
+
+namespace {
+
+constexpr std::size_t kMaxBytes = 256 * 1024;
+
+void pe_main() {
+  shmem_init();
+  const int me = shmem_my_pe();
+  const int n = shmem_n_pes();
+
+  auto* buf = static_cast<std::byte*>(shmem_malloc(kMaxBytes));
+  auto* flag = static_cast<long*>(shmem_malloc(sizeof(long)));
+  *flag = 0;
+  std::vector<std::byte> payload(kMaxBytes, std::byte{0x42});
+  shmem_barrier_all();
+
+  if (me == 0) {
+    ntbshmem::sim::Engine& eng = Runtime::current()->runtime().engine();
+    std::printf("%-8s", "size");
+    for (int peer = 1; peer < n; ++peer) {
+      std::printf("  PE0<->PE%d us", peer);
+    }
+    std::printf("\n");
+    long round = 0;
+    for (std::size_t size = 1024; size <= kMaxBytes; size *= 4) {
+      std::printf("%-8zu", size);
+      for (int peer = 1; peer < n; ++peer) {
+        ++round;
+        const ntbshmem::sim::Time t0 = eng.now();
+        // Ping: payload + signal to the peer.
+        shmem_putmem(buf, payload.data(), size, peer);
+        shmem_quiet();
+        shmem_long_p(flag, round, peer);
+        // Pong: wait for the echo signal.
+        shmem_long_wait_until(flag, SHMEM_CMP_EQ, round);
+        std::printf("  %12.1f",
+                    ntbshmem::sim::to_us(eng.now() - t0) / 2.0);
+      }
+      std::printf("\n");
+    }
+    // Release the responders.
+    for (int peer = 1; peer < n; ++peer) shmem_long_p(flag, -1, peer);
+  } else {
+    // Responder: echo every round until released.
+    long expected = 0;
+    for (;;) {
+      shmem_long_wait_until(flag, SHMEM_CMP_NE, expected);
+      const long seen = *flag;
+      if (seen == -1) break;
+      expected = seen;
+      // Echo the signal back (data stays; the echo is the flag).
+      shmem_long_p(flag, seen, 0);
+    }
+  }
+  shmem_barrier_all();
+  shmem_free(flag);
+  shmem_free(buf);
+  shmem_finalize();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RuntimeOptions opts;
+  opts.npes = argc > 1 ? std::atoi(argv[1]) : 3;
+  Runtime runtime(opts);
+  const ntbshmem::sim::Dur elapsed = runtime.run(pe_main);
+  std::printf("simulated time: %.2f ms\n", ntbshmem::sim::to_ms(elapsed));
+  return 0;
+}

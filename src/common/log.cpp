@@ -1,0 +1,63 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdlib>
+#include <cstring>
+
+namespace ntbshmem {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
+std::atomic<bool> g_env_checked{false};
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+    default: return "off";
+  }
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  g_env_checked.store(true, std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+void init_log_from_env() {
+  if (g_env_checked.exchange(true, std::memory_order_relaxed)) return;
+  const char* env = std::getenv("NTBSHMEM_LOG");
+  if (env == nullptr) return;
+  LogLevel level = LogLevel::kOff;
+  if (std::strcmp(env, "error") == 0) level = LogLevel::kError;
+  else if (std::strcmp(env, "warn") == 0) level = LogLevel::kWarn;
+  else if (std::strcmp(env, "info") == 0) level = LogLevel::kInfo;
+  else if (std::strcmp(env, "debug") == 0) level = LogLevel::kDebug;
+  else if (std::strcmp(env, "trace") == 0) level = LogLevel::kTrace;
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool log_enabled(LogLevel level) {
+  init_log_from_env();
+  return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+}
+
+}  // namespace ntbshmem

@@ -1,0 +1,47 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default (benchmarks must not pay for it); tests and
+// debugging sessions enable it via set_log_level or the NTBSHMEM_LOG
+// environment variable ("error" | "warn" | "info" | "debug" | "trace").
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace ntbshmem {
+
+enum class LogLevel : int {
+  kOff = 0,
+  kError = 1,
+  kWarn = 2,
+  kInfo = 3,
+  kDebug = 4,
+  kTrace = 5,
+};
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+// Initialises the level from $NTBSHMEM_LOG once; called lazily.
+void init_log_from_env();
+
+bool log_enabled(LogLevel level);
+
+// printf-style; prepends "[level] " and appends a newline.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+#define NTB_LOG(level, ...)                             \
+  do {                                                  \
+    if (::ntbshmem::log_enabled(level)) {               \
+      ::ntbshmem::log_message(level, __VA_ARGS__);      \
+    }                                                   \
+  } while (0)
+
+#define NTB_LOG_ERROR(...) NTB_LOG(::ntbshmem::LogLevel::kError, __VA_ARGS__)
+#define NTB_LOG_WARN(...) NTB_LOG(::ntbshmem::LogLevel::kWarn, __VA_ARGS__)
+#define NTB_LOG_INFO(...) NTB_LOG(::ntbshmem::LogLevel::kInfo, __VA_ARGS__)
+#define NTB_LOG_DEBUG(...) NTB_LOG(::ntbshmem::LogLevel::kDebug, __VA_ARGS__)
+#define NTB_LOG_TRACE(...) NTB_LOG(::ntbshmem::LogLevel::kTrace, __VA_ARGS__)
+
+}  // namespace ntbshmem

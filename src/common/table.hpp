@@ -1,0 +1,36 @@
+// Paper-style table printer: the benchmark binaries emit, for each figure,
+// a table with one row per request size and one column per series — the
+// same rows/series layout as the gnuplot data behind the paper's figures.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ntbshmem {
+
+class Table {
+ public:
+  // `title` is printed above the table; `columns` are the header cells.
+  Table(std::string title, std::vector<std::string> columns);
+
+  // Adds a row; cells are already-formatted strings. Rows shorter than the
+  // header are padded with "-".
+  void add_row(std::vector<std::string> cells);
+
+  // Convenience: first cell is a label, the rest are numeric with the given
+  // precision.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               int precision = 1);
+
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace ntbshmem

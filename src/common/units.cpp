@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace ntbshmem {
+
+std::string format_size(std::uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB && bytes % kGiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluGB",
+                  static_cast<unsigned long long>(bytes / kGiB));
+  } else if (bytes >= kMiB && bytes % kMiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluMB",
+                  static_cast<unsigned long long>(bytes / kMiB));
+  } else if (bytes >= kKiB && bytes % kKiB == 0) {
+    std::snprintf(buf, sizeof buf, "%lluKB",
+                  static_cast<unsigned long long>(bytes / kKiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lluB",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string format_bandwidth(double bytes_per_sec) {
+  char buf[48];
+  if (bytes_per_sec >= 1e9) {
+    std::snprintf(buf, sizeof buf, "%.2f GB/s", bytes_per_sec / 1e9);
+  } else if (bytes_per_sec >= 1e6) {
+    std::snprintf(buf, sizeof buf, "%.2f MB/s", bytes_per_sec / 1e6);
+  } else if (bytes_per_sec >= 1e3) {
+    std::snprintf(buf, sizeof buf, "%.2f KB/s", bytes_per_sec / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f B/s", bytes_per_sec);
+  }
+  return buf;
+}
+
+}  // namespace ntbshmem

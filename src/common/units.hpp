@@ -1,0 +1,43 @@
+// Units and conversions used throughout the NTB/OpenSHMEM simulator.
+//
+// The simulator's virtual clock ticks in integer nanoseconds (see
+// sim/time.hpp); bandwidths are expressed in bytes per second as doubles.
+// This header centralises the small set of unit helpers so that calibration
+// constants (common/timing_params.hpp) and benchmark tables read naturally.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ntbshmem {
+
+// ---- Byte sizes -----------------------------------------------------------
+
+inline constexpr std::uint64_t kKiB = 1024ull;
+inline constexpr std::uint64_t kMiB = 1024ull * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ull * kMiB;
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+// ---- Bandwidth ------------------------------------------------------------
+
+// Bandwidths are bytes/second. Helpers for the units the paper uses:
+// the NTB link is quoted in Gbps (decimal), throughput tables in MB/s
+// (decimal megabytes, matching gnuplot axes in the paper's figures).
+constexpr double gbps_to_Bps(double gbps) { return gbps * 1e9 / 8.0; }
+constexpr double MBps_to_Bps(double mbps) { return mbps * 1e6; }
+constexpr double Bps_to_MBps(double bps) { return bps / 1e6; }
+constexpr double Bps_to_gbps(double bps) { return bps * 8.0 / 1e9; }
+
+// ---- Formatting -----------------------------------------------------------
+
+// "1KB", "512KB", "4MB" — the request-size labels used on the paper's x-axes.
+// (The paper labels powers of two as KB; we keep that convention.)
+std::string format_size(std::uint64_t bytes);
+
+// "12.3 MB/s", "2.41 GB/s"
+std::string format_bandwidth(double bytes_per_sec);
+
+}  // namespace ntbshmem

@@ -1,0 +1,100 @@
+#include "fabric/ring.hpp"
+
+namespace ntbshmem::fabric {
+
+namespace {
+
+ntb::PortConfig port_config_from(const TimingParams& t, double dma_rate,
+                                 int vector_base, bool resilient) {
+  ntb::PortConfig cfg;
+  cfg.dma_rate_Bps = dma_rate;
+  cfg.pio_write_Bps = t.pio_write_Bps;
+  cfg.pio_read_Bps = t.pio_read_Bps;
+  cfg.dma_setup = t.dma_setup;
+  cfg.reg_write = t.reg_access;
+  cfg.reg_read = 2 * t.reg_access;  // non-posted read round trip
+  cfg.vector_base = vector_base;
+  cfg.retry_on_link_down = resilient;
+  return cfg;
+}
+
+}  // namespace
+
+RingFabric::RingFabric(sim::Engine& engine, const FabricConfig& config)
+    : engine_(engine), config_(config) {
+  const int n = config_.num_hosts;
+  if (n < 2) {
+    throw std::invalid_argument("RingFabric needs at least 2 hosts");
+  }
+
+  pcie::LinkConfig link_cfg;
+  link_cfg.gen = static_cast<pcie::Gen>(config_.timing.pcie_gen);
+  link_cfg.lanes = config_.timing.pcie_lanes;
+  link_cfg.max_payload = config_.timing.pcie_max_payload;
+  link_cfg.validate();
+
+  const host::HostConfig host_cfg =
+      host::host_config_from(config_.timing, config_.host_memory_bytes);
+
+  hosts_.reserve(static_cast<std::size_t>(n));
+  right_ports_.resize(static_cast<std::size_t>(n));
+  left_ports_.resize(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    hosts_.push_back(std::make_unique<host::Host>(engine, i, host_cfg));
+  }
+
+  // Cable i joins host i (right adapter, vector base 0) with host i+1
+  // (left adapter, vector base 16). The per-link DMA-rate spread models
+  // the paper's per-chipset variation.
+  links_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    auto link = std::make_unique<pcie::Link>(
+        engine, "link" + std::to_string(i) + "-" + std::to_string(j),
+        link_cfg);
+    double dma_rate = config_.timing.dma_rate_Bps;
+    if (!config_.link_dma_rates_Bps.empty()) {
+      dma_rate = config_.link_dma_rates_Bps[static_cast<std::size_t>(i) %
+                                            config_.link_dma_rates_Bps.size()];
+    }
+    auto right = std::make_unique<ntb::NtbPort>(
+        engine, *hosts_[static_cast<std::size_t>(i)],
+        "host" + std::to_string(i) + ".right",
+        port_config_from(config_.timing, dma_rate, /*vector_base=*/0,
+                         config_.resilient_links));
+    auto left = std::make_unique<ntb::NtbPort>(
+        engine, *hosts_[static_cast<std::size_t>(j)],
+        "host" + std::to_string(j) + ".left",
+        port_config_from(config_.timing, dma_rate, /*vector_base=*/16,
+                         config_.resilient_links));
+    ntb::NtbPort::connect(*right, *left, *link);
+    right_ports_[static_cast<std::size_t>(i)] = std::move(right);
+    left_ports_[static_cast<std::size_t>(j)] = std::move(left);
+    links_.push_back(std::move(link));
+  }
+}
+
+int RingFabric::right_distance(int from, int to) const {
+  return (checked_i(to) - checked_i(from) + size()) % size();
+}
+
+int RingFabric::left_distance(int from, int to) const {
+  return (checked_i(from) - checked_i(to) + size()) % size();
+}
+
+Route RingFabric::route(int from, int to, RoutingMode mode) const {
+  const int rd = right_distance(from, to);
+  if (rd == 0) return Route{Direction::kRight, 0};
+  switch (mode) {
+    case RoutingMode::kRightOnly:
+      return Route{Direction::kRight, rd};
+    case RoutingMode::kShortest: {
+      const int ld = left_distance(from, to);
+      if (ld < rd) return Route{Direction::kLeft, ld};
+      return Route{Direction::kRight, rd};
+    }
+  }
+  throw std::logic_error("unknown routing mode");
+}
+
+}  // namespace ntbshmem::fabric

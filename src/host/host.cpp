@@ -1,0 +1,24 @@
+#include "host/host.hpp"
+
+namespace ntbshmem::host {
+
+Host::Host(sim::Engine& engine, HostId id, const HostConfig& config)
+    : engine_(engine),
+      id_(id),
+      name_("host" + std::to_string(id)),
+      memory_(config.memory_bytes, name_ + ".ram"),
+      bus_(engine, name_ + ".bus", config.bus_Bps),
+      interrupts_(engine, name_ + ".irq", config.isr_latency,
+                  config.isr_dispatch) {}
+
+HostConfig host_config_from(const TimingParams& params,
+                            std::uint64_t memory_bytes) {
+  HostConfig cfg;
+  cfg.memory_bytes = memory_bytes;
+  cfg.bus_Bps = params.host_bus_Bps;
+  cfg.isr_latency = params.intr_delivery;
+  cfg.isr_dispatch = params.isr_handling;
+  return cfg;
+}
+
+}  // namespace ntbshmem::host

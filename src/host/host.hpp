@@ -1,0 +1,59 @@
+// A simulated compute node of the switchless cluster.
+//
+// Matches the paper's testbed node: a single-CPU host with DRAM, a memory
+// bus shared by the NTB DMA traffic, an interrupt controller, and (added
+// by the fabric) two NTB host adapters. One OpenSHMEM PE runs per host,
+// as in the paper's 3-node prototype.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/timing_params.hpp"
+#include "host/interrupt.hpp"
+#include "host/memory.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/engine.hpp"
+
+namespace ntbshmem::host {
+
+using HostId = int;
+
+struct HostConfig {
+  std::uint64_t memory_bytes = 64ull << 20;  // arena for heaps and buffers
+  double bus_Bps = 5.2e9;                    // TimingParams::host_bus_Bps
+  sim::Dur isr_latency = 15'000;             // TimingParams::intr_delivery
+  sim::Dur isr_dispatch = 5'000;             // TimingParams::isr_handling
+};
+
+class Host {
+ public:
+  Host(sim::Engine& engine, HostId id, const HostConfig& config);
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  HostId id() const { return id_; }
+  const std::string& name() const { return name_; }
+  sim::Engine& engine() const { return engine_; }
+
+  MemoryArena& memory() { return memory_; }
+  const MemoryArena& memory() const { return memory_; }
+  // Memory-bus bandwidth shared by all DMA traffic entering/leaving DRAM.
+  sim::BandwidthResource& bus() { return bus_; }
+  InterruptController& interrupts() { return interrupts_; }
+
+ private:
+  sim::Engine& engine_;
+  HostId id_;
+  std::string name_;
+  MemoryArena memory_;
+  sim::BandwidthResource bus_;
+  InterruptController interrupts_;
+};
+
+// Convenience: build a HostConfig from the global timing calibration.
+HostConfig host_config_from(const TimingParams& params,
+                            std::uint64_t memory_bytes = 64ull << 20);
+
+}  // namespace ntbshmem::host

@@ -1,0 +1,70 @@
+#include "host/interrupt.hpp"
+
+#include <stdexcept>
+
+namespace ntbshmem::host {
+
+InterruptController::InterruptController(sim::Engine& engine, std::string name,
+                                         sim::Dur isr_latency,
+                                         sim::Dur dispatch_cost)
+    : engine_(engine),
+      name_(std::move(name)),
+      isr_latency_(isr_latency),
+      dispatch_cost_(dispatch_cost),
+      handlers_(kNumVectors) {}
+
+void InterruptController::check_vector(int vector) const {
+  if (vector < 0 || vector >= kNumVectors) {
+    throw std::out_of_range(name_ + ": interrupt vector out of range");
+  }
+}
+
+void InterruptController::register_handler(int vector, Handler handler) {
+  check_vector(vector);
+  handlers_[static_cast<std::size_t>(vector)] = std::move(handler);
+}
+
+void InterruptController::raise(int vector) {
+  check_vector(vector);
+  const std::uint32_t bit = 1u << vector;
+  if ((mask_bits_ & bit) != 0) {
+    pending_bits_ |= bit;
+    return;
+  }
+  deliver(vector);
+}
+
+void InterruptController::deliver(int vector) {
+  engine_.call_after(isr_latency_ + dispatch_cost_, [this, vector] {
+    const auto& handler = handlers_[static_cast<std::size_t>(vector)];
+    ++delivered_;
+    if (handler) handler(vector);
+  });
+}
+
+void InterruptController::mask(int vector) {
+  check_vector(vector);
+  mask_bits_ |= 1u << vector;
+}
+
+void InterruptController::unmask(int vector) {
+  check_vector(vector);
+  const std::uint32_t bit = 1u << vector;
+  mask_bits_ &= ~bit;
+  if ((pending_bits_ & bit) != 0) {
+    pending_bits_ &= ~bit;
+    deliver(vector);
+  }
+}
+
+bool InterruptController::masked(int vector) const {
+  check_vector(vector);
+  return (mask_bits_ & (1u << vector)) != 0;
+}
+
+bool InterruptController::pending(int vector) const {
+  check_vector(vector);
+  return (pending_bits_ & (1u << vector)) != 0;
+}
+
+}  // namespace ntbshmem::host

@@ -1,0 +1,59 @@
+#include "host/memory.hpp"
+
+namespace ntbshmem::host {
+
+MemoryArena::MemoryArena(std::uint64_t capacity_bytes, std::string name)
+    : name_(std::move(name)), storage_(capacity_bytes) {}
+
+Region MemoryArena::allocate(std::uint64_t size, std::uint64_t align) {
+  if (align == 0 || (align & (align - 1)) != 0) {
+    throw std::invalid_argument("MemoryArena alignment must be a power of 2");
+  }
+  const std::uint64_t start = (next_ + align - 1) & ~(align - 1);
+  if (size > storage_.size() || start > storage_.size() - size) {
+    throw OutOfMemory(name_ + ": cannot allocate " + std::to_string(size) +
+                      " bytes (used " + std::to_string(next_) + "/" +
+                      std::to_string(storage_.size()) + ")");
+  }
+  next_ = start + size;
+  return Region{start, size};
+}
+
+void MemoryArena::check(const Region& region, std::uint64_t offset,
+                        std::uint64_t len) const {
+  if (region.offset > storage_.size() ||
+      region.size > storage_.size() - region.offset) {
+    throw std::out_of_range(name_ + ": region outside arena");
+  }
+  if (offset > region.size || len > region.size - offset) {
+    throw std::out_of_range(name_ + ": access outside region (offset " +
+                            std::to_string(offset) + ", len " +
+                            std::to_string(len) + ", region size " +
+                            std::to_string(region.size) + ")");
+  }
+}
+
+std::span<std::byte> MemoryArena::bytes(const Region& region) {
+  return bytes(region, 0, region.size);
+}
+
+std::span<const std::byte> MemoryArena::bytes(const Region& region) const {
+  return bytes(region, 0, region.size);
+}
+
+std::span<std::byte> MemoryArena::bytes(const Region& region,
+                                        std::uint64_t offset,
+                                        std::uint64_t len) {
+  check(region, offset, len);
+  return std::span<std::byte>(storage_.data() + region.offset + offset, len);
+}
+
+std::span<const std::byte> MemoryArena::bytes(const Region& region,
+                                              std::uint64_t offset,
+                                              std::uint64_t len) const {
+  check(region, offset, len);
+  return std::span<const std::byte>(storage_.data() + region.offset + offset,
+                                    len);
+}
+
+}  // namespace ntbshmem::host

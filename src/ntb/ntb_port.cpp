@@ -1,0 +1,200 @@
+#include "ntb/ntb_port.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "sim/bandwidth.hpp"
+
+namespace ntbshmem::ntb {
+
+NtbPort::NtbPort(sim::Engine& engine, host::Host& local, std::string name,
+                 const PortConfig& config)
+    : engine_(engine), local_(local), name_(std::move(name)), config_(config) {}
+
+void NtbPort::connect(NtbPort& a, NtbPort& b, pcie::Link& link) {
+  if (a.connected() || b.connected()) {
+    throw std::logic_error("NtbPort::connect: port already connected");
+  }
+  a.peer_ = &b;
+  b.peer_ = &a;
+  a.link_ = &link;
+  b.link_ = &link;
+  a.end_ = pcie::End::kA;
+  b.end_ = pcie::End::kB;
+}
+
+NtbPort& NtbPort::peer() const {
+  require_connected("peer");
+  return *peer_;
+}
+
+pcie::Link& NtbPort::link() const {
+  require_connected("link");
+  return *link_;
+}
+
+void NtbPort::await_link_up() {
+  require_connected("await_link_up");
+  if (!config_.retry_on_link_down) {
+    link_->check_up();
+    return;
+  }
+  while (!link_->up()) {
+    engine_.wait_for(config_.link_retry_interval);
+  }
+}
+
+void NtbPort::require_connected(const char* op) const {
+  if (peer_ == nullptr) {
+    throw std::logic_error(name_ + ": " + op + " on unconnected NTB port");
+  }
+}
+
+void NtbPort::program_window(int idx, host::Region region) {
+  require_connected("program_window");
+  if (idx < 0 || idx >= kNumWindows) {
+    throw std::out_of_range(name_ + ": window index out of range");
+  }
+  windows_[static_cast<std::size_t>(idx)] =
+      WindowTarget{&peer_->local_host(), region};
+}
+
+const WindowTarget& NtbPort::window(int idx) const {
+  if (idx < 0 || idx >= kNumWindows) {
+    throw std::out_of_range(name_ + ": window index out of range");
+  }
+  return windows_[static_cast<std::size_t>(idx)];
+}
+
+const WindowTarget& NtbPort::require_mapped(int idx, const char* op) const {
+  const WindowTarget& w = window(idx);
+  if (!w.mapped()) {
+    throw std::runtime_error(name_ + ": " + op + " through unmapped window " +
+                             std::to_string(idx));
+  }
+  return w;
+}
+
+void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
+                            sim::BandwidthResource& wire, std::uint64_t bytes,
+                            double cap) {
+  // The three stages of the path drain concurrently; the transfer is done
+  // when the slowest one finishes. Contention on any stage (e.g. a host bus
+  // carrying both a TX and an RX stream in the Fig. 8 ring experiment)
+  // stretches that stage's completion and thus the whole transfer.
+  auto src_done = src_host.bus().transfer_async(bytes, cap);
+  auto wire_done = wire.transfer_async(bytes, cap);
+  auto dst_done = dst_host.bus().transfer_async(bytes, cap);
+  src_done->wait();
+  wire_done->wait();
+  dst_done->wait();
+}
+
+void NtbPort::dma_write(int idx, std::uint64_t off,
+                        std::span<const std::byte> src) {
+  require_connected("dma_write");
+  // Latch the translation by value: the descriptor captures the window
+  // target when programmed, so a later program_window (e.g. by the other
+  // software context on this host) cannot retarget an in-flight transfer.
+  const WindowTarget w = require_mapped(idx, "dma_write");
+  await_link_up();
+  engine_.wait_for(config_.dma_setup);
+  await_link_up();
+  transfer_path(local_, *w.peer_host, link_->direction_from(end_), src.size(),
+                config_.dma_rate_Bps);
+  auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
+  std::memcpy(dst.data(), src.data(), src.size());
+  dma_bytes_written_ += src.size();
+}
+
+void NtbPort::dma_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
+  require_connected("dma_read");
+  const WindowTarget w = require_mapped(idx, "dma_read");
+  await_link_up();
+  engine_.wait_for(config_.dma_setup);
+  await_link_up();
+  // Read completions flow from the peer back to us.
+  transfer_path(*w.peer_host, local_, link_->direction_from(pcie::opposite(end_)),
+                dst.size(), config_.dma_rate_Bps * config_.dma_read_factor);
+  auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
+  std::memcpy(dst.data(), src.data(), dst.size());
+}
+
+void NtbPort::pio_write(int idx, std::uint64_t off,
+                        std::span<const std::byte> src) {
+  require_connected("pio_write");
+  const WindowTarget w = require_mapped(idx, "pio_write");
+  await_link_up();
+  transfer_path(local_, *w.peer_host, link_->direction_from(end_), src.size(),
+                config_.pio_write_Bps);
+  auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
+  std::memcpy(dst.data(), src.data(), src.size());
+}
+
+void NtbPort::pio_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
+  require_connected("pio_read");
+  const WindowTarget w = require_mapped(idx, "pio_read");
+  await_link_up();
+  transfer_path(*w.peer_host, local_, link_->direction_from(pcie::opposite(end_)),
+                dst.size(), config_.pio_read_Bps);
+  auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
+  std::memcpy(dst.data(), src.data(), dst.size());
+}
+
+void NtbPort::write_scratchpad(int idx, std::uint32_t value) {
+  require_connected("write_scratchpad");
+  if (idx < 0 || idx >= kNumScratchpads) {
+    throw std::out_of_range(name_ + ": scratchpad index out of range");
+  }
+  await_link_up();
+  engine_.wait_for(config_.reg_write);
+  peer_->scratchpad_[static_cast<std::size_t>(idx)] = value;
+}
+
+std::uint32_t NtbPort::read_scratchpad(int idx) {
+  require_connected("read_scratchpad");
+  if (idx < 0 || idx >= kNumScratchpads) {
+    throw std::out_of_range(name_ + ": scratchpad index out of range");
+  }
+  engine_.wait_for(config_.reg_read);
+  return scratchpad_[static_cast<std::size_t>(idx)];
+}
+
+void NtbPort::ring_doorbell(int bit) {
+  require_connected("ring_doorbell");
+  if (bit < 0 || bit >= kNumDoorbells) {
+    throw std::out_of_range(name_ + ": doorbell bit out of range");
+  }
+  await_link_up();
+  engine_.wait_for(config_.reg_write);
+  peer_->receive_doorbell(bit);
+}
+
+void NtbPort::receive_doorbell(int bit) {
+  db_status_ = static_cast<std::uint16_t>(db_status_ | (1u << bit));
+  local_.interrupts().raise(config_.vector_base + bit);
+}
+
+void NtbPort::clear_doorbell(int bit) {
+  if (bit < 0 || bit >= kNumDoorbells) {
+    throw std::out_of_range(name_ + ": doorbell bit out of range");
+  }
+  engine_.wait_for(config_.reg_write);
+  db_status_ = static_cast<std::uint16_t>(db_status_ & ~(1u << bit));
+}
+
+void NtbPort::mask_doorbell(int bit) {
+  if (bit < 0 || bit >= kNumDoorbells) {
+    throw std::out_of_range(name_ + ": doorbell bit out of range");
+  }
+  local_.interrupts().mask(config_.vector_base + bit);
+}
+
+void NtbPort::unmask_doorbell(int bit) {
+  if (bit < 0 || bit >= kNumDoorbells) {
+    throw std::out_of_range(name_ + ": doorbell bit out of range");
+  }
+  local_.interrupts().unmask(config_.vector_base + bit);
+}
+
+}  // namespace ntbshmem::ntb

@@ -1,0 +1,156 @@
+// PCIe Non-Transparent Bridge port model (PLX PEX 8749/8733 class).
+//
+// Two NtbPorts joined by a pcie::Link form one NTB connection between two
+// hosts. Each port exposes, as the paper's Fig. 1/2 describe:
+//
+//   * BAR memory windows whose translation registers map a local aperture
+//     onto a region of the *peer* host's memory,
+//   * a ScratchPad bank (8 x 32-bit registers per adapter; writes land in
+//     the peer adapter's bank) for small synchronous information exchange,
+//   * a 16-bit Doorbell register: setting a bit raises an interrupt vector
+//     on the peer host (set / clear / mask semantics),
+//   * a descriptor-based DMA engine and a PIO (CPU memcpy) path through the
+//     mapped windows.
+//
+// Timing: every data-movement and register method blocks the calling
+// simulated process for the modeled duration; data becomes visible in the
+// peer's memory at completion time. Interrupt handlers run in scheduler
+// context and must not call the blocking methods — that is the service
+// thread's job, exactly as in the paper's Fig. 5 design.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+
+#include "host/host.hpp"
+#include "pcie/link.hpp"
+#include "sim/engine.hpp"
+
+namespace ntbshmem::ntb {
+
+inline constexpr int kNumScratchpads = 8;
+inline constexpr int kNumDoorbells = 16;
+inline constexpr int kNumWindows = 4;
+
+// Conventional window roles used by the OpenSHMEM layer; the raw window is
+// what the Fig. 8 link-rate experiment programs directly.
+enum WindowIndex : int {
+  kShmemWindow = 0,
+  kBypassWindow = 1,
+  kRawWindow = 2,
+  kSpareWindow = 3,
+};
+
+// Translation target of a BAR window: a region of the peer host's memory.
+struct WindowTarget {
+  host::Host* peer_host = nullptr;
+  host::Region region;
+  bool mapped() const { return peer_host != nullptr && region.valid(); }
+};
+
+struct PortConfig {
+  double dma_rate_Bps = 3.0e9;     // engine peak (per-link override point)
+  double dma_read_factor = 0.6;    // non-posted read penalty for dma_read
+  double pio_write_Bps = 125e6;
+  double pio_read_Bps = 40e6;
+  sim::Dur dma_setup = 3'000;      // descriptor program + completion poll
+  sim::Dur reg_write = 400;        // posted 32-bit register write
+  sim::Dur reg_read = 800;         // non-posted 32-bit register read
+  // First interrupt vector on the local host used by this port's doorbells
+  // (a host has two ports; the fabric assigns bases 0 and 16).
+  int vector_base = 0;
+  // Resilience: when true, operations that find the link administratively
+  // down wait for retraining (polling every retry_interval) instead of
+  // throwing LinkDownError — the PCIe link-recovery behaviour a production
+  // driver exposes. Default is fail-fast, which the fault-injection tests
+  // rely on.
+  bool retry_on_link_down = false;
+  sim::Dur link_retry_interval = 100'000;  // 100us
+};
+
+class NtbPort {
+ public:
+  NtbPort(sim::Engine& engine, host::Host& local, std::string name,
+          const PortConfig& config);
+  NtbPort(const NtbPort&) = delete;
+  NtbPort& operator=(const NtbPort&) = delete;
+
+  // Wires two ports back-to-back over `link`; `a` talks on End::kA.
+  static void connect(NtbPort& a, NtbPort& b, pcie::Link& link);
+
+  bool connected() const { return peer_ != nullptr; }
+  NtbPort& peer() const;
+  host::Host& local_host() const { return local_; }
+  const std::string& name() const { return name_; }
+  const PortConfig& config() const { return config_; }
+  pcie::Link& link() const;
+
+  // ---- BAR windows ---------------------------------------------------------
+  // Programs the translation registers of window `idx` to land on `region`
+  // of the peer host's memory. Instantaneous (driver-call latency is charged
+  // by the software layer that issues it, see TimingParams::segment_setup).
+  void program_window(int idx, host::Region region);
+  const WindowTarget& window(int idx) const;
+
+  // ---- Data movement (blocking, process context) ----------------------------
+  // DMA write: local memory -> peer memory through window `idx` at `off`.
+  void dma_write(int idx, std::uint64_t off, std::span<const std::byte> src);
+  // DMA read: peer memory -> local memory (non-posted, slower).
+  void dma_read(int idx, std::uint64_t off, std::span<std::byte> dst);
+  // PIO paths: CPU stores/loads through the mapped window.
+  void pio_write(int idx, std::uint64_t off, std::span<const std::byte> src);
+  void pio_read(int idx, std::uint64_t off, std::span<std::byte> dst);
+
+  // ---- ScratchPad (blocking, process context) -------------------------------
+  // Each adapter carries its own 8-register bank (back-to-back PLX
+  // adapters): writing lands in the PEER's bank, reading returns the local
+  // bank — so the two directions of a link never clobber each other's
+  // in-flight headers.
+  void write_scratchpad(int idx, std::uint32_t value);
+  std::uint32_t read_scratchpad(int idx);
+
+  // ---- Doorbells ------------------------------------------------------------
+  // Sets bit `bit` in the peer's doorbell status and raises the peer's
+  // interrupt vector (vector_base + bit). Blocking (one register write).
+  void ring_doorbell(int bit);
+  // Local latched doorbell status; reading is free (tests/ISRs), clearing
+  // charges a register write.
+  std::uint16_t doorbell_status() const { return db_status_; }
+  void clear_doorbell(int bit);
+  void mask_doorbell(int bit);
+  void unmask_doorbell(int bit);
+
+  double dma_rate() const { return config_.dma_rate_Bps; }
+  void set_dma_rate(double rate) { config_.dma_rate_Bps = rate; }
+
+  // Diagnostics.
+  std::uint64_t dma_bytes_written() const { return dma_bytes_written_; }
+
+ private:
+  void require_connected(const char* op) const;
+  // Fail-fast or block-until-retrained, per PortConfig::retry_on_link_down.
+  void await_link_up();
+  const WindowTarget& require_mapped(int idx, const char* op) const;
+  // Joint transfer across source bus, cable, destination bus.
+  void transfer_path(host::Host& src_host, host::Host& dst_host,
+                     sim::BandwidthResource& wire, std::uint64_t bytes,
+                     double cap);
+  void receive_doorbell(int bit);
+
+  sim::Engine& engine_;
+  host::Host& local_;
+  std::string name_;
+  PortConfig config_;
+  NtbPort* peer_ = nullptr;
+  pcie::Link* link_ = nullptr;
+  pcie::End end_ = pcie::End::kA;
+  std::array<WindowTarget, kNumWindows> windows_{};
+  std::array<std::uint32_t, kNumScratchpads> scratchpad_{};
+  std::uint16_t db_status_ = 0;
+  std::uint64_t dma_bytes_written_ = 0;
+};
+
+}  // namespace ntbshmem::ntb

@@ -1,0 +1,71 @@
+// PCIe link parameters and bandwidth math.
+//
+// The paper's fabric is PCIe Gen3 x8 cable between PLX NTB adapters. This
+// header computes the usable cable bandwidth from the generation's line
+// rate, the lane count, the line encoding, and TLP framing efficiency at a
+// given max-payload size — the inputs the fluid link model consumes.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace ntbshmem::pcie {
+
+enum class Gen : int { kGen1 = 1, kGen2 = 2, kGen3 = 3, kGen4 = 4, kGen5 = 5 };
+
+// Per-lane raw signalling rate in transfers/second.
+constexpr double line_rate_Tps(Gen gen) {
+  switch (gen) {
+    case Gen::kGen1: return 2.5e9;
+    case Gen::kGen2: return 5.0e9;
+    case Gen::kGen3: return 8.0e9;
+    case Gen::kGen4: return 16.0e9;
+    case Gen::kGen5: return 32.0e9;
+  }
+  return 0.0;
+}
+
+// Line-coding efficiency: 8b/10b for Gen1/2, 128b/130b from Gen3 on.
+constexpr double encoding_efficiency(Gen gen) {
+  return (gen == Gen::kGen1 || gen == Gen::kGen2) ? 8.0 / 10.0
+                                                  : 128.0 / 130.0;
+}
+
+struct LinkConfig {
+  Gen gen = Gen::kGen3;
+  int lanes = 8;
+  // Max TLP payload in bytes (power of two, 128..4096).
+  std::uint32_t max_payload = 256;
+
+  // Raw payload-agnostic bandwidth per direction in bytes/second.
+  double raw_Bps() const {
+    return line_rate_Tps(gen) * encoding_efficiency(gen) *
+           static_cast<double>(lanes) / 8.0;
+  }
+
+  // TLP framing efficiency: payload / (payload + header + framing + LCRC).
+  // 12B 3-DW header + 2B framing STP/END + 6B sequence/LCRC ≈ 20B, plus the
+  // 4B optional digest we fold into a round 26B of overhead per TLP.
+  double framing_efficiency() const {
+    constexpr double kOverheadBytes = 26.0;
+    return static_cast<double>(max_payload) /
+           (static_cast<double>(max_payload) + kOverheadBytes);
+  }
+
+  // Usable bandwidth per direction for large posted-write streams.
+  double effective_Bps() const { return raw_Bps() * framing_efficiency(); }
+
+  void validate() const {
+    if (lanes != 1 && lanes != 2 && lanes != 4 && lanes != 8 && lanes != 16) {
+      throw std::invalid_argument("PCIe lane count must be 1/2/4/8/16");
+    }
+    if (max_payload < 128 || max_payload > 4096 ||
+        (max_payload & (max_payload - 1)) != 0) {
+      throw std::invalid_argument("PCIe max payload must be 128..4096 pow2");
+    }
+  }
+};
+
+LinkConfig gen_lanes(Gen gen, int lanes);
+
+}  // namespace ntbshmem::pcie

@@ -1,0 +1,21 @@
+#include "pcie/link.hpp"
+
+namespace ntbshmem::pcie {
+
+LinkConfig gen_lanes(Gen gen, int lanes) {
+  LinkConfig cfg;
+  cfg.gen = gen;
+  cfg.lanes = lanes;
+  cfg.validate();
+  return cfg;
+}
+
+Link::Link(sim::Engine& engine, std::string name, const LinkConfig& config)
+    : name_(std::move(name)), config_(config) {
+  config_.validate();
+  const double bps = config_.effective_Bps();
+  a_to_b_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".a2b", bps);
+  b_to_a_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".b2a", bps);
+}
+
+}  // namespace ntbshmem::pcie

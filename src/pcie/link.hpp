@@ -1,0 +1,57 @@
+// Full-duplex PCIe cable between two NTB adapters.
+//
+// Each direction is an independent fluid BandwidthResource at the link's
+// effective bandwidth (PCIe is full duplex: simultaneous opposite-direction
+// streams do not share capacity). A link can be administratively downed for
+// fault-injection tests.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "pcie/config.hpp"
+#include "sim/bandwidth.hpp"
+#include "sim/engine.hpp"
+
+namespace ntbshmem::pcie {
+
+// The two ends of a cable. The fabric assigns end A to the lower host id.
+enum class End : int { kA = 0, kB = 1 };
+
+constexpr End opposite(End e) { return e == End::kA ? End::kB : End::kA; }
+
+class LinkDownError : public std::runtime_error {
+ public:
+  explicit LinkDownError(const std::string& link)
+      : std::runtime_error("PCIe link down: " + link) {}
+};
+
+class Link {
+ public:
+  Link(sim::Engine& engine, std::string name, const LinkConfig& config);
+
+  // Bandwidth resource carrying traffic that *originates* at `from`.
+  sim::BandwidthResource& direction_from(End from) {
+    check_up();
+    return from == End::kA ? *a_to_b_ : *b_to_a_;
+  }
+
+  const LinkConfig& config() const { return config_; }
+  const std::string& name() const { return name_; }
+
+  bool up() const { return up_; }
+  void set_up(bool up) { up_ = up; }
+  void check_up() const {
+    if (!up_) throw LinkDownError(name_);
+  }
+
+ private:
+  std::string name_;
+  LinkConfig config_;
+  bool up_ = true;
+  std::unique_ptr<sim::BandwidthResource> a_to_b_;
+  std::unique_ptr<sim::BandwidthResource> b_to_a_;
+};
+
+}  // namespace ntbshmem::pcie

@@ -1,0 +1,313 @@
+// OpenSHMEM C-style API over the NTB runtime.
+//
+// The names and signatures follow the OpenSHMEM 1.x specification (the
+// generation the paper targets: Table I plus the feature list of §II-B —
+// one-sided put/get and variants, remote atomics, broadcasts, barriers,
+// reductions, collects, distributed locking and wait primitives). The
+// functions live in namespace ntbshmem::shmem rather than the global
+// namespace; SPMD programs typically open the namespace.
+//
+// Every function binds to the calling PE through thread-local context, so
+// the same SPMD function body runs unmodified on every PE — see
+// examples/quickstart.cpp.
+#pragma once
+
+#include <cstddef>
+
+#include "shmem/collectives.hpp"
+#include "shmem/runtime.hpp"
+
+namespace ntbshmem::shmem {
+
+// ---- Comparison operators for wait/test ------------------------------------
+inline constexpr int SHMEM_CMP_EQ = 0;
+inline constexpr int SHMEM_CMP_NE = 1;
+inline constexpr int SHMEM_CMP_GT = 2;
+inline constexpr int SHMEM_CMP_LE = 3;
+inline constexpr int SHMEM_CMP_LT = 4;
+inline constexpr int SHMEM_CMP_GE = 5;
+
+// ---- pSync/pWrk constants (accepted for API compatibility; the
+// implementation synchronizes through its reserved scratch block) -----------
+inline constexpr std::size_t SHMEM_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_BARRIER_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_BCAST_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_REDUCE_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_COLLECT_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_ALLTOALL_SYNC_SIZE = 8;
+inline constexpr std::size_t SHMEM_REDUCE_MIN_WRKDATA_SIZE = 16;
+inline constexpr long SHMEM_SYNC_VALUE = 0;
+inline constexpr int SHMEM_MAX_NAME_LEN = 64;
+inline constexpr int SHMEM_MAJOR_VERSION = 1;
+inline constexpr int SHMEM_MINOR_VERSION = 4;
+
+// ---- Library lifecycle (Table I) -------------------------------------------
+void shmem_init();
+void shmem_finalize();
+int shmem_my_pe();
+int shmem_n_pes();
+// Legacy names used by Table I of the paper.
+int my_pe();
+int num_pes();
+void shmem_info_get_version(int* major, int* minor);
+void shmem_info_get_name(char* name);
+// Accessibility queries: every PE in the job is accessible over the NTB
+// ring; an address is accessible on a PE iff it is symmetric.
+int shmem_pe_accessible(int pe);
+int shmem_addr_accessible(const void* addr, int pe);
+
+// ---- Symmetric memory management (Table I) ----------------------------------
+void* shmem_malloc(std::size_t size);
+void* shmem_calloc(std::size_t count, std::size_t size);
+void* shmem_align(std::size_t alignment, std::size_t size);
+void* shmem_realloc(void* ptr, std::size_t size);
+void shmem_free(void* ptr);
+// Returns a local address for remotely accessible memory when load/store
+// access is possible: the local copy for pe == my_pe, nullptr otherwise
+// (remote access goes through put/get on this interconnect).
+void* shmem_ptr(const void* dest, int pe);
+
+// ---- RMA: generic byte interfaces -------------------------------------------
+void shmem_putmem(void* dest, const void* source, std::size_t nbytes, int pe);
+void shmem_getmem(void* dest, const void* source, std::size_t nbytes, int pe);
+void shmem_putmem_nbi(void* dest, const void* source, std::size_t nbytes,
+                      int pe);
+void shmem_getmem_nbi(void* dest, const void* source, std::size_t nbytes,
+                      int pe);
+
+// ---- RMA: typed and strided interfaces ---------------------------------------
+#define NTBSHMEM_DECLARE_RMA(NAME, T)                                         \
+  void shmem_##NAME##_put(T* dest, const T* source, std::size_t nelems,       \
+                          int pe);                                            \
+  void shmem_##NAME##_get(T* dest, const T* source, std::size_t nelems,       \
+                          int pe);                                            \
+  void shmem_##NAME##_put_nbi(T* dest, const T* source, std::size_t nelems,   \
+                              int pe);                                        \
+  void shmem_##NAME##_get_nbi(T* dest, const T* source, std::size_t nelems,   \
+                              int pe);                                        \
+  void shmem_##NAME##_p(T* dest, T value, int pe);                            \
+  T shmem_##NAME##_g(const T* source, int pe);                                \
+  void shmem_##NAME##_iput(T* dest, const T* source, std::ptrdiff_t dst,      \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe);   \
+  void shmem_##NAME##_iget(T* dest, const T* source, std::ptrdiff_t dst,      \
+                           std::ptrdiff_t sst, std::size_t nelems, int pe);
+
+NTBSHMEM_DECLARE_RMA(char, char)
+NTBSHMEM_DECLARE_RMA(schar, signed char)
+NTBSHMEM_DECLARE_RMA(short, short)
+NTBSHMEM_DECLARE_RMA(int, int)
+NTBSHMEM_DECLARE_RMA(long, long)
+NTBSHMEM_DECLARE_RMA(longlong, long long)
+NTBSHMEM_DECLARE_RMA(uchar, unsigned char)
+NTBSHMEM_DECLARE_RMA(ushort, unsigned short)
+NTBSHMEM_DECLARE_RMA(uint, unsigned int)
+NTBSHMEM_DECLARE_RMA(ulong, unsigned long)
+NTBSHMEM_DECLARE_RMA(ulonglong, unsigned long long)
+NTBSHMEM_DECLARE_RMA(size, std::size_t)
+NTBSHMEM_DECLARE_RMA(ptrdiff, std::ptrdiff_t)
+NTBSHMEM_DECLARE_RMA(float, float)
+NTBSHMEM_DECLARE_RMA(double, double)
+#undef NTBSHMEM_DECLARE_RMA
+
+// Fixed-size element interfaces (nelems elements of 1/2/4/8 bytes).
+#define NTBSHMEM_DECLARE_SIZED(BITS)                                          \
+  void shmem_put##BITS(void* dest, const void* source, std::size_t nelems,    \
+                       int pe);                                               \
+  void shmem_get##BITS(void* dest, const void* source, std::size_t nelems,    \
+                       int pe);
+NTBSHMEM_DECLARE_SIZED(8)
+NTBSHMEM_DECLARE_SIZED(16)
+NTBSHMEM_DECLARE_SIZED(32)
+NTBSHMEM_DECLARE_SIZED(64)
+#undef NTBSHMEM_DECLARE_SIZED
+
+// ---- Put-with-signal (OpenSHMEM 1.5) ----------------------------------------
+inline constexpr int SHMEM_SIGNAL_SET = 0;
+inline constexpr int SHMEM_SIGNAL_ADD = 1;
+
+// Puts `nbytes` and then updates the 64-bit signal word on the same PE;
+// the target observes the signal only after the data is visible.
+void shmem_putmem_signal(void* dest, const void* source, std::size_t nbytes,
+                         std::uint64_t* sig_addr, std::uint64_t signal,
+                         int sig_op, int pe);
+void shmem_putmem_signal_nbi(void* dest, const void* source,
+                             std::size_t nbytes, std::uint64_t* sig_addr,
+                             std::uint64_t signal, int sig_op, int pe);
+// Local read of a signal word updated by remote put-with-signal.
+std::uint64_t shmem_signal_fetch(const std::uint64_t* sig_addr);
+// Blocks until the local signal word satisfies `cmp value`; returns the
+// satisfying value.
+std::uint64_t shmem_signal_wait_until(std::uint64_t* sig_addr, int cmp,
+                                      std::uint64_t value);
+
+// ---- Communication contexts (OpenSHMEM 1.4) -----------------------------------
+// A context is an independent completion domain: shmem_ctx_quiet completes
+// only the operations issued on that context. Creation options are accepted
+// for API compatibility (every context here behaves as SERIALIZED/PRIVATE:
+// one PE thread per host).
+using shmem_ctx_t = int;
+inline constexpr shmem_ctx_t SHMEM_CTX_DEFAULT = 0;
+inline constexpr shmem_ctx_t SHMEM_CTX_INVALID = -1;
+inline constexpr long SHMEM_CTX_SERIALIZED = 1 << 0;
+inline constexpr long SHMEM_CTX_PRIVATE = 1 << 1;
+inline constexpr long SHMEM_CTX_NOSTORE = 1 << 2;
+
+int shmem_ctx_create(long options, shmem_ctx_t* ctx);
+void shmem_ctx_destroy(shmem_ctx_t ctx);  // implies quiet on the context
+void shmem_ctx_quiet(shmem_ctx_t ctx);
+void shmem_ctx_fence(shmem_ctx_t ctx);
+void shmem_ctx_putmem(shmem_ctx_t ctx, void* dest, const void* source,
+                      std::size_t nbytes, int pe);
+void shmem_ctx_putmem_nbi(shmem_ctx_t ctx, void* dest, const void* source,
+                          std::size_t nbytes, int pe);
+void shmem_ctx_getmem(shmem_ctx_t ctx, void* dest, const void* source,
+                      std::size_t nbytes, int pe);
+void shmem_ctx_getmem_nbi(shmem_ctx_t ctx, void* dest, const void* source,
+                          std::size_t nbytes, int pe);
+
+// Typed context RMA.
+#define NTBSHMEM_DECLARE_CTX_RMA(NAME, T)                                     \
+  void shmem_ctx_##NAME##_put(shmem_ctx_t ctx, T* dest, const T* source,      \
+                              std::size_t nelems, int pe);                    \
+  void shmem_ctx_##NAME##_get(shmem_ctx_t ctx, T* dest, const T* source,      \
+                              std::size_t nelems, int pe);                    \
+  void shmem_ctx_##NAME##_p(shmem_ctx_t ctx, T* dest, T value, int pe);       \
+  T shmem_ctx_##NAME##_g(shmem_ctx_t ctx, const T* source, int pe);
+NTBSHMEM_DECLARE_CTX_RMA(int, int)
+NTBSHMEM_DECLARE_CTX_RMA(long, long)
+NTBSHMEM_DECLARE_CTX_RMA(float, float)
+NTBSHMEM_DECLARE_CTX_RMA(double, double)
+#undef NTBSHMEM_DECLARE_CTX_RMA
+
+// ---- Ordering and synchronization (Table I) -----------------------------------
+void shmem_fence();
+void shmem_quiet();
+void shmem_barrier_all();
+void shmem_barrier(int PE_start, int logPE_stride, int PE_size, long* pSync);
+
+// ---- Point-to-point synchronization ---------------------------------------------
+#define NTBSHMEM_DECLARE_WAIT(NAME, T)                                        \
+  void shmem_##NAME##_wait_until(T* ivar, int cmp, T value);                  \
+  void shmem_##NAME##_wait(T* ivar, T value); /* until *ivar != value */      \
+  int shmem_##NAME##_test(T* ivar, int cmp, T value);
+NTBSHMEM_DECLARE_WAIT(short, short)
+NTBSHMEM_DECLARE_WAIT(int, int)
+NTBSHMEM_DECLARE_WAIT(long, long)
+NTBSHMEM_DECLARE_WAIT(longlong, long long)
+NTBSHMEM_DECLARE_WAIT(ushort, unsigned short)
+NTBSHMEM_DECLARE_WAIT(uint, unsigned int)
+NTBSHMEM_DECLARE_WAIT(ulong, unsigned long)
+NTBSHMEM_DECLARE_WAIT(ulonglong, unsigned long long)
+NTBSHMEM_DECLARE_WAIT(size, std::size_t)
+#undef NTBSHMEM_DECLARE_WAIT
+// Legacy default-type (long) forms.
+void shmem_wait_until(long* ivar, int cmp, long value);
+void shmem_wait(long* ivar, long value);
+
+// ---- Remote atomic memory operations --------------------------------------------
+#define NTBSHMEM_DECLARE_AMO(NAME, T)                                         \
+  T shmem_##NAME##_atomic_fetch(const T* source, int pe);                     \
+  void shmem_##NAME##_atomic_set(T* dest, T value, int pe);                   \
+  T shmem_##NAME##_atomic_swap(T* dest, T value, int pe);                     \
+  T shmem_##NAME##_atomic_compare_swap(T* dest, T cond, T value, int pe);     \
+  void shmem_##NAME##_atomic_inc(T* dest, int pe);                            \
+  T shmem_##NAME##_atomic_fetch_inc(T* dest, int pe);                         \
+  void shmem_##NAME##_atomic_add(T* dest, T value, int pe);                   \
+  T shmem_##NAME##_atomic_fetch_add(T* dest, T value, int pe);                \
+  void shmem_##NAME##_atomic_and(T* dest, T value, int pe);                   \
+  T shmem_##NAME##_atomic_fetch_and(T* dest, T value, int pe);                \
+  void shmem_##NAME##_atomic_or(T* dest, T value, int pe);                    \
+  T shmem_##NAME##_atomic_fetch_or(T* dest, T value, int pe);                 \
+  void shmem_##NAME##_atomic_xor(T* dest, T value, int pe);                   \
+  T shmem_##NAME##_atomic_fetch_xor(T* dest, T value, int pe);
+NTBSHMEM_DECLARE_AMO(int, int)
+NTBSHMEM_DECLARE_AMO(long, long)
+NTBSHMEM_DECLARE_AMO(longlong, long long)
+NTBSHMEM_DECLARE_AMO(uint, unsigned int)
+NTBSHMEM_DECLARE_AMO(ulong, unsigned long)
+NTBSHMEM_DECLARE_AMO(ulonglong, unsigned long long)
+#undef NTBSHMEM_DECLARE_AMO
+
+// SHMEM 1.0-era atomic aliases.
+int shmem_int_finc(int* dest, int pe);
+int shmem_int_fadd(int* dest, int value, int pe);
+int shmem_int_cswap(int* dest, int cond, int value, int pe);
+int shmem_int_swap(int* dest, int value, int pe);
+long shmem_long_finc(long* dest, int pe);
+long shmem_long_fadd(long* dest, long value, int pe);
+long shmem_long_cswap(long* dest, long cond, long value, int pe);
+long shmem_long_swap(long* dest, long value, int pe);
+
+// ---- Collectives ----------------------------------------------------------------
+void shmem_broadcast32(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync);
+void shmem_broadcast64(void* target, const void* source, std::size_t nelems,
+                       int PE_root, int PE_start, int logPE_stride,
+                       int PE_size, long* pSync);
+void shmem_collect32(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size, long* pSync);
+void shmem_collect64(void* target, const void* source, std::size_t nelems,
+                     int PE_start, int logPE_stride, int PE_size, long* pSync);
+void shmem_fcollect32(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+void shmem_fcollect64(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+void shmem_alltoall32(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+void shmem_alltoall64(void* target, const void* source, std::size_t nelems,
+                      int PE_start, int logPE_stride, int PE_size,
+                      long* pSync);
+
+#define NTBSHMEM_DECLARE_REDUCE(NAME, T)                                      \
+  void shmem_##NAME##_sum_to_all(T* target, const T* source, int nreduce,     \
+                                 int PE_start, int logPE_stride, int PE_size, \
+                                 T* pWrk, long* pSync);                       \
+  void shmem_##NAME##_prod_to_all(T* target, const T* source, int nreduce,    \
+                                  int PE_start, int logPE_stride,             \
+                                  int PE_size, T* pWrk, long* pSync);         \
+  void shmem_##NAME##_min_to_all(T* target, const T* source, int nreduce,     \
+                                 int PE_start, int logPE_stride, int PE_size, \
+                                 T* pWrk, long* pSync);                       \
+  void shmem_##NAME##_max_to_all(T* target, const T* source, int nreduce,     \
+                                 int PE_start, int logPE_stride, int PE_size, \
+                                 T* pWrk, long* pSync);
+NTBSHMEM_DECLARE_REDUCE(short, short)
+NTBSHMEM_DECLARE_REDUCE(int, int)
+NTBSHMEM_DECLARE_REDUCE(long, long)
+NTBSHMEM_DECLARE_REDUCE(longlong, long long)
+NTBSHMEM_DECLARE_REDUCE(uint, unsigned int)
+NTBSHMEM_DECLARE_REDUCE(ulong, unsigned long)
+NTBSHMEM_DECLARE_REDUCE(ulonglong, unsigned long long)
+NTBSHMEM_DECLARE_REDUCE(float, float)
+NTBSHMEM_DECLARE_REDUCE(double, double)
+#undef NTBSHMEM_DECLARE_REDUCE
+
+#define NTBSHMEM_DECLARE_BITWISE_REDUCE(NAME, T)                              \
+  void shmem_##NAME##_and_to_all(T* target, const T* source, int nreduce,     \
+                                 int PE_start, int logPE_stride, int PE_size, \
+                                 T* pWrk, long* pSync);                       \
+  void shmem_##NAME##_or_to_all(T* target, const T* source, int nreduce,      \
+                                int PE_start, int logPE_stride, int PE_size,  \
+                                T* pWrk, long* pSync);                        \
+  void shmem_##NAME##_xor_to_all(T* target, const T* source, int nreduce,     \
+                                 int PE_start, int logPE_stride, int PE_size, \
+                                 T* pWrk, long* pSync);
+NTBSHMEM_DECLARE_BITWISE_REDUCE(short, short)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(int, int)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(long, long)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(longlong, long long)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(uint, unsigned int)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(ulong, unsigned long)
+NTBSHMEM_DECLARE_BITWISE_REDUCE(ulonglong, unsigned long long)
+#undef NTBSHMEM_DECLARE_BITWISE_REDUCE
+
+// ---- Distributed locks -----------------------------------------------------------
+void shmem_set_lock(long* lock);
+void shmem_clear_lock(long* lock);
+int shmem_test_lock(long* lock);
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,103 @@
+// Collective operations over the NTB transport.
+//
+// shmem_barrier_all uses the paper's Fig. 6 ring start/end doorbell
+// protocol by default. Two software baselines — the centralized-counter
+// barrier the paper rejects as unsuitable for a switchless network, and a
+// dissemination barrier — are provided for the ablation bench
+// (bench_ablation_barrier).
+//
+// Active-set collectives (barrier, broadcast, reductions, collect,
+// fcollect, alltoall) follow the OpenSHMEM 1.x signatures. Synchronization
+// uses counting tokens in a per-PE scratch block carved out of the bottom
+// of every symmetric heap (identical offsets on all PEs, reserved by the
+// Context constructor), so repeated and interleaved collectives on
+// disjoint active sets need no pSync reset discipline; the user-supplied
+// pSync/pWrk arrays are accepted for API compatibility and validated but
+// not otherwise used (documented in DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "shmem/runtime.hpp"
+
+namespace ntbshmem::shmem {
+
+// Strided PE set: start + i * stride, i in [0, size). The OpenSHMEM 1.x
+// active-set API constructs it with stride = 2^logPE_stride; teams
+// (shmem/teams.hpp) allow arbitrary strides.
+struct ActiveSet {
+  int start = 0;
+  int stride = 1;
+  int size = 0;
+
+  static ActiveSet from_log_stride(int start, int log_stride, int size) {
+    return ActiveSet{start, 1 << log_stride, size};
+  }
+  int member(int idx) const { return start + idx * stride; }
+  // Index of `pe` in the set, or -1 when not a member.
+  int index_of(int pe) const;
+  void validate(int npes) const;
+};
+
+// ---- Scratch block layout (reserved at heap offset 0 on every PE) ----------
+struct CollectiveScratch {
+  static constexpr std::uint64_t kBarrierCounter = 0;
+  static constexpr std::uint64_t kBarrierRelease = 8;
+  static constexpr std::uint64_t kBcastFlag = 16;
+  static constexpr std::uint64_t kReduceFlag = 24;
+  static constexpr std::uint64_t kCursorFlag = 32;
+  static constexpr std::uint64_t kCursorValue = 40;
+  static constexpr std::uint64_t kReduceAck = 48;  // pipeline back-pressure
+  static constexpr std::uint64_t kDissemFlags = 64;     // 8 x long, one/round
+  static constexpr std::uint64_t kReduceBuf = 128;
+  static constexpr std::uint64_t kReduceBufBytes = 64 * 1024;
+  static constexpr std::uint64_t kTotalBytes = kReduceBuf + kReduceBufBytes;
+};
+
+enum class BarrierAlgorithm : int {
+  kPaperRing,      // Fig. 6 doorbell start/end circulation (default)
+  kCentralized,    // counter on PE 0 + release fan-out (ablation baseline)
+  kDissemination,  // log2(n) rounds of pairwise tokens (ablation baseline)
+};
+
+// Barrier across all PEs with the selected algorithm.
+void barrier_all(Context& ctx,
+                 BarrierAlgorithm alg = BarrierAlgorithm::kPaperRing);
+
+// Active-set barrier (centralized token algorithm within the set).
+void barrier_set(Context& ctx, const ActiveSet& set);
+
+// Broadcast nelems*elem_size bytes from the set member with index `root_idx`
+// to every other member's target (the root's own target is not written,
+// matching OpenSHMEM 1.x shmem_broadcast semantics).
+void broadcast(Context& ctx, void* target, const void* source,
+               std::size_t nbytes, int root_idx, const ActiveSet& set);
+
+// Element-wise reduction across the set; target and source hold `count`
+// elements of `elem_size` bytes; `combine(acc, in, count)` folds a partial
+// into the accumulator. Every member's target receives the full result.
+void reduce(Context& ctx, void* target, const void* source, std::size_t count,
+            std::size_t elem_size, const ActiveSet& set,
+            const std::function<void(void*, const void*, std::size_t)>& combine);
+
+// Concatenates each member's `nbytes` block into every member's target in
+// set-index order. fcollect requires equal sizes; collect allows them to
+// differ (offsets are computed with a cursor chain).
+void fcollect(Context& ctx, void* target, const void* source,
+              std::size_t nbytes, const ActiveSet& set);
+void collect(Context& ctx, void* target, const void* source,
+             std::size_t nbytes, const ActiveSet& set);
+
+// Block `j` of each member's source lands in slot `my_index` of member j's
+// target (OpenSHMEM alltoall).
+void alltoall(Context& ctx, void* target, const void* source,
+              std::size_t block_bytes, const ActiveSet& set);
+
+// ---- Distributed locks (symmetric long; arbitration word lives on PE 0) ----
+void set_lock(Context& ctx, long* lock);
+void clear_lock(Context& ctx, long* lock);
+int test_lock(Context& ctx, long* lock);  // 0 on success, 1 if already held
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,52 @@
+#include "shmem/message.hpp"
+
+namespace ntbshmem::shmem {
+
+std::array<std::uint32_t, 7> FrameHeader::pack() const {
+  std::array<std::uint32_t, 7> regs{};
+  regs[0] = static_cast<std::uint32_t>(kind) |
+            (static_cast<std::uint32_t>(origin_pe) << 8) |
+            (static_cast<std::uint32_t>(target_pe) << 16) |
+            (static_cast<std::uint32_t>(flags) << 24);
+  regs[1] = id;
+  regs[2] = static_cast<std::uint32_t>(a & 0xffffffffu);
+  regs[3] = static_cast<std::uint32_t>(a >> 32);
+  regs[4] = b;
+  regs[5] = c;
+  regs[6] = d;
+  return regs;
+}
+
+FrameHeader FrameHeader::unpack(const std::array<std::uint32_t, 7>& regs) {
+  FrameHeader h;
+  h.kind = static_cast<FrameKind>(regs[0] & 0xff);
+  h.origin_pe = static_cast<std::uint8_t>((regs[0] >> 8) & 0xff);
+  h.target_pe = static_cast<std::uint8_t>((regs[0] >> 16) & 0xff);
+  h.flags = static_cast<std::uint8_t>((regs[0] >> 24) & 0xff);
+  h.id = regs[1];
+  h.a = static_cast<std::uint64_t>(regs[2]) |
+        (static_cast<std::uint64_t>(regs[3]) << 32);
+  h.b = regs[4];
+  h.c = regs[5];
+  h.d = regs[6];
+  return h;
+}
+
+void write_message_header(std::span<std::byte> dst, const MessageHeader& h) {
+  if (dst.size() < kMessageHeaderBytes) {
+    throw std::invalid_argument("message header destination too small");
+  }
+  std::memset(dst.data(), 0, kMessageHeaderBytes);
+  std::memcpy(dst.data(), &h, sizeof(MessageHeader));
+}
+
+MessageHeader read_message_header(std::span<const std::byte> src) {
+  if (src.size() < kMessageHeaderBytes) {
+    throw std::invalid_argument("message header source too small");
+  }
+  MessageHeader h;
+  std::memcpy(&h, src.data(), sizeof(MessageHeader));
+  return h;
+}
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,120 @@
+// Wire formats of the NTB transport.
+//
+// Link layer — FrameHeader: one frame is delivered per ScratchPad+Doorbell
+// handshake (paper Fig. 2: SrcId, DestId, Address Offset, Data Size,
+// Send/Receive flag written to the ScratchPad registers, then a doorbell
+// interrupt). A frame either notifies of data already placed by DMA
+// (direct Put into the symmetric window), announces a whole staged message
+// in the receiver's bypass buffer, carries one chunk of a service-forwarded
+// message, or is a payload-free Get request.
+//
+// Network layer — MessageHeader: the first bytes of every staged/chunked
+// logical message; carries the end-to-end operation (Put delivery, Get
+// response, atomic request/response, delivery acknowledgement) so
+// intermediate hosts can forward without understanding the operation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+
+#include "ntb/ntb_port.hpp"
+
+namespace ntbshmem::shmem {
+
+// ---- Doorbell bit assignment (paper §III-B1 plus the flow-control ack,
+// which Fig. 5 calls "Release Interrupt") -----------------------------------
+enum DoorbellBit : int {
+  kDbDmaPut = 0,        // DOORBELL_DMAPUT: data frame notify
+  kDbDmaGet = 1,        // DOORBELL_DMAGET: get-request frame notify
+  kDbBarrierStart = 2,  // DOORBELL_BARRIER_START
+  kDbBarrierEnd = 3,    // DOORBELL_BARRIER_END
+  kDbAck = 4,           // frame consumed; releases the ScratchPad channel
+};
+
+// ---- Link layer ------------------------------------------------------------
+
+enum class FrameKind : std::uint8_t {
+  kDirectPut = 1,  // data already DMA'd into the receiver's symmetric heap
+  kStaged = 2,     // whole logical message in the receiver's staging buffer
+  kChunk = 3,      // one chunk of a logical message in the staging buffer
+  kGetRequest = 4, // payload-free: fields describe the requested region
+};
+
+struct FrameHeader {
+  FrameKind kind = FrameKind::kDirectPut;
+  std::uint8_t origin_pe = 0;  // frame-level source (the sending host's PE)
+  std::uint8_t target_pe = 0;  // final destination PE of the operation
+  std::uint8_t flags = 0;
+  std::uint32_t id = 0;   // op id (direct put / get request) or message id
+  std::uint64_t a = 0;    // heap offset | chunk offset within message
+  std::uint32_t b = 0;    // data size | chunk size
+  std::uint32_t c = 0;    // total message size (chunks) | spare
+  std::uint32_t d = 0;    // spare
+
+  // Pack into ScratchPad registers 0..6 (reg 7 is the receiver-owned
+  // ack/status register).
+  std::array<std::uint32_t, 7> pack() const;
+  static FrameHeader unpack(const std::array<std::uint32_t, 7>& regs);
+};
+
+inline constexpr int kFrameRegs = 7;
+inline constexpr int kAckReg = 7;  // receiver writes consumption status here
+
+// ---- Network layer ---------------------------------------------------------
+
+enum class MsgOp : std::uint8_t {
+  kPut = 1,             // payload -> target's symmetric heap at heap_offset
+  kGetResponse = 2,     // payload -> requester's pending-get buffer (op_id)
+  kAtomicRequest = 3,   // execute atomic on target's heap word
+  kAtomicResponse = 4,  // old value back to the requester (op_id)
+  kDeliveryAck = 5,     // end-to-end ack of op_id back to the origin
+};
+
+// Bit flags carried by MessageHeader::flags.
+enum MessageFlags : std::uint8_t {
+  // Atomic request wants no AtomicResponse (signal/fire-and-forget ops);
+  // delivery is still acknowledged under kFullDelivery completion.
+  kMsgFlagNoReply = 1 << 0,
+};
+
+enum class AtomicOp : std::uint8_t {
+  kAdd = 1,
+  kFetchAdd = 2,
+  kInc = 3,
+  kFetchInc = 4,
+  kCompareSwap = 5,
+  kSwap = 6,
+  kFetch = 7,
+  kSet = 8,
+  kAnd = 9,
+  kOr = 10,
+  kXor = 11,
+};
+
+// Fixed-size message header serialized at offset 0 of every staged/chunked
+// logical message; payload follows immediately.
+struct MessageHeader {
+  MsgOp op = MsgOp::kPut;
+  std::uint8_t origin_pe = 0;
+  std::uint8_t target_pe = 0;
+  std::uint8_t width = 0;        // atomic operand width (4 or 8)
+  std::uint32_t op_id = 0;
+  std::uint64_t heap_offset = 0;
+  std::uint32_t payload_len = 0;
+  std::uint8_t atomic_op = 0;    // AtomicOp for atomic requests
+  std::uint8_t flags = 0;        // MessageFlags
+  std::uint8_t pad[2] = {0, 0};
+  std::uint64_t operand1 = 0;    // atomic value / cas desired
+  std::uint64_t operand2 = 0;    // cas expected / response old value
+};
+static_assert(sizeof(MessageHeader) == 40);
+
+inline constexpr std::uint64_t kMessageHeaderBytes = 64;  // padded on wire
+
+void write_message_header(std::span<std::byte> dst, const MessageHeader& h);
+MessageHeader read_message_header(std::span<const std::byte> src);
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,79 @@
+// Runtime configuration for the OpenSHMEM-over-NTB library.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/timing_params.hpp"
+#include "common/units.hpp"
+#include "fabric/ring.hpp"
+
+namespace ntbshmem::shmem {
+
+// How bulk data crosses the NTB window (the paper's §IV comparison).
+enum class DataPath : int {
+  kDma,     // NTB block-DMA engine ("RDMA" in the paper)
+  kMemcpy,  // CPU stores through the mapped window ("memcpy")
+};
+
+// Barrier/quiet completion discipline.
+//
+// kLocalDma reproduces the paper's prototype: the barrier only checks that
+// locally issued DMA has completed, so a multi-hop Put may still be in
+// flight in an intermediate host's bypass buffer when the barrier releases
+// (the paper's Fig. 10 latencies are only achievable this way). kFullDelivery
+// is the spec-correct discipline: quiet/barrier wait for end-to-end delivery
+// acknowledgements of every outstanding remote write.
+enum class CompletionMode : int {
+  kFullDelivery,  // default: correct OpenSHMEM semantics
+  kLocalDma,      // paper-prototype mode, used by the Fig. 10 bench
+};
+
+struct RuntimeOptions {
+  int npes = 3;  // total PEs
+  // PEs per host (block mapping: PE p lives on host p / pes_per_host). The
+  // paper's prototype is 1:1; higher values are the multi-tenant extension:
+  // co-resident PEs share the host's NTB adapters and service threads and
+  // communicate through a local shared-memory path.
+  int pes_per_host = 1;
+  TimingParams timing;
+  fabric::RoutingMode routing = fabric::RoutingMode::kRightOnly;
+  DataPath data_path = DataPath::kDma;
+  CompletionMode completion = CompletionMode::kFullDelivery;
+
+  // Symmetric heap: fixed-size chunks allocated on demand and virtually
+  // concatenated (paper Fig. 3).
+  std::uint64_t symheap_chunk_bytes = 4_MiB;
+  std::uint64_t symheap_max_bytes = 32_MiB;
+
+  // Per-host arena backing heap chunks, staging areas and scratch space.
+  std::uint64_t host_memory_bytes = 96ull << 20;
+
+  // Per-link DMA-rate spread (see FabricConfig); empty -> timing default.
+  std::vector<double> link_dma_rates_Bps = {3.0e9, 2.6e9, 2.8e9};
+
+  // Ports wait for link retraining instead of failing fast — lets a
+  // workload survive transient cable flaps (fault-injection tests).
+  bool resilient_links = false;
+
+  // Record protocol events (frames, barrier signals, operations) into
+  // Runtime::trace() — used by tests that assert protocol ordering and by
+  // debugging sessions. Off by default: benchmarks must not pay for it.
+  bool trace_enabled = false;
+
+  int num_hosts() const {
+    return pes_per_host > 0 ? npes / pes_per_host : 0;
+  }
+
+  fabric::FabricConfig fabric_config() const {
+    fabric::FabricConfig cfg;
+    cfg.num_hosts = num_hosts();
+    cfg.timing = timing;
+    cfg.host_memory_bytes = host_memory_bytes;
+    cfg.link_dma_rates_Bps = link_dma_rates_Bps;
+    cfg.resilient_links = resilient_links;
+    return cfg;
+  }
+};
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,287 @@
+#include "shmem/runtime.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include "shmem/collectives.hpp"
+
+namespace ntbshmem::shmem {
+
+namespace {
+thread_local Context* t_current_context = nullptr;
+}  // namespace
+
+// ---- CurrentContextBinder ----------------------------------------------------
+
+CurrentContextBinder::CurrentContextBinder(Context* ctx) {
+  t_current_context = ctx;
+}
+
+CurrentContextBinder::~CurrentContextBinder() { t_current_context = nullptr; }
+
+Context* Runtime::current() { return t_current_context; }
+
+// ---- Context -------------------------------------------------------------------
+
+Context::Context(Runtime& runtime, int pe, Transport& transport)
+    : runtime_(runtime),
+      pe_(pe),
+      heap_(runtime.fabric().host(transport.host_id()).memory(),
+            runtime.options().symheap_chunk_bytes,
+            runtime.options().symheap_max_bytes),
+      transport_(&transport) {
+  // Reserve the collective scratch block at the bottom of every symmetric
+  // heap so token counters and the reduction pipeline buffer sit at
+  // identical offsets on all PEs (before any user allocation can skew the
+  // layout).
+  auto scratch = heap_.allocate(CollectiveScratch::kTotalBytes, 64);
+  if (!scratch || *scratch != 0) {
+    throw std::logic_error("collective scratch must occupy heap offset 0");
+  }
+  // The default completion domain for this PE's ctx-less operations.
+  ctx_domains_.push_back(transport_->allocate_domain());
+}
+
+int Context::npes() const { return runtime_.npes(); }
+
+host::Host& Context::host() const { return runtime_.fabric().host(pe_); }
+
+void Context::check_pe(int pe, const char* what) const {
+  if (pe < 0 || pe >= npes()) {
+    throw std::out_of_range(std::string(what) + ": PE out of range");
+  }
+}
+
+void* Context::sym_malloc(std::size_t size) {
+  auto off = heap_.allocate(size);
+  barrier_all();  // shmem_malloc is collective with an implicit barrier
+  return off ? heap_.ptr(*off) : nullptr;
+}
+
+void* Context::sym_calloc(std::size_t count, std::size_t size) {
+  // Zero BEFORE the collective exit barrier: once any PE returns from
+  // shmem_calloc it may immediately put into our copy, and a local memset
+  // after the barrier would wipe that delivery (the barrier releases PEs in
+  // ring order, so the race is real — caught by the histogram example).
+  auto off = heap_.allocate(count * size);
+  if (off) std::memset(heap_.ptr(*off), 0, count * size);
+  barrier_all();
+  return off ? heap_.ptr(*off) : nullptr;
+}
+
+void* Context::sym_align(std::size_t alignment, std::size_t size) {
+  auto off = heap_.allocate(size, alignment);
+  barrier_all();
+  return off ? heap_.ptr(*off) : nullptr;
+}
+
+void* Context::sym_realloc(void* ptr, std::size_t size) {
+  if (ptr == nullptr) return sym_malloc(size);
+  const std::uint64_t off = symmetric_offset(ptr);
+  auto new_off = heap_.reallocate(off, size);
+  barrier_all();
+  return new_off ? heap_.ptr(*new_off) : nullptr;
+}
+
+void Context::sym_free(void* ptr) {
+  if (ptr != nullptr) {
+    heap_.free(symmetric_offset(ptr));
+  }
+  barrier_all();
+}
+
+std::uint64_t Context::symmetric_offset(const void* p) const {
+  auto off = heap_.offset_of(p);
+  if (!off) {
+    throw std::invalid_argument(
+        "address is not in the symmetric heap of this PE");
+  }
+  return *off;
+}
+
+void Context::putmem(void* dest, const void* src, std::size_t nbytes,
+                     int target_pe) {
+  check_pe(target_pe, "putmem");
+  if (nbytes == 0) return;
+  transport_->put(symmetric_offset(dest),
+                  std::span<const std::byte>(
+                      static_cast<const std::byte*>(src), nbytes),
+                  target_pe, pe_, default_domain());
+}
+
+void Context::getmem(void* dest, const void* src, std::size_t nbytes,
+                     int source_pe) {
+  check_pe(source_pe, "getmem");
+  if (nbytes == 0) return;
+  transport_->get(symmetric_offset(src),
+                  std::span<std::byte>(static_cast<std::byte*>(dest), nbytes),
+                  source_pe, pe_);
+}
+
+void Context::putmem_nbi(void* dest, const void* src, std::size_t nbytes,
+                         int target_pe) {
+  // put() is locally blocking, which is a conforming implementation of the
+  // non-blocking variant (completion still requires shmem_quiet).
+  putmem(dest, src, nbytes, target_pe);
+}
+
+void Context::getmem_nbi(void* dest, const void* src, std::size_t nbytes,
+                         int source_pe) {
+  check_pe(source_pe, "getmem_nbi");
+  if (nbytes == 0) return;
+  if (source_pe == pe_) {
+    getmem(dest, src, nbytes, source_pe);
+    return;
+  }
+  transport_->get_nbi(
+      symmetric_offset(src),
+      std::span<std::byte>(static_cast<std::byte*>(dest), nbytes), source_pe,
+      pe_, default_domain());
+}
+
+void Context::putmem_signal(void* dest, const void* src, std::size_t nbytes,
+                            std::uint64_t* sig_addr, std::uint64_t signal,
+                            AtomicOp sig_op, int target_pe) {
+  check_pe(target_pe, "putmem_signal");
+  const std::uint64_t sig_off = symmetric_offset(sig_addr);
+  if (nbytes == 0) {
+    transport_->atomic_post(sig_op, sig_off, target_pe, 8, signal, pe_,
+                            default_domain());
+    return;
+  }
+  transport_->put_signal(
+      symmetric_offset(dest),
+      std::span<const std::byte>(static_cast<const std::byte*>(src), nbytes),
+      sig_off, signal, sig_op, target_pe, pe_, default_domain());
+}
+
+std::uint64_t Context::atomic(AtomicOp op, void* target, int target_pe,
+                              std::uint8_t width, std::uint64_t operand1,
+                              std::uint64_t operand2) {
+  check_pe(target_pe, "atomic");
+  return transport_->atomic(op, symmetric_offset(target), target_pe, width,
+                            operand1, operand2, pe_);
+}
+
+int Context::domain_of(int ctx_handle) const {
+  check_ctx_domain(ctx_handle);
+  return ctx_domains_[static_cast<std::size_t>(ctx_handle)];
+}
+
+int Context::create_ctx_domain() {
+  ctx_domains_.push_back(transport_->allocate_domain());
+  ctx_alive_.push_back(true);
+  return static_cast<int>(ctx_alive_.size()) - 1;
+}
+
+void Context::check_ctx_domain(int handle) const {
+  if (handle < 0 || handle >= static_cast<int>(ctx_alive_.size()) ||
+      !ctx_alive_[static_cast<std::size_t>(handle)]) {
+    throw std::invalid_argument("invalid or destroyed shmem context");
+  }
+}
+
+void Context::destroy_ctx_domain(int handle) {
+  check_ctx_domain(handle);
+  if (handle == 0) {
+    throw std::invalid_argument("the default context cannot be destroyed");
+  }
+  transport_->quiet(domain_of(handle));  // destroy completes its ops
+  ctx_alive_[static_cast<std::size_t>(handle)] = false;
+}
+
+void Context::ctx_putmem(int handle, void* dest, const void* src,
+                         std::size_t nbytes, int target_pe) {
+  const int domain = domain_of(handle);
+  check_pe(target_pe, "ctx_putmem");
+  if (nbytes == 0) return;
+  transport_->put(symmetric_offset(dest),
+                  std::span<const std::byte>(
+                      static_cast<const std::byte*>(src), nbytes),
+                  target_pe, pe_, domain);
+}
+
+void Context::ctx_getmem_nbi(int handle, void* dest, const void* src,
+                             std::size_t nbytes, int source_pe) {
+  const int domain = domain_of(handle);
+  check_pe(source_pe, "ctx_getmem_nbi");
+  if (nbytes == 0) return;
+  if (source_pe == pe_) {
+    getmem(dest, src, nbytes, source_pe);
+    return;
+  }
+  transport_->get_nbi(
+      symmetric_offset(src),
+      std::span<std::byte>(static_cast<std::byte*>(dest), nbytes), source_pe,
+      pe_, domain);
+}
+
+void Context::ctx_quiet(int handle) { transport_->quiet(domain_of(handle)); }
+
+void Context::quiet() {
+  // Drain only this PE's domains (co-resident PEs share the transport).
+  for (std::size_t h = 0; h < ctx_domains_.size(); ++h) {
+    if (ctx_alive_[h]) transport_->quiet(ctx_domains_[h]);
+  }
+}
+void Context::fence() { transport_->fence(); }
+void Context::barrier_all() {
+  quiet();
+  transport_->barrier_ring(pe_);
+}
+void Context::wait_heap_change() { transport_->wait_heap_change(); }
+
+void Context::mark_initialized() { initialized_ = true; }
+void Context::mark_finalized() { initialized_ = false; }
+
+// ---- Runtime --------------------------------------------------------------------
+
+Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
+  if (options_.pes_per_host < 1) {
+    throw std::invalid_argument("pes_per_host must be >= 1");
+  }
+  if (options_.npes < 2 || options_.npes % options_.pes_per_host != 0) {
+    throw std::invalid_argument(
+        "npes must be a positive multiple of pes_per_host (>= 2)");
+  }
+  if (options_.num_hosts() < 2) {
+    throw std::invalid_argument("the switchless ring needs >= 2 hosts");
+  }
+  if (options_.npes > 255) {
+    throw std::invalid_argument("PE ids must fit in the 8-bit wire format");
+  }
+  trace_.set_enabled(options_.trace_enabled);
+  fabric_ = std::make_unique<fabric::RingFabric>(engine_,
+                                                 options_.fabric_config());
+  transports_.reserve(static_cast<std::size_t>(options_.num_hosts()));
+  for (int h = 0; h < options_.num_hosts(); ++h) {
+    transports_.push_back(std::make_unique<Transport>(*this, h));
+  }
+  contexts_.reserve(static_cast<std::size_t>(options_.npes));
+  for (int pe = 0; pe < options_.npes; ++pe) {
+    contexts_.push_back(std::make_unique<Context>(
+        *this, pe, host_transport(pe / options_.pes_per_host)));
+  }
+  // Services start only after every transport exists (forwarding resolves
+  // neighbour staging regions at send time).
+  for (auto& t : transports_) {
+    t->start_services();
+  }
+}
+
+Runtime::~Runtime() = default;
+
+sim::Dur Runtime::run(const std::function<void()>& pe_main) {
+  const sim::Time start = engine_.now();
+  for (int pe = 0; pe < options_.npes; ++pe) {
+    Context* ctx = contexts_[static_cast<std::size_t>(pe)].get();
+    engine_.spawn("pe" + std::to_string(pe), [ctx, &pe_main] {
+      CurrentContextBinder bind(ctx);
+      pe_main();
+    });
+  }
+  engine_.run();
+  return engine_.now() - start;
+}
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,178 @@
+// OpenSHMEM runtime over the simulated NTB ring.
+//
+// A Runtime owns the simulation engine, the ring fabric, one Transport per
+// host and one Context per PE (one PE per host by default, as in the
+// paper's prototype; RuntimeOptions::pes_per_host co-locates more).
+// Runtime::run() executes the same function on every PE — the SPMD model —
+// inside simulated processes, and returns when all PEs finish.
+//
+// Context is the per-PE state: the symmetric heap, the transport, and the
+// pointer-translation layer that turns symmetric addresses (local pointers
+// returned by shmem_malloc) into heap offsets for remote access, exactly
+// the offset addressing of the paper's Fig. 3(b).
+//
+// The C-style OpenSHMEM API in shmem/api.hpp binds to the calling PE's
+// Context through thread-local storage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "fabric/ring.hpp"
+#include "shmem/options.hpp"
+#include "shmem/symheap.hpp"
+#include "shmem/transport.hpp"
+#include "sim/engine.hpp"
+#include "sim/trace.hpp"
+
+namespace ntbshmem::shmem {
+
+class Runtime;
+
+class Context {
+ public:
+  Context(Runtime& runtime, int pe, Transport& transport);
+  Context(const Context&) = delete;
+  Context& operator=(const Context&) = delete;
+
+  int pe() const { return pe_; }
+  int npes() const;
+  Runtime& runtime() const { return runtime_; }
+  host::Host& host() const;
+  SymmetricHeap& heap() { return heap_; }
+  // The host-level transport shared by all PEs resident on this PE's host.
+  Transport& transport() { return *transport_; }
+  // This PE's default completion domain within the host transport.
+  int default_domain() const { return ctx_domains_.front(); }
+
+  // ---- Symmetric memory management (collective; implicit barrier) ---------
+  void* sym_malloc(std::size_t size);
+  void* sym_calloc(std::size_t count, std::size_t size);
+  void* sym_align(std::size_t alignment, std::size_t size);
+  void* sym_realloc(void* ptr, std::size_t size);
+  void sym_free(void* ptr);
+
+  // Translates a symmetric address to its heap offset; throws
+  // std::invalid_argument for non-symmetric pointers.
+  std::uint64_t symmetric_offset(const void* p) const;
+  // Local address of the same symmetric object on this PE.
+  void* symmetric_ptr(std::uint64_t offset) { return heap_.ptr(offset); }
+
+  // ---- RMA -----------------------------------------------------------------
+  void putmem(void* dest, const void* src, std::size_t nbytes, int target_pe);
+  void getmem(void* dest, const void* src, std::size_t nbytes, int source_pe);
+  // Non-blocking variants (completed by quiet()).
+  void putmem_nbi(void* dest, const void* src, std::size_t nbytes,
+                  int target_pe);
+  void getmem_nbi(void* dest, const void* src, std::size_t nbytes,
+                  int source_pe);
+  // Put + ordered signal update (OpenSHMEM 1.5 put-with-signal).
+  void putmem_signal(void* dest, const void* src, std::size_t nbytes,
+                     std::uint64_t* sig_addr, std::uint64_t signal,
+                     AtomicOp sig_op, int target_pe);
+
+  // ---- Atomics ---------------------------------------------------------------
+  std::uint64_t atomic(AtomicOp op, void* target, int target_pe,
+                       std::uint8_t width, std::uint64_t operand1,
+                       std::uint64_t operand2 = 0);
+
+  // ---- Ordering / synchronization -------------------------------------------
+  void quiet();
+  void fence();
+  void barrier_all();
+  // Blocks until the heap-change event fires (used by shmem_wait_until).
+  void wait_heap_change();
+
+  // ---- Communication contexts (shmem_ctx_*) ----------------------------------
+  // A context is a per-PE completion domain: quiet/fence on it drain only
+  // its own operations. Domain 0 is the default context.
+  int create_ctx_domain();
+  void destroy_ctx_domain(int domain);
+  // Throws std::invalid_argument for a dead/unknown domain (0 always valid).
+  void check_ctx_domain(int domain) const;
+  void ctx_putmem(int domain, void* dest, const void* src, std::size_t nbytes,
+                  int target_pe);
+  void ctx_getmem_nbi(int domain, void* dest, const void* src,
+                      std::size_t nbytes, int source_pe);
+  void ctx_quiet(int domain);
+
+  // ---- Team registry (shmem/teams.hpp) --------------------------------------
+  // Slot i backs team handle i + 2 (handle 1 is the world team). Handles
+  // stay aligned across PEs because team creation is collective.
+  struct TeamRecord {
+    int start = 0;
+    int stride = 1;
+    int size = 0;
+    bool alive = false;
+  };
+  std::vector<TeamRecord>& team_registry() { return teams_; }
+
+  // ---- Init / finalize lifecycle -------------------------------------------
+  void mark_initialized();
+  void mark_finalized();
+  bool initialized() const { return initialized_; }
+
+ private:
+  void check_pe(int pe, const char* what) const;
+
+  // Resolves a user-facing ctx handle to its transport domain id.
+  int domain_of(int ctx_handle) const;
+
+  Runtime& runtime_;
+  int pe_;
+  SymmetricHeap heap_;
+  Transport* transport_;  // owned by Runtime (one per host)
+  std::vector<TeamRecord> teams_;
+  // ctx handle -> transport domain; index 0 is the default context.
+  std::vector<int> ctx_domains_;
+  std::vector<bool> ctx_alive_ = {true};
+  bool initialized_ = false;
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RuntimeOptions& options);
+  ~Runtime();
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Runs `pe_main` on every PE (SPMD); returns the virtual duration of the
+  // run. May be called repeatedly; heaps and services persist across runs.
+  sim::Dur run(const std::function<void()>& pe_main);
+
+  const RuntimeOptions& options() const { return options_; }
+  sim::Engine& engine() { return engine_; }
+  fabric::RingFabric& fabric() { return *fabric_; }
+  Context& context(int pe) { return *contexts_.at(static_cast<std::size_t>(pe)); }
+  Transport& host_transport(int host) {
+    return *transports_.at(static_cast<std::size_t>(host));
+  }
+  int npes() const { return options_.npes; }
+  int num_hosts() const { return options_.num_hosts(); }
+
+  // Protocol trace (populated when options().trace_enabled).
+  sim::TraceRecorder& trace() { return trace_; }
+
+  // The Context of the PE process currently executing (TLS); nullptr
+  // outside a PE (e.g. in service threads or the scheduler).
+  static Context* current();
+
+ private:
+  RuntimeOptions options_;
+  sim::Engine engine_;
+  std::unique_ptr<fabric::RingFabric> fabric_;
+  std::vector<std::unique_ptr<Transport>> transports_;  // one per host
+  std::vector<std::unique_ptr<Context>> contexts_;      // one per PE
+  sim::TraceRecorder trace_;
+};
+
+// RAII helper used by Runtime::run to bind the TLS context.
+class CurrentContextBinder {
+ public:
+  explicit CurrentContextBinder(Context* ctx);
+  ~CurrentContextBinder();
+};
+
+}  // namespace ntbshmem::shmem

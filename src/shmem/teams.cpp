@@ -1,0 +1,173 @@
+#include "shmem/teams.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace ntbshmem::shmem {
+
+namespace {
+
+Context& ctx() {
+  Context* c = Runtime::current();
+  if (c == nullptr || !c->initialized()) {
+    throw std::logic_error("team call outside an initialized PE");
+  }
+  return *c;
+}
+
+Context::TeamRecord& record(shmem_team_t team) {
+  Context& c = ctx();
+  const int slot = team - 2;
+  auto& reg = c.team_registry();
+  if (slot < 0 || slot >= static_cast<int>(reg.size()) ||
+      !reg[static_cast<std::size_t>(slot)].alive) {
+    throw std::invalid_argument("invalid or destroyed team handle");
+  }
+  return reg[static_cast<std::size_t>(slot)];
+}
+
+}  // namespace
+
+ActiveSet team_set(shmem_team_t team) {
+  Context& c = ctx();
+  if (team == SHMEM_TEAM_WORLD) return ActiveSet{0, 1, c.npes()};
+  const Context::TeamRecord& r = record(team);
+  return ActiveSet{r.start, r.stride, r.size};
+}
+
+int shmem_team_split_strided(shmem_team_t parent, int start, int stride,
+                             int size, const shmem_team_config_t* /*config*/,
+                             long /*config_mask*/, shmem_team_t* new_team) {
+  if (new_team == nullptr) {
+    throw std::invalid_argument("new_team must not be null");
+  }
+  Context& c = ctx();
+  const ActiveSet parent_set = team_set(parent);
+  if (start < 0 || stride < 1 || size < 1 ||
+      start + (size - 1) * stride >= parent_set.size) {
+    throw std::invalid_argument("team split outside the parent team");
+  }
+  // New team in world coordinates.
+  ActiveSet child;
+  child.start = parent_set.member(start);
+  child.stride = parent_set.stride * stride;
+  child.size = size;
+  child.validate(c.npes());
+
+  // Collective registration: every parent member appends the same record,
+  // so the handle (slot index) matches on all PEs.
+  auto& reg = c.team_registry();
+  reg.push_back(Context::TeamRecord{child.start, child.stride, child.size,
+                                    /*alive=*/true});
+  const shmem_team_t handle = static_cast<shmem_team_t>(reg.size()) + 1;
+  barrier_set(c, parent_set);
+
+  *new_team = child.index_of(c.pe()) >= 0 ? handle : SHMEM_TEAM_INVALID;
+  return 0;
+}
+
+int shmem_team_my_pe(shmem_team_t team) {
+  if (team == SHMEM_TEAM_INVALID) return -1;
+  return team_set(team).index_of(ctx().pe());
+}
+
+int shmem_team_n_pes(shmem_team_t team) {
+  if (team == SHMEM_TEAM_INVALID) return -1;
+  return team_set(team).size;
+}
+
+int shmem_team_translate_pe(shmem_team_t src_team, int src_pe,
+                            shmem_team_t dest_team) {
+  const ActiveSet src = team_set(src_team);
+  if (src_pe < 0 || src_pe >= src.size) return -1;
+  return team_set(dest_team).index_of(src.member(src_pe));
+}
+
+void shmem_team_destroy(shmem_team_t team) {
+  if (team == SHMEM_TEAM_WORLD) {
+    throw std::invalid_argument("cannot destroy the world team");
+  }
+  Context::TeamRecord& r = record(team);
+  barrier_set(ctx(), ActiveSet{r.start, r.stride, r.size});
+  r.alive = false;
+}
+
+int shmem_team_sync(shmem_team_t team) {
+  barrier_set(ctx(), team_set(team));
+  return 0;
+}
+
+int shmem_broadcastmem(shmem_team_t team, void* dest, const void* source,
+                       std::size_t nbytes, int root) {
+  Context& c = ctx();
+  const ActiveSet set = team_set(team);
+  broadcast(c, dest, source, nbytes, root, set);
+  // 1.5 semantics: the root's dest is updated too (1.x left it untouched).
+  if (set.index_of(c.pe()) == root && dest != source) {
+    std::memmove(dest, source, nbytes);
+  }
+  return 0;
+}
+
+int shmem_fcollectmem(shmem_team_t team, void* dest, const void* source,
+                      std::size_t nbytes) {
+  fcollect(ctx(), dest, source, nbytes, team_set(team));
+  return 0;
+}
+
+int shmem_collectmem(shmem_team_t team, void* dest, const void* source,
+                     std::size_t nbytes) {
+  collect(ctx(), dest, source, nbytes, team_set(team));
+  return 0;
+}
+
+int shmem_alltoallmem(shmem_team_t team, void* dest, const void* source,
+                      std::size_t nbytes) {
+  alltoall(ctx(), dest, source, nbytes, team_set(team));
+  return 0;
+}
+
+namespace {
+
+template <typename T, typename Op>
+int team_reduce(shmem_team_t team, T* dest, const T* source,
+                std::size_t nreduce, Op op) {
+  reduce(ctx(), dest, source, nreduce, sizeof(T), team_set(team),
+         [op](void* acc, const void* in, std::size_t n) {
+           auto* a = static_cast<T*>(acc);
+           const auto* b = static_cast<const T*>(in);
+           for (std::size_t i = 0; i < n; ++i) a[i] = op(a[i], b[i]);
+         });
+  return 0;
+}
+
+}  // namespace
+
+#define NTBSHMEM_DEFINE_TEAM_REDUCE(NAME, T)                                  \
+  int shmem_##NAME##_sum_reduce(shmem_team_t team, T* dest, const T* source,  \
+                                std::size_t nreduce) {                        \
+    return team_reduce<T>(team, dest, source, nreduce,                       \
+                          [](T a, T b) { return a + b; });                    \
+  }                                                                           \
+  int shmem_##NAME##_prod_reduce(shmem_team_t team, T* dest,                  \
+                                 const T* source, std::size_t nreduce) {      \
+    return team_reduce<T>(team, dest, source, nreduce,                       \
+                          [](T a, T b) { return a * b; });                    \
+  }                                                                           \
+  int shmem_##NAME##_min_reduce(shmem_team_t team, T* dest, const T* source,  \
+                                std::size_t nreduce) {                        \
+    return team_reduce<T>(team, dest, source, nreduce,                       \
+                          [](T a, T b) { return a < b ? a : b; });            \
+  }                                                                           \
+  int shmem_##NAME##_max_reduce(shmem_team_t team, T* dest, const T* source,  \
+                                std::size_t nreduce) {                        \
+    return team_reduce<T>(team, dest, source, nreduce,                       \
+                          [](T a, T b) { return a > b ? a : b; });            \
+  }
+NTBSHMEM_DEFINE_TEAM_REDUCE(int, int)
+NTBSHMEM_DEFINE_TEAM_REDUCE(long, long)
+NTBSHMEM_DEFINE_TEAM_REDUCE(float, float)
+NTBSHMEM_DEFINE_TEAM_REDUCE(double, double)
+#undef NTBSHMEM_DEFINE_TEAM_REDUCE
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,88 @@
+// OpenSHMEM teams (the 1.5-generation grouping API), implemented over the
+// strided ActiveSet machinery — an extension beyond the paper's 1.x-era
+// prototype, listed as such in DESIGN.md.
+//
+// A team is a strided subset of world PEs. Handles are small integers that
+// are identical on every member because team creation is collective and
+// every PE performs the same registration sequence (the same discipline
+// that keeps symmetric-heap layouts aligned).
+//
+// Provided: SHMEM_TEAM_WORLD, split_strided, my_pe/n_pes, PE translation,
+// destroy, sync, and team-based collectives (broadcastmem/collectmem/
+// fcollectmem/alltoallmem and typed reductions in shmem/api_teams.hpp).
+#pragma once
+
+#include <cstdint>
+
+#include "shmem/collectives.hpp"
+
+namespace ntbshmem::shmem {
+
+// Opaque team handle. 0 is invalid; 1 is the world team.
+using shmem_team_t = int;
+
+inline constexpr shmem_team_t SHMEM_TEAM_INVALID = 0;
+inline constexpr shmem_team_t SHMEM_TEAM_WORLD = 1;
+
+// Accepted for API compatibility with shmem_team_split_strided.
+struct shmem_team_config_t {
+  int num_contexts = 0;
+};
+
+// ---- Team lifecycle ----------------------------------------------------------
+// Splits `parent` into a new team of `size` members taking every
+// `stride`-th parent member starting at parent index `start`. Collective
+// over the parent team; every parent member must call it (members outside
+// the new team receive SHMEM_TEAM_INVALID in *new_team). Returns 0 on
+// success.
+int shmem_team_split_strided(shmem_team_t parent, int start, int stride,
+                             int size, const shmem_team_config_t* config,
+                             long config_mask, shmem_team_t* new_team);
+
+// My index within the team, or -1 when not a member.
+int shmem_team_my_pe(shmem_team_t team);
+// Number of PEs in the team, or -1 for an invalid handle.
+int shmem_team_n_pes(shmem_team_t team);
+// Translates `src_pe` (an index in src_team) to the corresponding index in
+// dest_team; -1 when the PE is not in dest_team.
+int shmem_team_translate_pe(shmem_team_t src_team, int src_pe,
+                            shmem_team_t dest_team);
+// Collective over the team; the handle becomes invalid afterwards.
+void shmem_team_destroy(shmem_team_t team);
+
+// ---- Team synchronization & collectives ---------------------------------------
+// Registered-state barrier across the team. Returns 0.
+int shmem_team_sync(shmem_team_t team);
+// 1.5 semantics: dest receives `nbytes` from the member with team index
+// `root` on EVERY member, including the root. Returns 0.
+int shmem_broadcastmem(shmem_team_t team, void* dest, const void* source,
+                       std::size_t nbytes, int root);
+int shmem_fcollectmem(shmem_team_t team, void* dest, const void* source,
+                      std::size_t nbytes);
+int shmem_collectmem(shmem_team_t team, void* dest, const void* source,
+                     std::size_t nbytes);
+int shmem_alltoallmem(shmem_team_t team, void* dest, const void* source,
+                      std::size_t nbytes);
+
+// Typed team reductions (1.5 signatures): every member's dest receives the
+// element-wise OP over all members' source arrays. Returns 0.
+#define NTBSHMEM_DECLARE_TEAM_REDUCE(NAME, T)                                 \
+  int shmem_##NAME##_sum_reduce(shmem_team_t team, T* dest, const T* source, \
+                                std::size_t nreduce);                        \
+  int shmem_##NAME##_prod_reduce(shmem_team_t team, T* dest,                 \
+                                 const T* source, std::size_t nreduce);      \
+  int shmem_##NAME##_min_reduce(shmem_team_t team, T* dest, const T* source, \
+                                std::size_t nreduce);                        \
+  int shmem_##NAME##_max_reduce(shmem_team_t team, T* dest, const T* source, \
+                                std::size_t nreduce);
+NTBSHMEM_DECLARE_TEAM_REDUCE(int, int)
+NTBSHMEM_DECLARE_TEAM_REDUCE(long, long)
+NTBSHMEM_DECLARE_TEAM_REDUCE(float, float)
+NTBSHMEM_DECLARE_TEAM_REDUCE(double, double)
+#undef NTBSHMEM_DECLARE_TEAM_REDUCE
+
+// Internal: the ActiveSet behind a team handle (used by tests and by the
+// implementation; throws for invalid/destroyed handles).
+ActiveSet team_set(shmem_team_t team);
+
+}  // namespace ntbshmem::shmem

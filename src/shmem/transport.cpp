@@ -1,0 +1,919 @@
+#include "shmem/transport.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+#include <stdexcept>
+
+#include "shmem/runtime.hpp"
+
+namespace ntbshmem::shmem {
+
+namespace {
+
+// Reassembly key: link-level sender and its message id are unique per hop
+// because each forwarding host assigns fresh ids.
+std::uint64_t reassembly_key(std::uint8_t origin, std::uint32_t id) {
+  return (static_cast<std::uint64_t>(origin) << 32) | id;
+}
+
+}  // namespace
+
+Transport::Transport(Runtime& runtime, int host_id)
+    : runtime_(runtime), host_id_(host_id) {
+  sim::Engine& engine = runtime_.engine();
+  const std::string prefix = "host" + std::to_string(host_id_);
+  host::MemoryArena& arena = ring().host(host_id_).memory();
+  const std::uint64_t staging_bytes =
+      runtime_.options().timing.bypass_buffer_bytes;
+  staging_from_left_ = arena.allocate(staging_bytes, 4096);
+  staging_from_right_ = arena.allocate(staging_bytes, 4096);
+  tx_left_ = std::make_unique<TxChannel>(engine, prefix + ".tx_left");
+  tx_right_ = std::make_unique<TxChannel>(engine, prefix + ".tx_right");
+  rx_event_ = std::make_unique<sim::Event>(engine, prefix + ".rx");
+  tx_event_ = std::make_unique<sim::Event>(engine, prefix + ".tx");
+  op_event_ = std::make_unique<sim::Event>(engine, prefix + ".ops");
+  quiet_event_ = std::make_unique<sim::Event>(engine, prefix + ".quiet");
+  barrier_event_ = std::make_unique<sim::Event>(engine, prefix + ".barrier");
+  heap_event_ = std::make_unique<sim::Event>(engine, prefix + ".heap");
+  local_barrier_event_ =
+      std::make_unique<sim::Event>(engine, prefix + ".local_barrier");
+}
+
+int Transport::pes_per_host() const {
+  return runtime_.options().pes_per_host;
+}
+
+fabric::RingFabric& Transport::ring() const { return runtime_.fabric(); }
+
+ntb::NtbPort& Transport::out_port(fabric::Direction d) const {
+  return ring().port(host_id_, d);
+}
+
+ntb::NtbPort& Transport::in_port(fabric::Direction d) const {
+  // Frames arriving "from the left" come in through our left adapter.
+  return ring().port(host_id_, d);
+}
+
+int Transport::neighbor(fabric::Direction d) const {
+  return d == fabric::Direction::kRight ? ring().right_neighbor(host_id_)
+                                        : ring().left_neighbor(host_id_);
+}
+
+fabric::Route Transport::route_to(int target_pe) const {
+  return ring().route(host_id_, host_of(target_pe),
+                      runtime_.options().routing);
+}
+
+fabric::Route Transport::response_route_to(int origin) const {
+  // Responses travel against the request direction so that hop counts stay
+  // symmetric (a 1-hop Get is one hop out and one hop back).
+  if (runtime_.options().routing == fabric::RoutingMode::kRightOnly) {
+    return fabric::Route{fabric::Direction::kLeft,
+                         ring().left_distance(host_id_, host_of(origin))};
+  }
+  return ring().route(host_id_, host_of(origin),
+                      fabric::RoutingMode::kShortest);
+}
+
+const TimingParams& Transport::timing() const {
+  return runtime_.options().timing;
+}
+
+void Transport::trace(const char* category, const std::string& message) {
+  runtime_.trace().record(runtime_.engine().now(), category, message);
+}
+
+void Transport::charge_local_copy(std::uint64_t bytes) {
+  if (bytes == 0) return;
+  runtime_.engine().wait_for(
+      sim::duration_for_bytes(bytes, timing().local_copy_Bps));
+}
+
+void Transport::charge_service_wake() {
+  runtime_.engine().wait_for(timing().service_wake);
+}
+
+// ---- service startup --------------------------------------------------------
+
+void Transport::start_services() {
+  const std::string prefix = "host" + std::to_string(host_id_);
+  for (fabric::Direction d :
+       {fabric::Direction::kLeft, fabric::Direction::kRight}) {
+    ntb::NtbPort& port = in_port(d);
+    const int base = port.config().vector_base;
+    host::InterruptController& irq = ring().host(host_id_).interrupts();
+    irq.register_handler(base + kDbDmaPut, [this, d](int) {
+      on_rx_token(d, RxTokenKind::kFrame);
+    });
+    irq.register_handler(base + kDbDmaGet, [this, d](int) {
+      on_rx_token(d, RxTokenKind::kFrame);
+    });
+    irq.register_handler(base + kDbAck, [this, d](int) { on_ack(d); });
+  }
+  // Barrier signals circulate rightward and therefore arrive on the left
+  // adapter (Fig. 6). Like the data doorbells, they are handled by the
+  // service thread (the Fig. 5 design), so barrier latency couples to
+  // whatever receive work is in flight — visible as the mild put-size
+  // dependence of Fig. 10.
+  {
+    ntb::NtbPort& left = in_port(fabric::Direction::kLeft);
+    const int base = left.config().vector_base;
+    host::InterruptController& irq = ring().host(host_id_).interrupts();
+    irq.register_handler(base + kDbBarrierStart, [this](int) {
+      on_rx_token(fabric::Direction::kLeft, RxTokenKind::kBarrierStart);
+    });
+    irq.register_handler(base + kDbBarrierEnd, [this](int) {
+      on_rx_token(fabric::Direction::kLeft, RxTokenKind::kBarrierEnd);
+    });
+  }
+  runtime_.engine().spawn(prefix + ".rx_service", [this] { rx_service_body(); },
+                          /*daemon=*/true);
+  runtime_.engine().spawn(prefix + ".tx_service", [this] { tx_service_body(); },
+                          /*daemon=*/true);
+}
+
+void Transport::on_rx_token(fabric::Direction from, RxTokenKind kind) {
+  rx_queue_.push_back(RxToken{from, kind});
+  rx_event_->notify_all();
+}
+
+void Transport::on_ack(fabric::Direction d) {
+  TxChannel& ch = channel(d);
+  const bool was_delivery = ch.counts_as_delivery;
+  const int domain = ch.delivery_domain;
+  ch.counts_as_delivery = false;
+  ch.slot.release();
+  if (was_delivery) note_delivery_completed(domain);
+}
+
+void Transport::track_delivery(int domain, std::uint32_t op_id) {
+  ++outstanding_by_domain_[domain];
+  delivery_domain_of_op_[op_id] = domain;
+}
+
+void Transport::note_delivery_completed(int domain) {
+  auto it = outstanding_by_domain_.find(domain);
+  if (it == outstanding_by_domain_.end() || it->second == 0) {
+    throw std::logic_error("delivery ack with no outstanding deliveries");
+  }
+  --it->second;
+  quiet_event_->notify_all();
+}
+
+void Transport::note_delivery_completed_op(std::uint32_t op_id) {
+  auto it = delivery_domain_of_op_.find(op_id);
+  if (it == delivery_domain_of_op_.end()) {
+    throw std::logic_error("delivery ack for unknown op id");
+  }
+  const int domain = it->second;
+  delivery_domain_of_op_.erase(it);
+  note_delivery_completed(domain);
+}
+
+// ---- send-side primitives ----------------------------------------------------
+
+void Transport::emit_frame(fabric::Direction d, const FrameHeader& hdr,
+                           int doorbell) {
+  ntb::NtbPort& port = out_port(d);
+  const auto regs = hdr.pack();
+  for (int i = 0; i < kFrameRegs; ++i) {
+    port.write_scratchpad(i, regs[static_cast<std::size_t>(i)]);
+  }
+  port.ring_doorbell(doorbell);
+  ++stats_.frames_sent;
+  trace("frame.tx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(hdr.kind)) +
+                        " origin=" + std::to_string(hdr.origin_pe) +
+                        " target=" + std::to_string(hdr.target_pe) +
+                        " id=" + std::to_string(hdr.id));
+}
+
+void Transport::window_write(fabric::Direction d, int window,
+                             host::Region region, std::uint64_t off,
+                             std::span<const std::byte> src,
+                             bool app_context) {
+  ntb::NtbPort& port = out_port(d);
+  const std::uint64_t seg = timing().lut_segment_bytes;
+  std::uint64_t done = 0;
+  while (done < src.size()) {
+    const std::uint64_t n = std::min<std::uint64_t>(seg, src.size() - done);
+    if (app_context) {
+      // Driver call: program the DMA descriptor and the LUT translation
+      // entry for this segment (TimingParams::segment_setup).
+      runtime_.engine().wait_for(timing().segment_setup);
+    }
+    port.program_window(window, region);
+    const auto piece = src.subspan(done, n);
+    if (runtime_.options().data_path == DataPath::kDma) {
+      port.dma_write(window, off + done, piece);
+    } else {
+      port.pio_write(window, off + done, piece);
+    }
+    done += n;
+  }
+}
+
+std::vector<std::byte> Transport::build_message(
+    const MessageHeader& header, std::span<const std::byte> payload) {
+  std::vector<std::byte> msg(kMessageHeaderBytes + payload.size());
+  write_message_header(msg, header);
+  if (!payload.empty()) {
+    std::memcpy(msg.data() + kMessageHeaderBytes, payload.data(),
+                payload.size());
+  }
+  return msg;
+}
+
+void Transport::send_message_staged(fabric::Direction d,
+                                    std::span<const std::byte> message) {
+  const int next = neighbor(d);
+  // The receiver's staging buffer for traffic from our side.
+  const host::Region staging =
+      runtime_.host_transport(next).staging_region(fabric::opposite(d));
+  if (message.size() > staging.size) {
+    throw std::logic_error("staged message exceeds bypass buffer");
+  }
+  TxChannel& ch = channel(d);
+  ch.slot.acquire();
+  ch.counts_as_delivery = false;
+  // The 64-byte message header goes through the head of the pre-mapped
+  // bypass window as a plain PIO write; only the payload pays the
+  // per-segment driver cost. This keeps a multi-hop Put's local latency in
+  // line with a direct Put of the same size (Fig. 9a: 1 hop ~ 2 hops).
+  {
+    ntb::NtbPort& port = out_port(d);
+    port.program_window(ntb::kBypassWindow, staging);
+    port.pio_write(ntb::kBypassWindow, 0,
+                   message.subspan(0, kMessageHeaderBytes));
+  }
+  window_write(d, ntb::kBypassWindow, staging, kMessageHeaderBytes,
+               message.subspan(kMessageHeaderBytes), /*app_context=*/true);
+  const MessageHeader mh = read_message_header(message);
+  FrameHeader f;
+  f.kind = FrameKind::kStaged;
+  f.origin_pe = static_cast<std::uint8_t>(leader_pe());  // link-level id
+  f.target_pe = mh.target_pe;
+  f.id = next_msg_id_++;
+  f.c = static_cast<std::uint32_t>(message.size());
+  emit_frame(d, f, kDbDmaPut);
+  // The channel is released by the receiver's ACK doorbell; the call is
+  // locally complete once the doorbell is rung (one-sided Put semantics).
+}
+
+void Transport::send_message_chunked(fabric::Direction d,
+                                     std::span<const std::byte> message) {
+  const int next = neighbor(d);
+  const host::Region staging =
+      runtime_.host_transport(next).staging_region(fabric::opposite(d));
+  const std::uint64_t chunk = timing().bypass_chunk_bytes;
+  const std::uint32_t msg_id = next_msg_id_++;
+  std::uint64_t off = 0;
+  TxChannel& ch = channel(d);
+  while (off < message.size()) {
+    const std::uint64_t n = std::min<std::uint64_t>(chunk, message.size() - off);
+    // One ScratchPad+Doorbell handshake per chunk: acquire the channel,
+    // deposit the chunk at the head of the staging buffer, notify. The ACK
+    // releases the slot, which is what paces the next chunk.
+    ch.slot.acquire();
+    ch.counts_as_delivery = false;
+    window_write(d, ntb::kBypassWindow, staging, 0, message.subspan(off, n),
+                 /*app_context=*/false);
+    FrameHeader f;
+    f.kind = FrameKind::kChunk;
+    f.origin_pe = static_cast<std::uint8_t>(leader_pe());  // link-level id
+    f.id = msg_id;
+    f.a = off;                                    // offset within message
+    f.b = static_cast<std::uint32_t>(n);          // chunk size
+    f.c = static_cast<std::uint32_t>(message.size());  // total size
+    emit_frame(d, f, kDbDmaPut);
+    off += n;
+  }
+}
+
+void Transport::enqueue_outbound(OutboundItem item) {
+  tx_queue_.push_back(std::move(item));
+  tx_event_->notify_all();
+}
+
+// ---- application-context operations ------------------------------------------
+
+void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
+                    int target_pe, int origin_pe, int domain) {
+  sim::Engine& engine = runtime_.engine();
+  engine.wait_for(timing().sw_overhead);
+  ++stats_.puts_issued;
+  trace("op", "pe" + std::to_string(origin_pe) + " put target=" +
+                  std::to_string(target_pe) +
+                  " bytes=" + std::to_string(src.size()));
+  if (src.empty()) return;
+  SymmetricHeap& target_heap = runtime_.context(target_pe).heap();
+
+  if (is_resident(target_pe)) {
+    // Self or co-resident PE: shared-memory path, no NTB involved.
+    local_put(heap_offset, src, target_pe);
+    return;
+  }
+
+  const fabric::Route r = route_to(target_pe);
+  const bool full = runtime_.options().completion == CompletionMode::kFullDelivery;
+
+  if (r.hops == 1) {
+    // Direct path: DMA straight into the destination symmetric heap through
+    // the LUT window (Fig. 4, "PE0 puts data to PE1's shmem buffer").
+    std::uint64_t done = 0;
+    for (const SymmetricHeap::Piece& piece :
+         target_heap.pieces(heap_offset, src.size())) {
+      window_write(r.dir, ntb::kShmemWindow, piece.region, piece.region_off,
+                   src.subspan(done, piece.len), /*app_context=*/true);
+      done += piece.len;
+    }
+    TxChannel& ch = channel(r.dir);
+    ch.slot.acquire();
+    ch.counts_as_delivery = full;
+    ch.delivery_domain = domain;
+    if (full) ++outstanding_by_domain_[domain];
+    FrameHeader f;
+    f.kind = FrameKind::kDirectPut;
+    f.origin_pe = static_cast<std::uint8_t>(origin_pe);
+    f.target_pe = static_cast<std::uint8_t>(target_pe);
+    f.id = next_op_id_++;
+    f.a = heap_offset;
+    f.b = static_cast<std::uint32_t>(src.size());
+    emit_frame(r.dir, f, kDbDmaPut);
+    return;
+  }
+
+  // Multi-hop: stage whole sub-messages into the next hop's bypass buffer
+  // (Fig. 4, "PE0 puts data to PE2's shmem buffer" via PE1). The service
+  // threads forward from there; we are locally complete after staging.
+  const std::uint64_t staging_cap =
+      timing().bypass_buffer_bytes - kMessageHeaderBytes;
+  std::uint64_t off = 0;
+  while (off < src.size()) {
+    const std::uint64_t n =
+        std::min<std::uint64_t>(staging_cap, src.size() - off);
+    MessageHeader mh;
+    mh.op = MsgOp::kPut;
+    mh.origin_pe = static_cast<std::uint8_t>(origin_pe);
+    mh.target_pe = static_cast<std::uint8_t>(target_pe);
+    mh.op_id = next_op_id_++;
+    mh.heap_offset = heap_offset + off;
+    mh.payload_len = static_cast<std::uint32_t>(n);
+    const auto msg = build_message(mh, src.subspan(off, n));
+    if (full) track_delivery(domain, mh.op_id);
+    send_message_staged(r.dir, msg);
+    off += n;
+  }
+}
+
+void Transport::local_put(std::uint64_t heap_offset,
+                          std::span<const std::byte> src, int target_pe) {
+  runtime_.context(target_pe).heap().write(heap_offset, src);
+  charge_local_copy(src.size());
+  heap_event_->notify_all();
+}
+
+std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
+                                 std::span<std::byte> dst, int source_pe,
+                                 int origin_pe, int domain) {
+  const std::uint32_t op_id = next_op_id_++;
+  pending_gets_[op_id] = PendingGet{dst.data(),
+                                    static_cast<std::uint32_t>(dst.size()),
+                                    false, domain};
+  const fabric::Route r = route_to(source_pe);
+  TxChannel& ch = channel(r.dir);
+  ch.slot.acquire();
+  ch.counts_as_delivery = false;
+  FrameHeader f;
+  f.kind = FrameKind::kGetRequest;
+  f.origin_pe = static_cast<std::uint8_t>(origin_pe);
+  f.target_pe = static_cast<std::uint8_t>(source_pe);
+  f.id = op_id;
+  f.a = heap_offset;
+  f.b = static_cast<std::uint32_t>(dst.size());
+  emit_frame(r.dir, f, kDbDmaGet);
+  ++stats_.gets_issued;
+  return op_id;
+}
+
+void Transport::get(std::uint64_t heap_offset, std::span<std::byte> dst,
+                    int source_pe, int origin_pe) {
+  sim::Engine& engine = runtime_.engine();
+  engine.wait_for(timing().sw_overhead);
+  if (dst.empty()) return;
+  if (is_resident(source_pe)) {
+    // Self or co-resident source: shared-memory read.
+    runtime_.context(source_pe).heap().read(heap_offset, dst);
+    charge_local_copy(dst.size());
+    ++stats_.gets_issued;
+    return;
+  }
+  const std::uint32_t op_id = get_nbi(heap_offset, dst, source_pe, origin_pe);
+  bool waited = false;
+  while (!pending_gets_.at(op_id).done) {
+    op_event_->wait();
+    waited = true;
+  }
+  if (waited) charge_service_wake();  // requester thread reschedule
+  pending_gets_.erase(op_id);
+}
+
+std::uint64_t Transport::atomic(AtomicOp op, std::uint64_t heap_offset,
+                                int target_pe, std::uint8_t width,
+                                std::uint64_t operand1,
+                                std::uint64_t operand2, int origin_pe) {
+  sim::Engine& engine = runtime_.engine();
+  engine.wait_for(timing().sw_overhead);
+  ++stats_.atomics_issued;
+  if (is_resident(target_pe)) {
+    // The engine serializes processes, and apply_atomic performs its
+    // read-modify-write without yielding, so this is atomic with respect to
+    // the service thread executing remote requests.
+    const std::uint64_t old =
+        apply_atomic(op, target_pe, heap_offset, width, operand1, operand2);
+    heap_event_->notify_all();
+    return old;
+  }
+  const std::uint32_t op_id = next_op_id_++;
+  pending_atomics_[op_id] = PendingAtomic{};
+  MessageHeader mh;
+  mh.op = MsgOp::kAtomicRequest;
+  mh.origin_pe = static_cast<std::uint8_t>(origin_pe);
+  mh.target_pe = static_cast<std::uint8_t>(target_pe);
+  mh.width = width;
+  mh.op_id = op_id;
+  mh.heap_offset = heap_offset;
+  mh.payload_len = 0;
+  mh.atomic_op = static_cast<std::uint8_t>(op);
+  mh.operand1 = operand1;
+  mh.operand2 = operand2;
+  const auto msg = build_message(mh, {});
+  const fabric::Route r = route_to(target_pe);
+  send_message_chunked(r.dir, msg);  // single 64-byte control chunk
+  bool waited = false;
+  while (!pending_atomics_.at(op_id).done) {
+    op_event_->wait();
+    waited = true;
+  }
+  if (waited) charge_service_wake();
+  const std::uint64_t old = pending_atomics_.at(op_id).old_value;
+  pending_atomics_.erase(op_id);
+  return old;
+}
+
+void Transport::atomic_post(AtomicOp op, std::uint64_t heap_offset,
+                            int target_pe, std::uint8_t width,
+                            std::uint64_t operand1, int origin_pe,
+                            int domain) {
+  sim::Engine& engine = runtime_.engine();
+  engine.wait_for(timing().sw_overhead);
+  ++stats_.atomics_issued;
+  if (op == AtomicOp::kFetch || op == AtomicOp::kFetchAdd ||
+      op == AtomicOp::kFetchInc || op == AtomicOp::kCompareSwap ||
+      op == AtomicOp::kSwap) {
+    throw std::invalid_argument("atomic_post requires a non-fetching op");
+  }
+  if (is_resident(target_pe)) {
+    apply_atomic(op, target_pe, heap_offset, width, operand1, 0);
+    heap_event_->notify_all();
+    return;
+  }
+  const bool full =
+      runtime_.options().completion == CompletionMode::kFullDelivery;
+  MessageHeader mh;
+  mh.op = MsgOp::kAtomicRequest;
+  mh.origin_pe = static_cast<std::uint8_t>(origin_pe);
+  mh.target_pe = static_cast<std::uint8_t>(target_pe);
+  mh.width = width;
+  mh.op_id = next_op_id_++;
+  mh.heap_offset = heap_offset;
+  mh.atomic_op = static_cast<std::uint8_t>(op);
+  mh.flags = kMsgFlagNoReply;
+  mh.operand1 = operand1;
+  const auto msg = build_message(mh, {});
+  if (full) track_delivery(domain, mh.op_id);
+  send_message_chunked(route_to(target_pe).dir, msg);
+}
+
+void Transport::put_signal(std::uint64_t heap_offset,
+                           std::span<const std::byte> src,
+                           std::uint64_t signal_offset,
+                           std::uint64_t signal_value, AtomicOp signal_op,
+                           int target_pe, int origin_pe, int domain) {
+  put(heap_offset, src, target_pe, origin_pe, domain);
+  // The signal update travels the same path as the data (per-link FIFO and
+  // in-order forwarding), so the target observes data before signal.
+  atomic_post(signal_op, signal_offset, target_pe, 8, signal_value, origin_pe,
+              domain);
+}
+
+void Transport::quiet(int domain) {
+  // Drain pending non-blocking gets of the domain first (they complete via
+  // op_event).
+  auto in_domain = [domain](int d) {
+    return domain == kAllDomains || d == domain;
+  };
+  for (;;) {
+    bool all_done = true;
+    for (const auto& [id, g] : pending_gets_) {
+      if (!g.done && in_domain(g.domain)) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) break;
+    op_event_->wait();
+  }
+  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+    it = (it->second.done && in_domain(it->second.domain))
+             ? pending_gets_.erase(it)
+             : std::next(it);
+  }
+  if (runtime_.options().completion == CompletionMode::kFullDelivery) {
+    for (;;) {
+      std::uint64_t pending = 0;
+      for (const auto& [d, count] : outstanding_by_domain_) {
+        if (in_domain(d)) pending += count;
+      }
+      if (pending == 0) break;
+      quiet_event_->wait();
+    }
+  }
+  // kLocalDma: the paper-prototype discipline — locally issued DMA is
+  // synchronous in this model, so nothing further to wait for.
+}
+
+void Transport::fence() {
+  // Frames to a given target travel a single deterministic path and each
+  // link channel is FIFO, so put-put ordering per target already holds.
+  runtime_.engine().wait_for(timing().sw_overhead);
+}
+
+void Transport::wait_heap_change() { heap_event_->wait(); }
+
+void Transport::barrier_ring(int origin_pe) {
+  // The caller's quiet() semantics are per-PE; PE-level code (Context)
+  // drains its own domains before calling. Here we only run the
+  // synchronization protocol.
+  sim::Engine& engine = runtime_.engine();
+  engine.wait_for(timing().sw_overhead);
+
+  const int k = pes_per_host();
+  const std::uint64_t my_round = local_barrier_round_;
+  ++local_barrier_arrived_;
+  if (origin_pe != leader_pe()) {
+    // Non-leader resident: wait for the leader to complete the inter-host
+    // round (intra-host synchronization over shared memory).
+    local_barrier_event_->notify_all();
+    bool waited = false;
+    while (local_barrier_round_ == my_round) {
+      local_barrier_event_->wait();
+      waited = true;
+    }
+    if (waited) charge_service_wake();
+    return;
+  }
+
+  // Leader: gather all residents first.
+  while (local_barrier_arrived_ < k) local_barrier_event_->wait();
+  local_barrier_arrived_ -= k;
+
+  auto consume = [&](std::uint64_t& tokens) {
+    bool waited = false;
+    while (tokens == 0) {
+      barrier_event_->wait();
+      waited = true;
+    }
+    if (waited) charge_service_wake();  // blocked PE thread reschedule
+    --tokens;
+  };
+  ntb::NtbPort& right = out_port(fabric::Direction::kRight);
+  if (host_id_ == 0) {
+    // Host 0 initiates the start round, closes it, then initiates the end
+    // round and waits for it to circulate fully (Fig. 6 steps 1 and 3).
+    right.ring_doorbell(kDbBarrierStart);
+    consume(barrier_start_tokens_);
+    right.ring_doorbell(kDbBarrierEnd);
+    consume(barrier_end_tokens_);
+  } else {
+    consume(barrier_start_tokens_);
+    right.ring_doorbell(kDbBarrierStart);
+    consume(barrier_end_tokens_);
+    right.ring_doorbell(kDbBarrierEnd);
+  }
+  ++stats_.barriers_completed;
+  // Release the residents.
+  ++local_barrier_round_;
+  local_barrier_event_->notify_all();
+}
+
+// ---- receive side -------------------------------------------------------------
+
+void Transport::rx_service_body() {
+  for (;;) {
+    if (rx_queue_.empty()) {
+      rx_event_->wait();
+      charge_service_wake();  // Sleep & Wait -> scheduled (Fig. 5)
+    }
+    while (!rx_queue_.empty()) {
+      const RxToken token = rx_queue_.front();
+      rx_queue_.pop_front();
+      switch (token.kind) {
+        case RxTokenKind::kFrame:
+          process_frame(token.from);
+          break;
+        case RxTokenKind::kBarrierStart:
+          ++barrier_start_tokens_;
+          trace("barrier", "host" + std::to_string(host_id_) + " rx start");
+          barrier_event_->notify_all();
+          break;
+        case RxTokenKind::kBarrierEnd:
+          ++barrier_end_tokens_;
+          trace("barrier", "host" + std::to_string(host_id_) + " rx end");
+          barrier_event_->notify_all();
+          break;
+      }
+    }
+  }
+}
+
+void Transport::tx_service_body() {
+  for (;;) {
+    if (tx_queue_.empty()) {
+      tx_event_->wait();
+      charge_service_wake();
+    }
+    while (!tx_queue_.empty()) {
+      OutboundItem item = std::move(tx_queue_.front());
+      tx_queue_.pop_front();
+      if (item.is_raw_frame) {
+        TxChannel& ch = channel(item.dir);
+        ch.slot.acquire();
+        ch.counts_as_delivery = false;
+        emit_frame(item.dir, item.raw_frame, kDbDmaGet);
+      } else {
+        send_message_chunked(item.dir, item.message);
+      }
+    }
+  }
+}
+
+void Transport::ack_frame(fabric::Direction from) {
+  ntb::NtbPort& port = in_port(from);
+  port.write_scratchpad(kAckReg, 1);
+  port.ring_doorbell(kDbAck);
+}
+
+void Transport::process_frame(fabric::Direction from) {
+  ntb::NtbPort& port = in_port(from);
+  std::array<std::uint32_t, 7> regs{};
+  for (int i = 0; i < kFrameRegs; ++i) {
+    regs[static_cast<std::size_t>(i)] = port.read_scratchpad(i);
+  }
+  const FrameHeader f = FrameHeader::unpack(regs);
+  ++stats_.frames_received;
+  trace("frame.rx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(f.kind)) +
+                        " origin=" + std::to_string(f.origin_pe) +
+                        " target=" + std::to_string(f.target_pe) +
+                        " id=" + std::to_string(f.id));
+
+  switch (f.kind) {
+    case FrameKind::kDirectPut: {
+      // Data already landed in the target PE's symmetric heap via the
+      // sender's DMA; the frame is pure notification (plus flow control).
+      heap_event_->notify_all();
+      ack_frame(from);
+      return;
+    }
+    case FrameKind::kGetRequest: {
+      ack_frame(from);  // fields captured; release the channel promptly
+      if (is_resident(f.target_pe)) {
+        serve_get_request(f);
+      } else {
+        OutboundItem item;
+        item.dir = fabric::opposite(from);  // keep travelling
+        item.is_raw_frame = true;
+        item.raw_frame = f;
+        enqueue_outbound(std::move(item));
+      }
+      return;
+    }
+    case FrameKind::kStaged: {
+      const host::Region staging = staging_region(from);
+      std::vector<std::byte> msg(f.c);
+      auto src = ring().host(host_id_).memory().bytes(staging, 0, f.c);
+      std::memcpy(msg.data(), src.data(), f.c);
+      charge_local_copy(f.c);
+      ack_frame(from);
+      dispatch_message(std::move(msg), from);
+      return;
+    }
+    case FrameKind::kChunk: {
+      const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
+      Reassembly& re = reassembly_[key];
+      if (re.data.empty()) re.data.resize(f.c);
+      const host::Region staging = staging_region(from);
+      auto src = ring().host(host_id_).memory().bytes(staging, 0, f.b);
+      std::memcpy(re.data.data() + f.a, src.data(), f.b);
+      charge_local_copy(f.b);
+      re.received += f.b;
+      ack_frame(from);
+      if (re.received >= re.data.size()) {
+        std::vector<std::byte> msg = std::move(re.data);
+        reassembly_.erase(key);
+        dispatch_message(std::move(msg), from);
+      }
+      return;
+    }
+  }
+  throw std::runtime_error("unknown frame kind received");
+}
+
+void Transport::dispatch_message(std::vector<std::byte> message,
+                                 fabric::Direction from) {
+  const MessageHeader mh = read_message_header(message);
+  if (!is_resident(mh.target_pe)) {
+    ++stats_.messages_forwarded;
+    stats_.bytes_forwarded += message.size();
+    OutboundItem item;
+    item.dir = fabric::opposite(from);
+    item.message = std::move(message);
+    enqueue_outbound(std::move(item));
+    return;
+  }
+  const std::span<const std::byte> payload(
+      message.data() + kMessageHeaderBytes, mh.payload_len);
+  switch (mh.op) {
+    case MsgOp::kPut:
+      deliver_put(mh, payload);
+      return;
+    case MsgOp::kGetResponse:
+      deliver_get_response(mh, payload);
+      return;
+    case MsgOp::kAtomicRequest:
+      execute_atomic_request(mh);
+      return;
+    case MsgOp::kAtomicResponse:
+      deliver_atomic_response(mh);
+      return;
+    case MsgOp::kDeliveryAck:
+      note_delivery_completed_op(mh.op_id);
+      return;
+  }
+  throw std::runtime_error("unknown message op received");
+}
+
+void Transport::deliver_put(const MessageHeader& h,
+                            std::span<const std::byte> payload) {
+  runtime_.context(h.target_pe).heap().write(h.heap_offset, payload);
+  charge_local_copy(payload.size());
+  heap_event_->notify_all();
+  if (runtime_.options().completion == CompletionMode::kFullDelivery) {
+    send_delivery_ack(h.origin_pe, h.op_id);
+  }
+}
+
+void Transport::deliver_get_response(const MessageHeader& h,
+                                     std::span<const std::byte> payload) {
+  auto it = pending_gets_.find(h.op_id);
+  if (it == pending_gets_.end()) {
+    throw std::runtime_error("get response for unknown op id");
+  }
+  PendingGet& pg = it->second;
+  if (payload.size() != pg.len) {
+    throw std::runtime_error("get response size mismatch");
+  }
+  std::memcpy(pg.dst, payload.data(), payload.size());
+  charge_local_copy(payload.size());
+  pg.done = true;
+  op_event_->notify_all();
+  quiet_event_->notify_all();
+}
+
+void Transport::serve_get_request(const FrameHeader& f) {
+  // Read the requested bytes out of the target PE's symmetric heap and
+  // push them back toward the requester through the bypass path.
+  std::vector<std::byte> data(f.b);
+  runtime_.context(f.target_pe).heap().read(f.a, data);
+  charge_local_copy(data.size());
+  MessageHeader mh;
+  mh.op = MsgOp::kGetResponse;
+  mh.origin_pe = static_cast<std::uint8_t>(f.target_pe);
+  mh.target_pe = f.origin_pe;
+  mh.op_id = f.id;
+  mh.payload_len = static_cast<std::uint32_t>(data.size());
+  OutboundItem item;
+  item.dir = response_route_to(f.origin_pe).dir;
+  item.message = build_message(mh, data);
+  enqueue_outbound(std::move(item));
+}
+
+std::uint64_t Transport::apply_atomic(AtomicOp op, int target_pe,
+                                      std::uint64_t heap_offset,
+                                      std::uint8_t width,
+                                      std::uint64_t operand1,
+                                      std::uint64_t operand2) {
+  if (width != 4 && width != 8) {
+    throw std::invalid_argument("atomic width must be 4 or 8");
+  }
+  SymmetricHeap& heap = runtime_.context(target_pe).heap();
+  std::uint64_t old = 0;
+  std::array<std::byte, 8> buf{};
+  heap.read(heap_offset, std::span<std::byte>(buf.data(), width));
+  std::memcpy(&old, buf.data(), width);
+  if (width == 4) old &= 0xffffffffu;
+
+  std::uint64_t next = old;
+  bool write_back = true;
+  switch (op) {
+    case AtomicOp::kAdd:
+    case AtomicOp::kFetchAdd:
+      next = old + operand1;
+      break;
+    case AtomicOp::kInc:
+    case AtomicOp::kFetchInc:
+      next = old + 1;
+      break;
+    case AtomicOp::kCompareSwap:
+      // operand2 = expected, operand1 = desired.
+      if (old == operand2) {
+        next = operand1;
+      } else {
+        write_back = false;
+      }
+      break;
+    case AtomicOp::kSwap:
+    case AtomicOp::kSet:
+      next = operand1;
+      break;
+    case AtomicOp::kFetch:
+      write_back = false;
+      break;
+    case AtomicOp::kAnd:
+      next = old & operand1;
+      break;
+    case AtomicOp::kOr:
+      next = old | operand1;
+      break;
+    case AtomicOp::kXor:
+      next = old ^ operand1;
+      break;
+  }
+  if (write_back) {
+    std::memcpy(buf.data(), &next, width);
+    heap.write(heap_offset, std::span<const std::byte>(buf.data(), width));
+  }
+  return old;
+}
+
+void Transport::execute_atomic_request(const MessageHeader& h) {
+  const std::uint64_t old =
+      apply_atomic(static_cast<AtomicOp>(h.atomic_op), h.target_pe,
+                   h.heap_offset, h.width, h.operand1, h.operand2);
+  heap_event_->notify_all();
+  if ((h.flags & kMsgFlagNoReply) != 0) {
+    // Fire-and-forget (signal) atomic: no response, but the origin still
+    // tracks delivery under full-completion mode.
+    if (runtime_.options().completion == CompletionMode::kFullDelivery) {
+      send_delivery_ack(h.origin_pe, h.op_id);
+    }
+    return;
+  }
+  MessageHeader resp;
+  resp.op = MsgOp::kAtomicResponse;
+  resp.origin_pe = static_cast<std::uint8_t>(h.target_pe);
+  resp.target_pe = h.origin_pe;
+  resp.op_id = h.op_id;
+  resp.payload_len = 0;
+  resp.operand2 = old;
+  OutboundItem item;
+  item.dir = response_route_to(h.origin_pe).dir;
+  item.message = build_message(resp, {});
+  enqueue_outbound(std::move(item));
+}
+
+void Transport::deliver_atomic_response(const MessageHeader& h) {
+  auto it = pending_atomics_.find(h.op_id);
+  if (it == pending_atomics_.end()) {
+    throw std::runtime_error("atomic response for unknown op id");
+  }
+  it->second.old_value = h.operand2;
+  it->second.done = true;
+  op_event_->notify_all();
+}
+
+void Transport::send_delivery_ack(std::uint8_t origin, std::uint32_t op_id) {
+  MessageHeader mh;
+  mh.op = MsgOp::kDeliveryAck;
+  mh.origin_pe = static_cast<std::uint8_t>(leader_pe());
+  mh.target_pe = origin;
+  mh.op_id = op_id;
+  mh.payload_len = 0;
+  OutboundItem item;
+  item.dir = response_route_to(origin).dir;
+  item.message = build_message(mh, {});
+  enqueue_outbound(std::move(item));
+  ++stats_.delivery_acks_sent;
+}
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,311 @@
+// NTB transport: the data-sharing machinery of the paper's §III.
+//
+// Per host there are:
+//   * two TX channels (left/right): each serializes the link's ScratchPad
+//     bank — a frame holds the channel from ScratchPad write until the
+//     receiver's ACK doorbell ("Release Interrupt" in Fig. 5) frees it;
+//   * an RX service process: the interrupt-service thread of Fig. 5. It
+//     reads the ScratchPad header, copies staged payloads out of the bypass
+//     buffer, acknowledges the frame, reassembles chunked messages, and
+//     either delivers locally or queues the message for forwarding;
+//   * a TX service process: drains the forward queue, moving messages hop
+//     by hop through the pre-mapped bypass window in
+//     TimingParams::bypass_chunk_bytes chunks, one ScratchPad handshake per
+//     chunk. (Service context cannot reprogram translation windows, so it
+//     cannot use the fast segmented path the application context uses —
+//     this asymmetry is what makes Get and multi-hop forwarding an order of
+//     magnitude slower than neighbour Put, as in the paper's Fig. 9.)
+//
+// Application-context operations:
+//   * put(): neighbour targets get the direct path — data DMA'd segment by
+//     segment straight into the destination symmetric heap through the LUT
+//     window (segment_setup per segment), then one kDirectPut notify frame.
+//     Non-neighbour targets get the whole message staged into the next
+//     hop's bypass buffer (same segmented cost) and forwarded from there by
+//     the service threads; the call returns at local completion either way
+//     (one-sided semantics).
+//   * get(): sends a kGetRequest frame toward the source; the source's
+//     service thread pushes a GetResponse message back through the bypass
+//     path; the caller blocks until the payload lands in its buffer.
+//   * atomics: request/response messages executed by the owner's service
+//     thread (single-threaded per host -> linearizable per target word).
+//   * barrier_ring(): the Fig. 6 two-round start/end doorbell circulation.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <span>
+#include <vector>
+
+#include "fabric/ring.hpp"
+#include "shmem/message.hpp"
+#include "shmem/options.hpp"
+#include "sim/event.hpp"
+#include "sim/resource.hpp"
+
+namespace ntbshmem::shmem {
+
+class Runtime;
+
+// Per-PE transport statistics (tests assert on these; benches report them).
+struct TransportStats {
+  std::uint64_t puts_issued = 0;
+  std::uint64_t gets_issued = 0;
+  std::uint64_t atomics_issued = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t messages_forwarded = 0;
+  std::uint64_t bytes_forwarded = 0;
+  std::uint64_t delivery_acks_sent = 0;
+  std::uint64_t barriers_completed = 0;
+};
+
+class Transport {
+ public:
+  // One Transport per HOST: it owns the host's NTB channels, staging
+  // buffers and service threads, shared by every PE resident on the host
+  // (pes_per_host of them; 1 in the paper's prototype).
+  Transport(Runtime& runtime, int host_id);
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  // Registers ISR handlers and spawns the RX/TX service daemons.
+  void start_services();
+
+  // Communication-context domain ids: every one-sided operation belongs to
+  // a domain, and quiet(domain) drains only that domain's outstanding work
+  // (the OpenSHMEM 1.4 context semantics). kDefaultDomain backs
+  // SHMEM_CTX_DEFAULT and all non-ctx API calls.
+  static constexpr int kDefaultDomain = 0;
+  static constexpr int kAllDomains = -1;
+
+  // ---- One-sided data movement (application/PE context) --------------------
+  // `origin_pe` identifies the calling PE (a resident of this host).
+  // Copies `src` into `target_pe`'s symmetric heap at `heap_offset`.
+  // Returns at local completion (locally blocking, per OpenSHMEM).
+  void put(std::uint64_t heap_offset, std::span<const std::byte> src,
+           int target_pe, int origin_pe, int domain = kDefaultDomain);
+  // Copies from `source_pe`'s symmetric heap into `dst`; blocks until the
+  // data has arrived.
+  void get(std::uint64_t heap_offset, std::span<std::byte> dst, int source_pe,
+           int origin_pe);
+  // Non-blocking get: returns an op id; completion via quiet().
+  std::uint32_t get_nbi(std::uint64_t heap_offset, std::span<std::byte> dst,
+                        int source_pe, int origin_pe,
+                        int domain = kDefaultDomain);
+
+  // ---- Remote atomics -------------------------------------------------------
+  // Executes `op` on the 4- or 8-byte word at `heap_offset` of `target_pe`;
+  // returns the previous value (meaningful for fetching ops).
+  std::uint64_t atomic(AtomicOp op, std::uint64_t heap_offset, int target_pe,
+                       std::uint8_t width, std::uint64_t operand1,
+                       std::uint64_t operand2, int origin_pe);
+  // Fire-and-forget non-fetching atomic: returns at local completion; the
+  // update is ordered behind prior puts to the same target (same path) and
+  // drained by quiet(). Building block of put-with-signal.
+  void atomic_post(AtomicOp op, std::uint64_t heap_offset, int target_pe,
+                   std::uint8_t width, std::uint64_t operand1, int origin_pe,
+                   int domain = kDefaultDomain);
+  // Put `src` then update the signal word — the OpenSHMEM 1.5
+  // put-with-signal shape; the signal update is delivered after the data.
+  void put_signal(std::uint64_t heap_offset, std::span<const std::byte> src,
+                  std::uint64_t signal_offset, std::uint64_t signal_value,
+                  AtomicOp signal_op, int target_pe, int origin_pe,
+                  int domain = kDefaultDomain);
+
+  // ---- Ordering & synchronization ------------------------------------------
+  // Drains outstanding remote writes (per the configured CompletionMode)
+  // and pending non-blocking gets — of one domain, or of all domains.
+  void quiet(int domain = kAllDomains);
+  // Put ordering to each PE is FIFO by construction; fence is bookkeeping
+  // only (documented in DESIGN.md).
+  void fence();
+  // The paper's Fig. 6 ring barrier (collective across all PEs). With
+  // multiple PEs per host the barrier is hierarchical: residents gather
+  // locally, each host's lowest PE runs the doorbell circulation, then
+  // releases its residents.
+  void barrier_ring(int origin_pe);
+  // Blocks until the RX service signals a local symmetric-heap update
+  // (building block of shmem_wait_until).
+  void wait_heap_change();
+
+  const TransportStats& stats() const { return stats_; }
+  int host_id() const { return host_id_; }
+  // Staging buffer for frames arriving from the given side (the bypass
+  // buffer of paper Fig. 4; written by that side's neighbour host).
+  host::Region staging_region(fabric::Direction from) const {
+    return from == fabric::Direction::kLeft ? staging_from_left_
+                                            : staging_from_right_;
+  }
+  // Allocates a fresh completion-domain id (per-PE contexts draw from the
+  // host transport so ids never collide between co-resident PEs).
+  int allocate_domain() { return next_domain_++; }
+
+ private:
+  struct TxChannel {
+    explicit TxChannel(sim::Engine& engine, const std::string& name)
+        : slot(engine, name, 1) {}
+    sim::Resource slot;
+    // Bookkeeping for the in-flight frame, consumed by the ACK handler.
+    bool counts_as_delivery = false;
+    int delivery_domain = 0;
+  };
+
+  enum class RxTokenKind : std::uint8_t {
+    kFrame,         // ScratchPad frame notify (DMAPUT / DMAGET doorbells)
+    kBarrierStart,  // DOORBELL_BARRIER_START
+    kBarrierEnd,    // DOORBELL_BARRIER_END
+  };
+
+  struct RxToken {
+    fabric::Direction from;  // side the signal arrived from
+    RxTokenKind kind = RxTokenKind::kFrame;
+  };
+
+  struct OutboundItem {
+    fabric::Direction dir;            // direction to send
+    std::vector<std::byte> message;   // header+payload; empty for raw frame
+    FrameHeader raw_frame;            // get-request forwarding
+    bool is_raw_frame = false;
+  };
+
+  struct Reassembly {
+    std::vector<std::byte> data;
+    std::uint64_t received = 0;
+  };
+
+  struct PendingGet {
+    std::byte* dst = nullptr;
+    std::uint32_t len = 0;
+    bool done = false;
+    int domain = 0;
+  };
+
+  struct PendingAtomic {
+    std::uint64_t old_value = 0;
+    bool done = false;
+  };
+
+  // ---- context helpers ----
+  int pes_per_host() const;
+  int host_of(int pe) const { return pe / pes_per_host(); }
+  bool is_resident(int pe) const { return host_of(pe) == host_id_; }
+  int leader_pe() const { return host_id_ * pes_per_host(); }
+  fabric::RingFabric& ring() const;
+  ntb::NtbPort& out_port(fabric::Direction d) const;
+  ntb::NtbPort& in_port(fabric::Direction d) const;
+  TxChannel& channel(fabric::Direction d) {
+    return d == fabric::Direction::kRight ? *tx_right_ : *tx_left_;
+  }
+  int neighbor(fabric::Direction d) const;
+  fabric::Route route_to(int target) const;
+  fabric::Route response_route_to(int origin) const;
+  const TimingParams& timing() const;
+
+  // ---- send-side primitives ----
+  // Writes the 7 header registers + doorbell; channel must be held.
+  void emit_frame(fabric::Direction d, const FrameHeader& hdr, int doorbell);
+  // Data write through a window with the configured path; charges
+  // segment_setup per LUT segment when `app_context` is true.
+  void window_write(fabric::Direction d, int window, host::Region region,
+                    std::uint64_t off, std::span<const std::byte> src,
+                    bool app_context);
+  // Sends one message (header+payload) one hop in `d`, chunked through the
+  // bypass buffer with one handshake per chunk. Any process context.
+  void send_message_chunked(fabric::Direction d,
+                            std::span<const std::byte> message);
+  // Application fast path: stage the whole message in one handshake.
+  void send_message_staged(fabric::Direction d,
+                           std::span<const std::byte> message);
+  std::vector<std::byte> build_message(const MessageHeader& header,
+                                       std::span<const std::byte> payload);
+  void enqueue_outbound(OutboundItem item);
+
+  // ---- receive side ----
+  void on_rx_token(fabric::Direction from, RxTokenKind kind);
+  void on_ack(fabric::Direction d);
+  void rx_service_body();
+  void tx_service_body();
+  void process_frame(fabric::Direction from);
+  void ack_frame(fabric::Direction from);
+  void dispatch_message(std::vector<std::byte> message, fabric::Direction from);
+  // Local delivery between co-resident PEs (shared-memory path).
+  void local_put(std::uint64_t heap_offset, std::span<const std::byte> src,
+                 int target_pe);
+  void deliver_put(const MessageHeader& h, std::span<const std::byte> payload);
+  void deliver_get_response(const MessageHeader& h,
+                            std::span<const std::byte> payload);
+  void serve_get_request(const FrameHeader& f);
+  void execute_atomic_request(const MessageHeader& h);
+  void deliver_atomic_response(const MessageHeader& h);
+  std::uint64_t apply_atomic(AtomicOp op, int target_pe,
+                             std::uint64_t heap_offset, std::uint8_t width,
+                             std::uint64_t operand1, std::uint64_t operand2);
+  void send_delivery_ack(std::uint8_t origin, std::uint32_t op_id);
+  // Registers an outstanding counted delivery in `domain`.
+  void track_delivery(int domain, std::uint32_t op_id);
+  void note_delivery_completed(int domain);
+  // Completion of an op id tracked via track_delivery (DeliveryAck path).
+  void note_delivery_completed_op(std::uint32_t op_id);
+
+  // Appends a protocol-trace record when tracing is enabled.
+  void trace(const char* category, const std::string& message);
+  // Charges the CPU cost of a local DRAM-to-DRAM copy.
+  void charge_local_copy(std::uint64_t bytes);
+  // Models the service thread's scheduling latency after an idle wake.
+  void charge_service_wake();
+
+  Runtime& runtime_;
+  int host_id_;
+
+  // Incoming bypass/staging buffers (per arrival side).
+  host::Region staging_from_left_;
+  host::Region staging_from_right_;
+
+  std::unique_ptr<TxChannel> tx_left_;
+  std::unique_ptr<TxChannel> tx_right_;
+
+  // RX service state.
+  std::deque<RxToken> rx_queue_;
+  std::unique_ptr<sim::Event> rx_event_;
+  std::map<std::uint64_t, Reassembly> reassembly_;  // key: origin<<32 | msg id
+
+  // TX service state.
+  std::deque<OutboundItem> tx_queue_;
+  std::unique_ptr<sim::Event> tx_event_;
+
+  // Pending application operations.
+  std::map<std::uint32_t, PendingGet> pending_gets_;
+  std::map<std::uint32_t, PendingAtomic> pending_atomics_;
+  std::unique_ptr<sim::Event> op_event_;
+
+  // Outstanding remote writes per context domain (kFullDelivery
+  // accounting). delivery_domain_of_op_ maps staged/atomic op ids back to
+  // their domain for the end-to-end DeliveryAck path.
+  std::map<int, std::uint64_t> outstanding_by_domain_;
+  std::map<std::uint32_t, int> delivery_domain_of_op_;
+  std::unique_ptr<sim::Event> quiet_event_;
+
+  // Barrier token counters (signals arrive on the left port, Fig. 6).
+  std::uint64_t barrier_start_tokens_ = 0;
+  std::uint64_t barrier_end_tokens_ = 0;
+  std::unique_ptr<sim::Event> barrier_event_;
+  // Hierarchical barrier state for co-resident PEs.
+  int local_barrier_arrived_ = 0;
+  std::uint64_t local_barrier_round_ = 0;
+  std::unique_ptr<sim::Event> local_barrier_event_;
+
+  // Local symmetric-heap update notification (shmem_wait_until).
+  std::unique_ptr<sim::Event> heap_event_;
+
+  std::uint32_t next_op_id_ = 1;
+  std::uint32_t next_msg_id_ = 1;
+  int next_domain_ = 1;  // 0 is reserved (kDefaultDomain, unused directly)
+  TransportStats stats_;
+};
+
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,202 @@
+#include "sim/engine.hpp"
+
+#include <cassert>
+#include <sstream>
+#include <utility>
+
+#include "sim/event.hpp"
+
+namespace ntbshmem::sim {
+
+namespace {
+// The process currently executing on this OS thread (one per Process).
+thread_local Process* t_current_process = nullptr;
+}  // namespace
+
+// ---- Process ---------------------------------------------------------------
+
+Process::Process(Engine& engine, std::string name, std::function<void()> body,
+                 bool daemon)
+    : engine_(engine), name_(std::move(name)), daemon_(daemon) {
+  start_thread(std::move(body));
+}
+
+Process::~Process() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Process::start_thread(std::function<void()> body) {
+  thread_ = std::thread([this, body = std::move(body)]() {
+    resume_.acquire();  // wait for the scheduler to start us
+    if (!killed_) {
+      t_current_process = this;
+      try {
+        body();
+      } catch (const ProcessKilled&) {
+        // Normal shutdown path: unwound cleanly.
+      } catch (...) {
+        if (!engine_.first_error_) engine_.first_error_ = std::current_exception();
+      }
+      t_current_process = nullptr;
+    }
+    finished_ = true;
+    if (!daemon_) {
+      assert(engine_.live_nondaemon_ > 0);
+      engine_.live_nondaemon_--;
+    }
+    engine_.sched_sem_.release();  // hand control back for good
+  });
+}
+
+void Process::block() {
+  if (killed_) {
+    // Shutdown already reached this process. If we are unwinding (a
+    // destructor called back into the engine while ProcessKilled is in
+    // flight), silently return so cleanup can finish; otherwise raise.
+    if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
+    return;
+  }
+  engine_.sched_sem_.release();
+  resume_.acquire();
+  epoch_++;  // consume: any still-queued wake-up for the old epoch is stale
+  if (killed_ && std::uncaught_exceptions() == 0) throw ProcessKilled{};
+}
+
+// ---- CallbackHandle --------------------------------------------------------
+
+void CallbackHandle::cancel() {
+  if (state_) state_->cancelled = true;
+}
+
+// ---- Engine ----------------------------------------------------------------
+
+Engine::Engine() = default;
+
+Engine::~Engine() { shutdown(); }
+
+Process& Engine::spawn(std::string name, std::function<void()> body,
+                       bool daemon) {
+  auto proc = std::unique_ptr<Process>(
+      new Process(*this, std::move(name), std::move(body), daemon));
+  Process* p = proc.get();
+  processes_.push_back(std::move(proc));
+  if (!daemon) live_nondaemon_++;
+  // First resume happens through the normal queue so spawn order == start
+  // order at equal times.
+  queue_.push(QueueItem{now_, next_seq_++, p, p->epoch_, nullptr});
+  return *p;
+}
+
+CallbackHandle Engine::call_at(Time t, std::function<void()> fn) {
+  if (t < now_) t = now_;
+  auto state = std::make_shared<CallbackHandle::State>();
+  state->fn = std::move(fn);
+  queue_.push(QueueItem{t, next_seq_++, nullptr, 0, state});
+  return CallbackHandle(state);
+}
+
+CallbackHandle Engine::call_after(Dur d, std::function<void()> fn) {
+  return call_at(now_ + d, std::move(fn));
+}
+
+void Engine::schedule_process(Time t, Process* p) {
+  if (t < now_) t = now_;
+  queue_.push(QueueItem{t, next_seq_++, p, p->epoch_, nullptr});
+}
+
+void Engine::resume(Process* p) {
+  Process* prev = current_;
+  current_ = p;
+  p->started_ = true;
+  p->resume_.release();
+  sched_sem_.acquire();
+  current_ = prev;
+}
+
+void Engine::run() {
+  if (current_ != nullptr) {
+    throw std::logic_error("Engine::run() called from inside a process");
+  }
+  while (live_nondaemon_ > 0) {
+    if (queue_.empty()) throw_deadlock();
+    QueueItem item = queue_.top();
+    queue_.pop();
+    assert(item.t >= now_);
+    if (item.callback) {
+      if (item.callback->cancelled || item.callback->fired) continue;
+      now_ = item.t;
+      item.callback->fired = true;
+      item.callback->fn();
+      continue;
+    }
+    Process* p = item.process;
+    if (p->finished() || item.epoch != p->epoch_) continue;  // stale wake-up
+    now_ = item.t;
+    resume(p);
+    if (first_error_) {
+      auto err = first_error_;
+      first_error_ = nullptr;
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void Engine::throw_deadlock() {
+  std::ostringstream oss;
+  oss << "simulation deadlock at t=" << now_ << "ns; blocked processes:";
+  for (const auto& p : processes_) {
+    if (p->finished() || p->daemon()) continue;
+    oss << " [" << p->name();
+    if (p->waiting_on_ != nullptr) oss << " waiting on " << p->waiting_on_->name();
+    oss << "]";
+  }
+  throw SimDeadlock(oss.str());
+}
+
+void Engine::wait_until(Time t) {
+  Process* p = require_current("wait_until");
+  if (t < now_) t = now_;
+  schedule_process(t, p);
+  p->block();
+}
+
+void Engine::wait_for(Dur d) { wait_until(now_ + d); }
+
+void Engine::yield() {
+  Process* p = require_current("yield");
+  schedule_process(now_, p);
+  p->block();
+}
+
+Process* Engine::require_current(const char* op) const {
+  Process* p = t_current_process;
+  if (p == nullptr || &p->engine() != this) {
+    throw std::logic_error(std::string("Engine::") + op +
+                           " called outside a process of this engine");
+  }
+  return p;
+}
+
+std::size_t Engine::live_processes() const {
+  std::size_t n = 0;
+  for (const auto& p : processes_) {
+    if (!p->finished()) ++n;
+  }
+  return n;
+}
+
+void Engine::shutdown() {
+  shutting_down_ = true;
+  // Kill every unfinished process: mark, resume, wait for it to exit its
+  // thread function (it releases sched_sem_ exactly once when finishing).
+  for (auto& p : processes_) {
+    if (p->finished()) continue;
+    p->killed_ = true;
+    p->resume_.release();
+    sched_sem_.acquire();
+    assert(p->finished());
+  }
+  // Threads are joined by ~Process.
+}
+
+}  // namespace ntbshmem::sim

@@ -1,0 +1,198 @@
+// Cooperative discrete-event engine with thread-backed processes.
+//
+// Each simulated actor (an OpenSHMEM PE, an NTB service thread, a DMA
+// engine) is a `Process`: a real OS thread whose execution is serialized by
+// the engine so that exactly one process runs at a time and the virtual
+// clock only advances between process steps. This gives us:
+//
+//   * blocking APIs with the same shape as the real OpenSHMEM library
+//     (shmem_getmem blocks its calling PE),
+//   * deterministic execution: the run queue is ordered by (time, sequence),
+//     so identical workloads produce identical schedules, and
+//   * zero wall-clock dependence: the virtual clock is driven purely by the
+//     timing model.
+//
+// The engine also supports inline callbacks (`call_at`/`call_after`) that
+// run in the scheduler context without a thread switch — used for interrupt
+// delivery, DMA completion and bandwidth-resource bookkeeping.
+//
+// Thread-safety: none needed. All processes are serialized by construction;
+// engine state is only ever touched by the single active thread.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <semaphore>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ntbshmem::sim {
+
+class Engine;
+class Event;
+
+// Thrown (once) inside a process when the engine shuts down while the
+// process is still blocked; unwinds the process stack so RAII cleanup runs.
+struct ProcessKilled {};
+
+// Raised by Engine::run() when no timed work remains but non-daemon
+// processes are still blocked on events — i.e. the simulation can never
+// make progress again.
+class SimDeadlock : public std::runtime_error {
+ public:
+  explicit SimDeadlock(const std::string& what) : std::runtime_error(what) {}
+};
+
+enum class WakeReason : std::uint8_t { kNone, kNotified, kTimeout };
+
+class Process {
+ public:
+  Process(const Process&) = delete;
+  Process& operator=(const Process&) = delete;
+  ~Process();
+
+  const std::string& name() const { return name_; }
+  bool finished() const { return finished_; }
+  bool daemon() const { return daemon_; }
+  Engine& engine() const { return engine_; }
+
+ private:
+  friend class Engine;
+  friend class Event;
+
+  Process(Engine& engine, std::string name, std::function<void()> body,
+          bool daemon);
+
+  void start_thread(std::function<void()> body);
+  // Yields control back to the scheduler; returns when rescheduled.
+  void block();
+
+  Engine& engine_;
+  std::string name_;
+  bool daemon_;
+  bool finished_ = false;
+  bool started_ = false;
+  bool killed_ = false;
+  // Incremented every time the process is actually resumed; queue entries
+  // carry the epoch they were created under so a stale entry (e.g. the
+  // timeout of a wait that was satisfied by a notify) is skipped.
+  std::uint64_t epoch_ = 0;
+  WakeReason wake_reason_ = WakeReason::kNone;
+  Event* waiting_on_ = nullptr;  // diagnostics + timeout cleanup
+  std::binary_semaphore resume_{0};
+  std::thread thread_;
+};
+
+// Handle for a scheduled inline callback; cancel() is idempotent and safe
+// after the callback has fired.
+class CallbackHandle {
+ public:
+  CallbackHandle() = default;
+  void cancel();
+  bool valid() const { return state_ != nullptr; }
+
+ private:
+  friend class Engine;
+  struct State {
+    std::function<void()> fn;
+    bool cancelled = false;
+    bool fired = false;
+  };
+  explicit CallbackHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Engine {
+ public:
+  Engine();
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  Time now() const { return now_; }
+
+  // Creates a process; it is scheduled to start at the current time.
+  // Daemon processes (service threads) do not keep run() alive.
+  Process& spawn(std::string name, std::function<void()> body,
+                 bool daemon = false);
+
+  // Runs until every non-daemon process has finished. Throws SimDeadlock if
+  // progress becomes impossible; rethrows the first exception escaping any
+  // process body. May be called repeatedly (daemons persist between runs).
+  void run();
+
+  // Schedules `fn` to run in scheduler context at time `t` (>= now).
+  CallbackHandle call_at(Time t, std::function<void()> fn);
+  CallbackHandle call_after(Dur d, std::function<void()> fn);
+
+  // ---- Process-context operations (must run inside a spawned process) ----
+  void wait_until(Time t);
+  void wait_for(Dur d);
+  // Reschedules the current process at the current time, after everything
+  // already queued for this instant.
+  void yield();
+
+  // The process currently executing on this engine (nullptr in scheduler
+  // context / outside the simulation).
+  Process* current() const { return current_; }
+
+  // Number of processes that have been spawned but not finished.
+  std::size_t live_processes() const;
+
+  // ---- Low-level primitives for building synchronization objects ----------
+  // (used by Event/Resource/BandwidthResource; not for application code)
+
+  // Returns the current process, throwing std::logic_error (naming `op`)
+  // when called outside a process of this engine.
+  Process* require_current(const char* op) const;
+  // Enqueues a wake-up for `p` at time `t` tagged with its current epoch.
+  // The wake-up is ignored if `p` is resumed by other means first.
+  void schedule_process(Time t, Process* p);
+  // Parks `p` (must be the current process) until schedule_process resumes
+  // it — the building block for custom blocking primitives.
+  void block_current(Process* p) { p->block(); }
+
+ private:
+  friend class Process;
+  friend class Event;
+
+  struct QueueItem {
+    Time t;
+    std::uint64_t seq;
+    // Exactly one of the two below is set.
+    Process* process = nullptr;
+    std::uint64_t epoch = 0;  // valid when process != nullptr
+    std::shared_ptr<CallbackHandle::State> callback;
+  };
+  struct QueueCmp {
+    bool operator()(const QueueItem& a, const QueueItem& b) const {
+      if (a.t != b.t) return a.t > b.t;  // min-heap on time
+      return a.seq > b.seq;              // FIFO tie-break
+    }
+  };
+
+  // Transfers control to `p` and waits until it yields back.
+  void resume(Process* p);
+  void shutdown();
+  [[noreturn]] void throw_deadlock();
+
+  Time now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueCmp> queue_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::size_t live_nondaemon_ = 0;
+  Process* current_ = nullptr;
+  std::binary_semaphore sched_sem_{0};
+  std::exception_ptr first_error_;
+  bool shutting_down_ = false;
+};
+
+}  // namespace ntbshmem::sim

@@ -1,0 +1,41 @@
+#include "sim/resource.hpp"
+
+#include <stdexcept>
+
+namespace ntbshmem::sim {
+
+void Resource::acquire() {
+  Process* p = engine_.require_current("Resource::acquire");
+  if (available_ > 0 && waiters_.empty()) {
+    --available_;
+    return;
+  }
+  waiters_.push_back(p);
+  engine_.block_current(p);
+  // Ownership was handed to us directly by release(); nothing to decrement.
+}
+
+bool Resource::try_acquire() {
+  if (available_ > 0 && waiters_.empty()) {
+    --available_;
+    return true;
+  }
+  return false;
+}
+
+void Resource::release() {
+  if (!waiters_.empty()) {
+    Process* next = waiters_.front();
+    waiters_.pop_front();
+    // Hand the unit over without incrementing available_, so nobody can
+    // barge in front of the queued waiter.
+    engine_.schedule_process(engine_.now(), next);
+    return;
+  }
+  if (available_ >= capacity_) {
+    throw std::logic_error("Resource::release over capacity: " + name_);
+  }
+  ++available_;
+}
+
+}  // namespace ntbshmem::sim

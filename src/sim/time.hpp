@@ -1,0 +1,38 @@
+// Virtual time for the discrete-event simulator.
+//
+// The clock ticks in integer nanoseconds. Integer time keeps runs exactly
+// reproducible: two executions of the same workload produce identical event
+// orderings and identical completion timestamps (asserted by
+// tests/sim/determinism_test.cpp).
+#pragma once
+
+#include <cstdint>
+
+namespace ntbshmem::sim {
+
+// Absolute simulation time (ns since simulation start) and durations (ns).
+using Time = std::int64_t;
+using Dur = std::int64_t;
+
+inline constexpr Dur kNs = 1;
+inline constexpr Dur kUs = 1000;
+inline constexpr Dur kMs = 1000 * 1000;
+inline constexpr Dur kSec = 1000 * 1000 * 1000;
+
+constexpr Dur nsec(std::int64_t v) { return v; }
+constexpr Dur usec(std::int64_t v) { return v * kUs; }
+constexpr Dur msec(std::int64_t v) { return v * kMs; }
+
+constexpr double to_seconds(Dur d) { return static_cast<double>(d) * 1e-9; }
+constexpr double to_us(Dur d) { return static_cast<double>(d) * 1e-3; }
+constexpr double to_ms(Dur d) { return static_cast<double>(d) * 1e-6; }
+
+// Wire/bus time for `bytes` at `bytes_per_sec`, rounded up to the next tick.
+// bytes_per_sec must be > 0.
+constexpr Dur duration_for_bytes(std::uint64_t bytes, double bytes_per_sec) {
+  const double ns = static_cast<double>(bytes) / bytes_per_sec * 1e9;
+  const Dur whole = static_cast<Dur>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+}  // namespace ntbshmem::sim

@@ -1,0 +1,50 @@
+// Lightweight trace recorder.
+//
+// Components append timestamped records when a TraceRecorder is attached;
+// tests use it to assert protocol ordering (e.g. "barrier_end never
+// precedes barrier_start on any host") and debugging sessions dump it.
+// Recording is O(1) per record and disabled by default (null recorder).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace ntbshmem::sim {
+
+struct TraceRecord {
+  Time t;
+  std::string category;  // e.g. "doorbell", "dma", "barrier"
+  std::string message;
+};
+
+class TraceRecorder {
+ public:
+  void record(Time t, std::string category, std::string message) {
+    if (!enabled_) return;
+    records_.push_back(TraceRecord{t, std::move(category), std::move(message)});
+  }
+
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+  void clear() { records_.clear(); }
+  const std::vector<TraceRecord>& records() const { return records_; }
+
+  // All records in a category, in time order (records are appended in
+  // nondecreasing time order by construction).
+  std::vector<TraceRecord> filter(const std::string& category) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+      if (r.category == category) out.push_back(r);
+    }
+    return out;
+  }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace ntbshmem::sim

@@ -1,0 +1,46 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/timing_params.hpp"
+
+namespace ntbshmem {
+namespace {
+
+TEST(LogTest, LevelGating) {
+  set_log_level(LogLevel::kWarn);
+  EXPECT_TRUE(log_enabled(LogLevel::kError));
+  EXPECT_TRUE(log_enabled(LogLevel::kWarn));
+  EXPECT_FALSE(log_enabled(LogLevel::kInfo));
+  EXPECT_FALSE(log_enabled(LogLevel::kTrace));
+  set_log_level(LogLevel::kOff);
+  EXPECT_FALSE(log_enabled(LogLevel::kError));
+}
+
+TEST(LogTest, MacroCompilesAndRespectsLevel) {
+  set_log_level(LogLevel::kOff);
+  NTB_LOG_ERROR("must not print %d", 1);  // gated off
+  set_log_level(LogLevel::kDebug);
+  NTB_LOG_DEBUG("debug line %s", "ok");   // prints to stderr
+  set_log_level(LogLevel::kOff);
+}
+
+TEST(TimingPresetsTest, PresetsDifferInTheStudiedKnobs) {
+  const TimingParams paper = paper_testbed();
+  const TimingParams fast = fast_interrupts();
+  const TimingParams gen4 = gen4_fabric();
+  EXPECT_LT(fast.service_wake, paper.service_wake);
+  EXPECT_LT(fast.intr_delivery, paper.intr_delivery);
+  EXPECT_EQ(fast.dma_rate_Bps, paper.dma_rate_Bps);
+  EXPECT_GT(gen4.dma_rate_Bps, paper.dma_rate_Bps);
+  EXPECT_EQ(gen4.service_wake, paper.service_wake);
+  EXPECT_EQ(gen4.pcie_gen, 4);
+}
+
+TEST(TimingPresetsTest, ControlHeaderCostMatchesRegisterCount) {
+  const TimingParams p = paper_testbed();
+  EXPECT_EQ(p.control_header_cost(), 7 * p.reg_access);
+}
+
+}  // namespace
+}  // namespace ntbshmem

@@ -1,0 +1,34 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntbshmem {
+namespace {
+
+TEST(TableTest, RendersHeaderAndRows) {
+  Table t("Fig X", {"Size", "A", "B"});
+  t.add_row({"1KB", "10.0", "20.0"});
+  t.add_row("2KB", {30.0, 40.0});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("== Fig X =="), std::string::npos);
+  EXPECT_NE(out.find("Size"), std::string::npos);
+  EXPECT_NE(out.find("1KB"), std::string::npos);
+  EXPECT_NE(out.find("30.0"), std::string::npos);
+}
+
+TEST(TableTest, ShortRowsArePadded) {
+  Table t("pad", {"a", "b", "c"});
+  t.add_row({"x"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("x"), std::string::npos);
+  EXPECT_NE(out.find("-"), std::string::npos);
+}
+
+TEST(TableTest, PrecisionControlsFormatting) {
+  Table t("prec", {"label", "v"});
+  t.add_row("r", {3.14159}, 3);
+  EXPECT_NE(t.to_string().find("3.142"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntbshmem

@@ -1,0 +1,38 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntbshmem {
+namespace {
+
+TEST(UnitsTest, Literals) {
+  EXPECT_EQ(1_KiB, 1024u);
+  EXPECT_EQ(2_MiB, 2u * 1024 * 1024);
+  EXPECT_EQ(1_GiB, 1024u * 1024 * 1024);
+}
+
+TEST(UnitsTest, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(gbps_to_Bps(8.0), 1e9);
+  EXPECT_DOUBLE_EQ(MBps_to_Bps(1.0), 1e6);
+  EXPECT_DOUBLE_EQ(Bps_to_MBps(2.5e9), 2500.0);
+  EXPECT_DOUBLE_EQ(Bps_to_gbps(2.5e9), 20.0);
+}
+
+TEST(UnitsTest, FormatSizeUsesPaperAxisLabels) {
+  EXPECT_EQ(format_size(1_KiB), "1KB");
+  EXPECT_EQ(format_size(512_KiB), "512KB");
+  EXPECT_EQ(format_size(3_MiB), "3MB");
+  EXPECT_EQ(format_size(1_GiB), "1GB");
+  EXPECT_EQ(format_size(100), "100B");
+  EXPECT_EQ(format_size(1536), "1536B");  // non-integral KB stays in bytes
+}
+
+TEST(UnitsTest, FormatBandwidth) {
+  EXPECT_EQ(format_bandwidth(2.5e9), "2.50 GB/s");
+  EXPECT_EQ(format_bandwidth(350e6), "350.00 MB/s");
+  EXPECT_EQ(format_bandwidth(1.5e3), "1.50 KB/s");
+  EXPECT_EQ(format_bandwidth(12.0), "12.00 B/s");
+}
+
+}  // namespace
+}  // namespace ntbshmem

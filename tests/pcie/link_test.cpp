@@ -1,0 +1,95 @@
+// PCIe config math and full-duplex link behaviour.
+#include "pcie/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+
+namespace ntbshmem::pcie {
+namespace {
+
+TEST(LinkConfigTest, Gen3x8BandwidthMath) {
+  LinkConfig cfg = gen_lanes(Gen::kGen3, 8);
+  // 8 GT/s * 128/130 * 8 lanes / 8 bits = ~7.877 GB/s raw.
+  EXPECT_NEAR(cfg.raw_Bps(), 7.877e9, 0.01e9);
+  // 256B payload / 282B on the wire ≈ 0.908.
+  EXPECT_NEAR(cfg.framing_efficiency(), 0.9078, 1e-3);
+  EXPECT_NEAR(cfg.effective_Bps(), 7.15e9, 0.05e9);
+}
+
+TEST(LinkConfigTest, Gen1UsesEightTenEncoding) {
+  LinkConfig cfg = gen_lanes(Gen::kGen1, 4);
+  // 2.5 GT/s * 0.8 * 4 / 8 = 1.0 GB/s raw.
+  EXPECT_NEAR(cfg.raw_Bps(), 1.0e9, 1e6);
+}
+
+TEST(LinkConfigTest, LargerPayloadImprovesEfficiency) {
+  LinkConfig small = gen_lanes(Gen::kGen3, 8);
+  small.max_payload = 128;
+  LinkConfig big = gen_lanes(Gen::kGen3, 8);
+  big.max_payload = 512;
+  EXPECT_LT(small.framing_efficiency(), big.framing_efficiency());
+}
+
+TEST(LinkConfigTest, ValidationRejectsBadValues) {
+  EXPECT_THROW(gen_lanes(Gen::kGen3, 3), std::invalid_argument);
+  LinkConfig cfg = gen_lanes(Gen::kGen3, 8);
+  cfg.max_payload = 100;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+  cfg.max_payload = 8192;
+  EXPECT_THROW(cfg.validate(), std::invalid_argument);
+}
+
+TEST(LinkTest, FullDuplexDirectionsDoNotContend) {
+  sim::Engine engine;
+  Link link(engine, "l", gen_lanes(Gen::kGen3, 8));
+  const double bps = link.config().effective_Bps();
+  sim::Time done_fwd = -1;
+  sim::Time done_rev = -1;
+  const std::uint64_t bytes = 1'000'000;
+  engine.spawn("fwd", [&] {
+    link.direction_from(End::kA).transfer(bytes);
+    done_fwd = engine.now();
+  });
+  engine.spawn("rev", [&] {
+    link.direction_from(End::kB).transfer(bytes);
+    done_rev = engine.now();
+  });
+  engine.run();
+  const double solo_ns = static_cast<double>(bytes) / bps * 1e9;
+  EXPECT_NEAR(static_cast<double>(done_fwd), solo_ns, 2000);
+  EXPECT_NEAR(static_cast<double>(done_rev), solo_ns, 2000);
+}
+
+TEST(LinkTest, SameDirectionFlowsShare) {
+  sim::Engine engine;
+  Link link(engine, "l", gen_lanes(Gen::kGen3, 8));
+  const double bps = link.config().effective_Bps();
+  sim::Time done = -1;
+  const std::uint64_t bytes = 1'000'000;
+  engine.spawn("a", [&] { link.direction_from(End::kA).transfer(bytes); });
+  engine.spawn("b", [&] {
+    link.direction_from(End::kA).transfer(bytes);
+    done = engine.now();
+  });
+  engine.run();
+  const double shared_ns = 2.0 * static_cast<double>(bytes) / bps * 1e9;
+  EXPECT_NEAR(static_cast<double>(done), shared_ns, 4000);
+}
+
+TEST(LinkTest, DownLinkRejectsTraffic) {
+  sim::Engine engine;
+  Link link(engine, "l", gen_lanes(Gen::kGen3, 8));
+  link.set_up(false);
+  EXPECT_THROW(link.direction_from(End::kA), LinkDownError);
+  link.set_up(true);
+  EXPECT_NO_THROW(link.direction_from(End::kA));
+}
+
+TEST(LinkTest, OppositeEnd) {
+  EXPECT_EQ(opposite(End::kA), End::kB);
+  EXPECT_EQ(opposite(End::kB), End::kA);
+}
+
+}  // namespace
+}  // namespace ntbshmem::pcie

@@ -1,0 +1,267 @@
+// Collectives: broadcast, reductions (all ops, chunked pipeline), collect,
+// fcollect, alltoall — over full and strided active sets.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::test_options;
+
+long psync_storage[SHMEM_BCAST_SYNC_SIZE] = {0};  // accepted, unused
+
+TEST(CollectivesTest, Broadcast64ToAll) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    auto* target = static_cast<long*>(shmem_malloc(8 * sizeof(long)));
+    auto* source = static_cast<long*>(shmem_malloc(8 * sizeof(long)));
+    for (int i = 0; i < 8; ++i) {
+      source[i] = shmem_my_pe() * 100 + i;
+      target[i] = -1;
+    }
+    shmem_barrier_all();
+    shmem_broadcast64(target, source, 8, /*root=*/1, 0, 0, 4, psync_storage);
+    if (shmem_my_pe() != 1) {
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(target[i], 100 + i);
+    } else {
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(target[i], -1) << "1.x: root target untouched";
+      }
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, BroadcastOverStridedActiveSet) {
+  Runtime rt(test_options(5));
+  rt.run([&] {
+    shmem_init();
+    auto* target = static_cast<int*>(shmem_malloc(4 * sizeof(int)));
+    auto* source = static_cast<int*>(shmem_malloc(4 * sizeof(int)));
+    for (int i = 0; i < 4; ++i) {
+      source[i] = shmem_my_pe() * 10 + i;
+      target[i] = -1;
+    }
+    shmem_barrier_all();
+    // Active set {0, 2, 4}; root index 2 -> PE 4 is the data source.
+    if (shmem_my_pe() % 2 == 0) {
+      shmem_broadcast32(target, source, 4, 2, 0, 1, 3, psync_storage);
+      if (shmem_my_pe() != 4) {
+        for (int i = 0; i < 4; ++i) EXPECT_EQ(target[i], 40 + i);
+      }
+    }
+    shmem_barrier_all();
+    // PEs outside the set untouched.
+    if (shmem_my_pe() % 2 == 1) {
+      for (int i = 0; i < 4; ++i) EXPECT_EQ(target[i], -1);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, SumReductionAllTypes) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    const int n = 16;
+    auto* ti = static_cast<int*>(shmem_malloc(n * sizeof(int)));
+    auto* si = static_cast<int*>(shmem_malloc(n * sizeof(int)));
+    auto* td = static_cast<double*>(shmem_malloc(n * sizeof(double)));
+    auto* sd = static_cast<double*>(shmem_malloc(n * sizeof(double)));
+    for (int i = 0; i < n; ++i) {
+      si[i] = shmem_my_pe() + i;
+      sd[i] = 0.5 * shmem_my_pe() + i;
+    }
+    shmem_barrier_all();
+    shmem_int_sum_to_all(ti, si, n, 0, 0, 3, nullptr, psync_storage);
+    shmem_double_sum_to_all(td, sd, n, 0, 0, 3, nullptr, psync_storage);
+    for (int i = 0; i < n; ++i) {
+      EXPECT_EQ(ti[i], (0 + 1 + 2) + 3 * i);
+      EXPECT_DOUBLE_EQ(td[i], 0.5 * (0 + 1 + 2) + 3.0 * i);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, MinMaxProdReductions) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    auto* t = static_cast<long*>(shmem_malloc(4 * sizeof(long)));
+    auto* s = static_cast<long*>(shmem_malloc(4 * sizeof(long)));
+    const long me = shmem_my_pe();
+    s[0] = me + 1;       // prod -> 4! = 24
+    s[1] = 10 - me;      // min -> 7
+    s[2] = me * me;      // max -> 9
+    s[3] = -me;          // min -> -3
+    shmem_barrier_all();
+    shmem_long_prod_to_all(t, s, 1, 0, 0, 4, nullptr, psync_storage);
+    EXPECT_EQ(t[0], 24);
+    shmem_long_min_to_all(t + 1, s + 1, 1, 0, 0, 4, nullptr, psync_storage);
+    EXPECT_EQ(t[1], 7);
+    shmem_long_max_to_all(t + 2, s + 2, 1, 0, 0, 4, nullptr, psync_storage);
+    EXPECT_EQ(t[2], 9);
+    shmem_long_min_to_all(t + 3, s + 3, 1, 0, 0, 4, nullptr, psync_storage);
+    EXPECT_EQ(t[3], -3);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, BitwiseReductions) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* t = static_cast<int*>(shmem_malloc(sizeof(int)));
+    auto* s = static_cast<int*>(shmem_malloc(sizeof(int)));
+    *s = 1 << shmem_my_pe();
+    shmem_barrier_all();
+    shmem_int_or_to_all(t, s, 1, 0, 0, 3, nullptr, psync_storage);
+    EXPECT_EQ(*t, 0b111);
+    shmem_int_and_to_all(t, s, 1, 0, 0, 3, nullptr, psync_storage);
+    EXPECT_EQ(*t, 0);
+    shmem_int_xor_to_all(t, s, 1, 0, 0, 3, nullptr, psync_storage);
+    EXPECT_EQ(*t, 0b111);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, InPlaceReduction) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<int*>(shmem_malloc(8 * sizeof(int)));
+    for (int i = 0; i < 8; ++i) buf[i] = shmem_my_pe() + 1;
+    shmem_barrier_all();
+    shmem_int_sum_to_all(buf, buf, 8, 0, 0, 3, nullptr, psync_storage);
+    for (int i = 0; i < 8; ++i) EXPECT_EQ(buf[i], 6);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, LargeReductionExercisesChunkedPipeline) {
+  // > 64KB of payload: the reduce pipeline must chunk through the scratch
+  // buffer with back-pressure acks.
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    const int n = 48 * 1024;  // 192 KB of ints
+    auto* t = static_cast<int*>(shmem_malloc(n * sizeof(int)));
+    auto* s = static_cast<int*>(shmem_malloc(n * sizeof(int)));
+    for (int i = 0; i < n; ++i) s[i] = (shmem_my_pe() + 1) * (i % 7);
+    shmem_barrier_all();
+    shmem_int_sum_to_all(t, s, n, 0, 0, 3, nullptr, psync_storage);
+    for (int i = 0; i < n; i += 997) {
+      EXPECT_EQ(t[i], 6 * (i % 7)) << "index " << i;
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, FcollectGathersInIndexOrder) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    const int n = 8;
+    auto* t = static_cast<long*>(shmem_malloc(4 * n * sizeof(long)));
+    auto* s = static_cast<long*>(shmem_malloc(n * sizeof(long)));
+    for (int i = 0; i < n; ++i) s[i] = shmem_my_pe() * 1000 + i;
+    shmem_barrier_all();
+    shmem_fcollect64(t, s, n, 0, 0, 4, psync_storage);
+    for (int pe = 0; pe < 4; ++pe) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(t[pe * n + i], pe * 1000 + i);
+      }
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, CollectHandlesVariableContributions) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    // PE k contributes k+1 elements.
+    const int mine = shmem_my_pe() + 1;
+    auto* t = static_cast<int*>(shmem_malloc(6 * sizeof(int)));
+    auto* s = static_cast<int*>(shmem_malloc(3 * sizeof(int)));
+    for (int i = 0; i < mine; ++i) s[i] = shmem_my_pe() * 10 + i;
+    shmem_barrier_all();
+    shmem_collect32(t, s, static_cast<std::size_t>(mine), 0, 0, 3,
+                    psync_storage);
+    const int want[6] = {0, 10, 11, 20, 21, 22};
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(t[i], want[i]);
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, AlltoallExchangesBlocks) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    const int n = 4;  // elements per block
+    auto* t = static_cast<int*>(shmem_malloc(3 * n * sizeof(int)));
+    auto* s = static_cast<int*>(shmem_malloc(3 * n * sizeof(int)));
+    for (int j = 0; j < 3; ++j) {
+      for (int i = 0; i < n; ++i) {
+        s[j * n + i] = shmem_my_pe() * 100 + j * 10 + i;
+      }
+    }
+    shmem_barrier_all();
+    shmem_alltoall32(t, s, n, 0, 0, 3, psync_storage);
+    // Block j of my target came from PE j's block `my_pe`.
+    for (int j = 0; j < 3; ++j) {
+      for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(t[j * n + i], j * 100 + shmem_my_pe() * 10 + i);
+      }
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, NullPsyncRejected) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<int*>(shmem_malloc(4 * sizeof(int)));
+    EXPECT_THROW(shmem_broadcast32(buf, buf, 1, 0, 0, 0, 2, nullptr),
+                 std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+TEST(CollectivesTest, RepeatedMixedCollectivesStayConsistent) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* t = static_cast<long*>(shmem_malloc(8 * sizeof(long)));
+    auto* s = static_cast<long*>(shmem_malloc(8 * sizeof(long)));
+    for (int round = 0; round < 5; ++round) {
+      for (int i = 0; i < 8; ++i) s[i] = shmem_my_pe() + round + i;
+      shmem_barrier_all();
+      shmem_long_sum_to_all(t, s, 8, 0, 0, 3, nullptr, psync_storage);
+      for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(t[i], 3L * (round + i) + 3) << "round " << round;
+      }
+      shmem_broadcast64(t, s, 8, 0, 0, 0, 3, psync_storage);
+      if (shmem_my_pe() != 0) {
+        for (int i = 0; i < 8; ++i) EXPECT_EQ(t[i], round + i);
+      }
+    }
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

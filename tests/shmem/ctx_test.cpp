@@ -1,0 +1,145 @@
+// Communication contexts: independent completion domains — the defining
+// property is that shmem_ctx_quiet(c) completes c's operations without
+// waiting for (slow) traffic on other contexts.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::pattern;
+using testing::test_options;
+
+TEST(CtxTest, CreateUseDestroy) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    shmem_ctx_t c = SHMEM_CTX_INVALID;
+    ASSERT_EQ(shmem_ctx_create(SHMEM_CTX_PRIVATE, &c), 0);
+    ASSERT_NE(c, SHMEM_CTX_INVALID);
+    ASSERT_NE(c, SHMEM_CTX_DEFAULT);
+    auto* buf = static_cast<std::byte*>(shmem_malloc(1024));
+    const auto data = pattern(512, 1);
+    if (shmem_my_pe() == 0) {
+      shmem_ctx_putmem(c, buf, data.data(), data.size(), 1);
+      shmem_ctx_quiet(c);
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_EQ(std::memcmp(buf, data.data(), data.size()), 0);
+    }
+    shmem_ctx_destroy(c);
+    EXPECT_THROW(shmem_ctx_quiet(c), std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+TEST(CtxTest, QuietIsPerContext) {
+  // A quiet on context A must not wait for a large multi-hop put issued on
+  // context B whose forwarding is still in flight.
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    auto* big = static_cast<std::byte*>(shmem_malloc(512 * 1024));
+    auto* small = static_cast<std::byte*>(shmem_malloc(1024));
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_ctx_t slow = SHMEM_CTX_INVALID;
+      shmem_ctx_t fast = SHMEM_CTX_INVALID;
+      shmem_ctx_create(0, &slow);
+      shmem_ctx_create(0, &fast);
+      sim::Engine& eng = Runtime::current()->runtime().engine();
+
+      // Slow: 512KB to PE 3 (3 hops of chunked forwarding, ~tens of ms).
+      const auto big_data = pattern(512 * 1024, 7);
+      shmem_ctx_putmem_nbi(slow, big, big_data.data(), big_data.size(), 3);
+
+      // Fast: 1KB to the neighbour on its own context.
+      const auto small_data = pattern(1024, 8);
+      shmem_ctx_putmem(fast, small, small_data.data(), small_data.size(), 1);
+
+      const sim::Time t0 = eng.now();
+      shmem_ctx_quiet(fast);
+      const sim::Dur fast_quiet = eng.now() - t0;
+
+      const sim::Time t1 = eng.now();
+      shmem_ctx_quiet(slow);
+      const sim::Dur slow_quiet = eng.now() - t1;
+
+      // The fast context drains in sub-millisecond time; the slow one has
+      // to wait for the multi-hop forwarding and its end-to-end ack.
+      EXPECT_LT(fast_quiet, sim::msec(2));
+      EXPECT_GT(slow_quiet, sim::msec(10));
+      shmem_ctx_destroy(slow);
+      shmem_ctx_destroy(fast);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CtxTest, DefaultQuietDrainsEverything) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(64 * 1024));
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_ctx_t c = SHMEM_CTX_INVALID;
+      shmem_ctx_create(0, &c);
+      const auto data = pattern(64 * 1024, 3);
+      shmem_ctx_putmem_nbi(c, buf, data.data(), data.size(), 2);
+      shmem_quiet();  // ctx-less quiet drains ALL domains
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 2) {
+      const auto want = pattern(64 * 1024, 3);
+      EXPECT_EQ(std::memcmp(buf, want.data(), want.size()), 0);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(CtxTest, CtxGetNbiCompletesOnCtxQuiet) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(8192));
+    const int me = shmem_my_pe();
+    const auto mine = pattern(8192, me);
+    std::memcpy(buf, mine.data(), mine.size());
+    shmem_barrier_all();
+    shmem_ctx_t c = SHMEM_CTX_INVALID;
+    shmem_ctx_create(0, &c);
+    std::vector<std::byte> got(8192);
+    shmem_ctx_getmem_nbi(c, got.data(), buf, got.size(), (me + 1) % 3);
+    shmem_ctx_quiet(c);
+    const auto want = pattern(8192, (me + 1) % 3);
+    EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size()), 0);
+    shmem_ctx_destroy(c);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(CtxTest, DestroyDefaultAndDoubleDestroyRejected) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    EXPECT_THROW(shmem_ctx_destroy(SHMEM_CTX_DEFAULT), std::invalid_argument);
+    shmem_ctx_t c = SHMEM_CTX_INVALID;
+    shmem_ctx_create(0, &c);
+    shmem_ctx_destroy(c);
+    EXPECT_THROW(shmem_ctx_destroy(c), std::invalid_argument);
+    EXPECT_THROW(shmem_ctx_create(0, nullptr), std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,90 @@
+// Distributed locks: mutual exclusion, test_lock semantics, reuse.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::test_options;
+
+TEST(LocksTest, MutualExclusionAcrossPes) {
+  Runtime rt(test_options(4));
+  int inside = 0;
+  int max_inside = 0;
+  long final_value = 0;
+  rt.run([&] {
+    shmem_init();
+    auto* lock = static_cast<long*>(shmem_malloc(sizeof(long)));
+    auto* shared = static_cast<long*>(shmem_malloc(sizeof(long)));
+    *lock = 0;
+    *shared = 0;
+    shmem_barrier_all();
+    for (int i = 0; i < 5; ++i) {
+      shmem_set_lock(lock);
+      ++inside;
+      max_inside = std::max(max_inside, inside);
+      // Read-modify-write on PE0's copy without atomics: only safe under
+      // the lock.
+      const long v = shmem_long_g(shared, 0);
+      Runtime::current()->runtime().engine().wait_for(sim::usec(200));
+      shmem_long_p(shared, v + 1, 0);
+      shmem_quiet();
+      --inside;
+      shmem_clear_lock(lock);
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) final_value = *shared;
+    shmem_finalize();
+  });
+  EXPECT_EQ(max_inside, 1) << "two PEs inside the critical section";
+  EXPECT_EQ(final_value, 20) << "lost updates under the lock";
+}
+
+TEST(LocksTest, TestLockFailsWhenHeld) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* lock = static_cast<long*>(shmem_malloc(sizeof(long)));
+    *lock = 0;
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      EXPECT_EQ(shmem_test_lock(lock), 0);  // acquired
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_EQ(shmem_test_lock(lock), 1);  // busy
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) shmem_clear_lock(lock);
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_EQ(shmem_test_lock(lock), 0);
+      shmem_clear_lock(lock);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(LocksTest, LockReusableManyTimes) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* lock = static_cast<long*>(shmem_malloc(sizeof(long)));
+    *lock = 0;
+    shmem_barrier_all();
+    for (int i = 0; i < 10; ++i) {
+      shmem_set_lock(lock);
+      shmem_clear_lock(lock);
+    }
+    shmem_barrier_all();
+    EXPECT_EQ(*lock, 0) << "lock word must end clear on PE0's copy";
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

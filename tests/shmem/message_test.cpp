@@ -1,0 +1,84 @@
+// Wire-format codecs: frame header scratchpad packing and the message
+// header serialization.
+#include "shmem/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ntbshmem::shmem {
+namespace {
+
+TEST(FrameHeaderTest, PackUnpackRoundTrip) {
+  FrameHeader h;
+  h.kind = FrameKind::kChunk;
+  h.origin_pe = 7;
+  h.target_pe = 250;
+  h.flags = 0x5a;
+  h.id = 0xdeadbeef;
+  h.a = 0x1234'5678'9abc'def0ull;
+  h.b = 0xcafe0001;
+  h.c = 0xf00dbeef;
+  h.d = 42;
+  const FrameHeader back = FrameHeader::unpack(h.pack());
+  EXPECT_EQ(back.kind, h.kind);
+  EXPECT_EQ(back.origin_pe, h.origin_pe);
+  EXPECT_EQ(back.target_pe, h.target_pe);
+  EXPECT_EQ(back.flags, h.flags);
+  EXPECT_EQ(back.id, h.id);
+  EXPECT_EQ(back.a, h.a);
+  EXPECT_EQ(back.b, h.b);
+  EXPECT_EQ(back.c, h.c);
+  EXPECT_EQ(back.d, h.d);
+}
+
+TEST(FrameHeaderTest, AllKindsSurviveRoundTrip) {
+  for (FrameKind k : {FrameKind::kDirectPut, FrameKind::kStaged,
+                      FrameKind::kChunk, FrameKind::kGetRequest}) {
+    FrameHeader h;
+    h.kind = k;
+    EXPECT_EQ(FrameHeader::unpack(h.pack()).kind, k);
+  }
+}
+
+TEST(MessageHeaderTest, SerializeDeserializeRoundTrip) {
+  MessageHeader h;
+  h.op = MsgOp::kAtomicRequest;
+  h.origin_pe = 3;
+  h.target_pe = 5;
+  h.width = 8;
+  h.op_id = 9912;
+  h.heap_offset = 0xffff'0000'1234ull;
+  h.payload_len = 65536;
+  h.atomic_op = static_cast<std::uint8_t>(AtomicOp::kCompareSwap);
+  h.operand1 = 0x1111'2222'3333'4444ull;
+  h.operand2 = 0x5555'6666'7777'8888ull;
+
+  std::vector<std::byte> buf(kMessageHeaderBytes);
+  write_message_header(buf, h);
+  const MessageHeader back = read_message_header(buf);
+  EXPECT_EQ(back.op, h.op);
+  EXPECT_EQ(back.origin_pe, h.origin_pe);
+  EXPECT_EQ(back.target_pe, h.target_pe);
+  EXPECT_EQ(back.width, h.width);
+  EXPECT_EQ(back.op_id, h.op_id);
+  EXPECT_EQ(back.heap_offset, h.heap_offset);
+  EXPECT_EQ(back.payload_len, h.payload_len);
+  EXPECT_EQ(back.atomic_op, h.atomic_op);
+  EXPECT_EQ(back.operand1, h.operand1);
+  EXPECT_EQ(back.operand2, h.operand2);
+}
+
+TEST(MessageHeaderTest, SmallBuffersRejected) {
+  std::vector<std::byte> buf(kMessageHeaderBytes - 1);
+  MessageHeader h;
+  EXPECT_THROW(write_message_header(buf, h), std::invalid_argument);
+  EXPECT_THROW(read_message_header(buf), std::invalid_argument);
+}
+
+TEST(MessageHeaderTest, HeaderFitsWireSlot) {
+  EXPECT_LE(sizeof(MessageHeader), kMessageHeaderBytes);
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

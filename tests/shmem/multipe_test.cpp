@@ -1,0 +1,273 @@
+// Multiple PEs per host: co-resident PEs share the host's NTB adapters and
+// service threads and communicate through the local shared-memory path;
+// the barrier becomes hierarchical (local gather + Fig. 6 ring between
+// host leaders). The paper's prototype is 1:1 — this is the multi-tenant
+// extension DESIGN.md lists.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem/teams.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::pattern;
+using testing::test_options;
+
+RuntimeOptions multipe_options(int npes, int per_host) {
+  RuntimeOptions opts = test_options(npes);
+  opts.pes_per_host = per_host;
+  return opts;
+}
+
+TEST(MultiPeTest, ConfigValidation) {
+  EXPECT_THROW(Runtime(multipe_options(5, 2)), std::invalid_argument);
+  EXPECT_THROW(Runtime(multipe_options(2, 2)), std::invalid_argument);
+  EXPECT_THROW(Runtime(multipe_options(4, 0)), std::invalid_argument);
+  EXPECT_NO_THROW(Runtime(multipe_options(4, 2)));
+}
+
+TEST(MultiPeTest, CoResidentPutIsLocalAndFast) {
+  Runtime rt(multipe_options(4, 2));  // hosts {0,1}: PEs {0,1} and {2,3}
+  sim::Dur local_put = 0;
+  sim::Dur remote_put = 0;
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(64 * 1024));
+    const auto data = pattern(64 * 1024, 1);
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      sim::Engine& eng = Runtime::current()->runtime().engine();
+      sim::Time t0 = eng.now();
+      shmem_putmem(buf, data.data(), data.size(), 1);  // co-resident
+      local_put = eng.now() - t0;
+      t0 = eng.now();
+      shmem_putmem(buf, data.data(), data.size(), 2);  // next host
+      remote_put = eng.now() - t0;
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1 || shmem_my_pe() == 2) {
+      EXPECT_EQ(std::memcmp(buf, data.data(), data.size()), 0);
+    }
+    shmem_finalize();
+  });
+  EXPECT_GT(remote_put, 5 * local_put)
+      << "co-resident put must bypass the NTB";
+}
+
+TEST(MultiPeTest, AllPairsTrafficAcrossMixedResidency) {
+  Runtime rt(multipe_options(6, 2));  // 3 hosts x 2 PEs
+  const std::size_t slot = 2048;
+  rt.run([&] {
+    shmem_init();
+    const int n = shmem_n_pes();
+    const int me = shmem_my_pe();
+    auto* buf = static_cast<std::byte*>(
+        shmem_calloc(static_cast<std::size_t>(n) * slot, 1));
+    shmem_barrier_all();
+    for (int dst = 0; dst < n; ++dst) {
+      if (dst == me) continue;
+      const auto data = pattern(slot, me * 31 + dst);
+      shmem_putmem(buf + static_cast<std::size_t>(me) * slot, data.data(),
+                   data.size(), dst);
+    }
+    shmem_barrier_all();
+    for (int src = 0; src < n; ++src) {
+      if (src == me) continue;
+      const auto want = pattern(slot, src * 31 + me);
+      EXPECT_EQ(std::memcmp(buf + static_cast<std::size_t>(src) * slot,
+                            want.data(), want.size()),
+                0)
+          << "from PE " << src << " at PE " << me;
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, GetAcrossAndWithinHosts) {
+  Runtime rt(multipe_options(4, 2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(4096));
+    const int me = shmem_my_pe();
+    const auto mine = pattern(4096, me + 3);
+    std::memcpy(buf, mine.data(), mine.size());
+    shmem_barrier_all();
+    std::vector<std::byte> got(4096);
+    for (int src = 0; src < 4; ++src) {
+      shmem_getmem(got.data(), buf, got.size(), src);
+      const auto want = pattern(4096, src + 3);
+      EXPECT_EQ(std::memcmp(got.data(), want.data(), want.size()), 0);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, HierarchicalBarrierHoldsEveryone) {
+  Runtime rt(multipe_options(6, 3));  // 2 hosts x 3 PEs
+  std::vector<sim::Time> entered(6);
+  std::vector<sim::Time> left(6);
+  rt.run([&] {
+    shmem_init();
+    Context& c = *Runtime::current();
+    sim::Engine& eng = c.runtime().engine();
+    eng.wait_for(sim::msec(2) * c.pe());  // skewed arrivals
+    entered[static_cast<std::size_t>(c.pe())] = eng.now();
+    shmem_barrier_all();
+    left[static_cast<std::size_t>(c.pe())] = eng.now();
+    shmem_finalize();
+  });
+  const sim::Time last_entry = *std::max_element(entered.begin(), entered.end());
+  for (int pe = 0; pe < 6; ++pe) {
+    EXPECT_GE(left[static_cast<std::size_t>(pe)], last_entry) << "PE " << pe;
+  }
+}
+
+TEST(MultiPeTest, AtomicsLinearizableAcrossResidency) {
+  Runtime rt(multipe_options(6, 2));
+  std::vector<std::vector<long>> tickets(6);
+  rt.run([&] {
+    shmem_init();
+    auto* counter = static_cast<long*>(shmem_calloc(1, sizeof(long)));
+    shmem_barrier_all();
+    auto& mine = tickets[static_cast<std::size_t>(shmem_my_pe())];
+    for (int i = 0; i < 5; ++i) {
+      // Target PE 3: co-resident for PEs 2-3, remote for the others.
+      mine.push_back(shmem_long_atomic_fetch_inc(counter, 3));
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  std::vector<long> all;
+  for (const auto& v : tickets) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  for (long i = 0; i < 30; ++i) {
+    EXPECT_EQ(all[static_cast<std::size_t>(i)], i) << "duplicate ticket";
+  }
+}
+
+TEST(MultiPeTest, CollectivesSpanResidency) {
+  Runtime rt(multipe_options(6, 2));
+  static long psync[SHMEM_REDUCE_SYNC_SIZE];
+  rt.run([&] {
+    shmem_init();
+    auto* t = static_cast<long*>(shmem_malloc(sizeof(long)));
+    auto* s = static_cast<long*>(shmem_malloc(sizeof(long)));
+    *s = shmem_my_pe() + 1;
+    shmem_barrier_all();
+    shmem_long_sum_to_all(t, s, 1, 0, 0, 6, nullptr, psync);
+    EXPECT_EQ(*t, 21);  // 1+..+6
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, PerPeQuietIndependence) {
+  // PE 0's quiet must not wait for co-resident PE 1's in-flight traffic.
+  Runtime rt(multipe_options(6, 2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(512 * 1024));
+    shmem_barrier_all();
+    const int me = shmem_my_pe();
+    sim::Engine& eng = Runtime::current()->runtime().engine();
+    if (me == 1) {
+      // Big multi-hop put from PE 1: forwarding runs for tens of ms.
+      const auto big = pattern(512 * 1024, 2);
+      shmem_putmem_nbi(buf, big.data(), big.size(), 4);
+    }
+    if (me == 0) {
+      eng.wait_for(sim::msec(3));  // let PE 1's traffic get going
+      const sim::Time t0 = eng.now();
+      shmem_quiet();  // nothing of OURS outstanding
+      EXPECT_LT(eng.now() - t0, sim::msec(1))
+          << "PE0's quiet stalled on PE1's traffic";
+    }
+    shmem_barrier_all();
+    if (me == 4) {
+      const auto want = pattern(512 * 1024, 2);
+      EXPECT_EQ(std::memcmp(buf, want.data(), want.size()), 0);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, GoldenSweepWithTwoPerHost) {
+  // The all-pairs visibility property from the main sweep, at 8 PEs on 4
+  // hosts with the memcpy path.
+  RuntimeOptions opts = multipe_options(8, 2);
+  opts.data_path = DataPath::kMemcpy;
+  Runtime rt(opts);
+  rt.run([&] {
+    shmem_init();
+    const int n = shmem_n_pes();
+    const int me = shmem_my_pe();
+    auto* buf = static_cast<long*>(
+        shmem_calloc(static_cast<std::size_t>(n), sizeof(long)));
+    shmem_barrier_all();
+    for (int dst = 0; dst < n; ++dst) {
+      shmem_long_p(&buf[me], me * 1000 + dst, dst);
+    }
+    shmem_barrier_all();
+    for (int src = 0; src < n; ++src) {
+      EXPECT_EQ(buf[src], src * 1000 + me);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, TeamsComposeWithCoResidency) {
+  // A team of the even PEs on a 2-PEs-per-host ring mixes intra-host and
+  // cross-host members; team reductions must still be exact.
+  Runtime rt(multipe_options(8, 2));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 4, nullptr, 0, &evens);
+    if (shmem_my_pe() % 2 == 0) {
+      auto* dest = static_cast<long*>(shmem_malloc(sizeof(long)));
+      auto* src = static_cast<long*>(shmem_malloc(sizeof(long)));
+      *src = shmem_my_pe() + 1;  // 1, 3, 5, 7
+      shmem_long_sum_reduce(evens, dest, src, 1);
+      EXPECT_EQ(*dest, 16);
+      EXPECT_EQ(shmem_team_my_pe(evens), shmem_my_pe() / 2);
+    } else {
+      shmem_malloc(sizeof(long));
+      shmem_malloc(sizeof(long));
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(MultiPeTest, SignalsComposeWithCoResidency) {
+  Runtime rt(multipe_options(4, 2));
+  rt.run([&] {
+    shmem_init();
+    auto* data = static_cast<std::byte*>(shmem_malloc(4096));
+    auto* sig = static_cast<std::uint64_t*>(
+        shmem_calloc(1, sizeof(std::uint64_t)));
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      const auto payload = pattern(4096, 2);
+      shmem_putmem_signal(data, payload.data(), payload.size(), sig, 1,
+                          SHMEM_SIGNAL_ADD, 1);  // co-resident
+      shmem_putmem_signal(data, payload.data(), payload.size(), sig, 1,
+                          SHMEM_SIGNAL_ADD, 3);  // cross-host
+    }
+    if (shmem_my_pe() == 1 || shmem_my_pe() == 3) {
+      shmem_signal_wait_until(sig, SHMEM_CMP_GE, 1);
+      const auto want = pattern(4096, 2);
+      EXPECT_EQ(std::memcmp(data, want.data(), want.size()), 0);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

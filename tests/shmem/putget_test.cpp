@@ -1,0 +1,271 @@
+// Put/Get over the ring: data integrity at every hop count, both data
+// paths, non-blocking variants, ordering, and the timing asymmetries the
+// paper reports (one-sided Put insensitive to hops; Get strongly sensitive).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::pattern;
+using testing::test_options;
+
+void expect_bytes(const void* got, const std::vector<std::byte>& want) {
+  EXPECT_EQ(std::memcmp(got, want.data(), want.size()), 0);
+}
+
+TEST(PutGetTest, NeighborPutDeliversData) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(8192));
+    const int me = shmem_my_pe();
+    const auto data = pattern(8192, me);
+    shmem_putmem(buf, data.data(), data.size(), (me + 1) % 3);
+    shmem_barrier_all();
+    // My buffer was written by my left neighbour.
+    const auto want = pattern(8192, (me + 2) % 3);
+    expect_bytes(buf, want);
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, TwoHopPutForwardsThroughIntermediate) {
+  Runtime rt(test_options(3));
+  std::uint64_t forwarded = 0;
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(64 * 1024));
+    const int me = shmem_my_pe();
+    if (me == 0) {
+      const auto data = pattern(64 * 1024, 99);
+      shmem_putmem(buf, data.data(), data.size(), 2);  // 2 hops rightward
+    }
+    shmem_barrier_all();
+    if (me == 2) {
+      expect_bytes(buf, pattern(64 * 1024, 99));
+    }
+    if (me == 1) {
+      forwarded = Runtime::current()->transport().stats().messages_forwarded;
+    }
+    shmem_finalize();
+  });
+  EXPECT_GE(forwarded, 1u) << "PE1 must have forwarded PE0's 2-hop put";
+}
+
+TEST(PutGetTest, GetFromNeighborAndTwoHops) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(16 * 1024));
+    const int me = shmem_my_pe();
+    const auto mine = pattern(16 * 1024, me);
+    std::memcpy(buf, mine.data(), mine.size());
+    shmem_barrier_all();
+    std::vector<std::byte> got(16 * 1024);
+    shmem_getmem(got.data(), buf, got.size(), (me + 1) % 3);  // 1 hop
+    expect_bytes(got.data(), pattern(16 * 1024, (me + 1) % 3));
+    shmem_getmem(got.data(), buf, got.size(), (me + 2) % 3);  // 2 hops
+    expect_bytes(got.data(), pattern(16 * 1024, (me + 2) % 3));
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, SelfPutAndGet) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(1024));
+    const auto data = pattern(1024, 5);
+    shmem_putmem(buf, data.data(), data.size(), shmem_my_pe());
+    std::vector<std::byte> got(1024);
+    shmem_getmem(got.data(), buf, got.size(), shmem_my_pe());
+    expect_bytes(got.data(), data);
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, ZeroByteOpsAreNoops) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(64));
+    shmem_putmem(buf, nullptr, 0, 1 - shmem_my_pe());
+    shmem_getmem(nullptr, buf, 0, 1 - shmem_my_pe());
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, MemcpyPathDeliversSameData) {
+  Runtime rt(test_options(3, DataPath::kMemcpy));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(32 * 1024));
+    const int me = shmem_my_pe();
+    const auto data = pattern(32 * 1024, me);
+    shmem_putmem(buf, data.data(), data.size(), (me + 1) % 3);
+    shmem_barrier_all();
+    expect_bytes(buf, pattern(32 * 1024, (me + 2) % 3));
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, ShortestRoutingUsesLeftLinks) {
+  Runtime rt(test_options(4, DataPath::kDma, fabric::RoutingMode::kShortest));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(4096));
+    const int me = shmem_my_pe();
+    const int left = (me + 3) % 4;  // 1 hop leftward under shortest routing
+    const auto data = pattern(4096, me);
+    shmem_putmem(buf, data.data(), data.size(), left);
+    shmem_barrier_all();
+    expect_bytes(buf, pattern(4096, (me + 1) % 4));
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, PutLargerThanBypassBufferSplits) {
+  RuntimeOptions opts = test_options(3);
+  opts.timing.bypass_buffer_bytes = 64 * 1024;  // force sub-message split
+  Runtime rt(opts);
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(256 * 1024));
+    const int me = shmem_my_pe();
+    if (me == 0) {
+      const auto data = pattern(256 * 1024, 17);
+      shmem_putmem(buf, data.data(), data.size(), 2);
+    }
+    shmem_barrier_all();
+    if (me == 2) expect_bytes(buf, pattern(256 * 1024, 17));
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, GetNbiCompletesAtQuiet) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(8192));
+    const int me = shmem_my_pe();
+    const auto mine = pattern(8192, me);
+    std::memcpy(buf, mine.data(), mine.size());
+    shmem_barrier_all();
+    std::vector<std::byte> a(4096);
+    std::vector<std::byte> b(4096);
+    shmem_getmem_nbi(a.data(), buf, a.size(), (me + 1) % 3);
+    shmem_getmem_nbi(b.data(), buf + 4096, b.size(), (me + 1) % 3);
+    shmem_quiet();
+    const auto want = pattern(8192, (me + 1) % 3);
+    EXPECT_EQ(std::memcmp(a.data(), want.data(), 4096), 0);
+    EXPECT_EQ(std::memcmp(b.data(), want.data() + 4096, 4096), 0);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(PutGetTest, PutsToSamePeArriveInOrder) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* counter = static_cast<long*>(shmem_malloc(sizeof(long)));
+    *counter = -1;
+    shmem_barrier_all();
+    const int me = shmem_my_pe();
+    if (me == 0) {
+      for (long v = 0; v < 20; ++v) {
+        shmem_long_p(counter, v, 2);  // 2 hops; FIFO along the path
+      }
+      shmem_long_p(counter, 999, 2);
+    }
+    shmem_barrier_all();
+    if (me == 2) {
+      EXPECT_EQ(*counter, 999) << "last put must win under FIFO delivery";
+    }
+    shmem_finalize();
+  });
+}
+
+// ---- Timing-shape assertions (the paper's qualitative claims) --------------
+
+TEST(PutGetTest, PutLatencyInsensitiveToHopsGetSensitive) {
+  Runtime rt(test_options(3, DataPath::kDma, fabric::RoutingMode::kRightOnly,
+                          CompletionMode::kLocalDma));
+  sim::Dur put1 = 0;
+  sim::Dur put2 = 0;
+  sim::Dur get1 = 0;
+  sim::Dur get2 = 0;
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(256 * 1024));
+    const auto data = pattern(128 * 1024, 1);
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      sim::Engine& eng = Runtime::current()->runtime().engine();
+      sim::Time t0 = eng.now();
+      shmem_putmem(buf, data.data(), data.size(), 1);
+      put1 = eng.now() - t0;
+      // Let the neighbour consume the notify frame so the next put does
+      // not block on ScratchPad flow control (per-op latency).
+      eng.wait_for(sim::msec(5));
+      t0 = eng.now();
+      shmem_putmem(buf, data.data(), data.size(), 2);
+      put2 = eng.now() - t0;
+      // Drain the asynchronous multi-hop forwarding before timing Gets, so
+      // the intermediate host's service thread is idle (per-op latency, as
+      // the paper measures).
+      eng.wait_for(sim::msec(100));
+      std::vector<std::byte> sink(128 * 1024);
+      t0 = eng.now();
+      shmem_getmem(sink.data(), buf, sink.size(), 1);
+      get1 = eng.now() - t0;
+      t0 = eng.now();
+      shmem_getmem(sink.data(), buf, sink.size(), 2);
+      get2 = eng.now() - t0;
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  // One-sided put: local completion, so 1 hop ~ 2 hops (within 25%).
+  EXPECT_LT(static_cast<double>(put2),
+            1.25 * static_cast<double>(put1));
+  // Get must traverse the ring and back: 2 hops much slower than 1 hop.
+  EXPECT_GT(static_cast<double>(get2), 1.5 * static_cast<double>(get1));
+  // Get is an order of magnitude slower than put at the same size.
+  EXPECT_GT(get1, 3 * put1);
+}
+
+TEST(PutGetTest, DmaBeatsMemcpyForLargePuts) {
+  auto timed_put = [](DataPath path) {
+    Runtime rt(test_options(3, path));
+    sim::Dur dur = 0;
+    rt.run([&] {
+      shmem_init();
+      auto* buf = static_cast<std::byte*>(shmem_malloc(512 * 1024));
+      const auto data = pattern(512 * 1024, 3);
+      shmem_barrier_all();
+      if (shmem_my_pe() == 0) {
+        sim::Engine& eng = Runtime::current()->runtime().engine();
+        const sim::Time t0 = eng.now();
+        shmem_putmem(buf, data.data(), data.size(), 1);
+        dur = eng.now() - t0;
+      }
+      shmem_barrier_all();
+      shmem_finalize();
+    });
+    return dur;
+  };
+  const sim::Dur dma = timed_put(DataPath::kDma);
+  const sim::Dur memcpy_path = timed_put(DataPath::kMemcpy);
+  EXPECT_GT(memcpy_path, 2 * dma);
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,171 @@
+// Symmetric heap allocator: chunked growth, identical cross-PE layout,
+// free-list coalescing, chunk-spanning pieces, pointer translation.
+#include "shmem/symheap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "host/memory.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+constexpr std::uint64_t kChunk = 64 * 1024;
+
+class SymHeapTest : public ::testing::Test {
+ protected:
+  SymHeapTest() : arena_(8u << 20), heap_(arena_, kChunk, 8 * kChunk) {}
+  host::MemoryArena arena_;
+  SymmetricHeap heap_;
+};
+
+TEST_F(SymHeapTest, FirstAllocationAtOffsetZero) {
+  auto off = heap_.allocate(128);
+  ASSERT_TRUE(off.has_value());
+  EXPECT_EQ(*off, 0u);
+  EXPECT_EQ(heap_.chunk_count(), 1u);
+}
+
+TEST_F(SymHeapTest, SequentialAllocationsRespectAlignment) {
+  auto a = heap_.allocate(100, 64);
+  auto b = heap_.allocate(100, 256);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(*a % 64, 0u);
+  EXPECT_EQ(*b % 256, 0u);
+  EXPECT_GE(*b, *a + 100);
+}
+
+TEST_F(SymHeapTest, GrowsOnDemandAndConcatenatesVirtually) {
+  auto a = heap_.allocate(kChunk - 64);
+  auto b = heap_.allocate(kChunk / 2);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(heap_.chunk_count(), 2u);
+  EXPECT_EQ(heap_.virtual_size(), 2 * kChunk);
+}
+
+TEST_F(SymHeapTest, AllocationCanSpanChunkBoundary) {
+  heap_.allocate(kChunk / 2);
+  auto big = heap_.allocate(kChunk);  // must span chunk 0 into chunk 1
+  ASSERT_TRUE(big);
+  auto pieces = heap_.pieces(*big, kChunk);
+  EXPECT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0].len + pieces[1].len, kChunk);
+  // Data round-trips across the seam.
+  std::vector<std::byte> data(kChunk);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i & 0xff);
+  }
+  heap_.write(*big, data);
+  std::vector<std::byte> back(kChunk);
+  heap_.read(*big, back);
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+TEST_F(SymHeapTest, MaxBytesBoundsGrowth) {
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(heap_.allocate(kChunk - 64).has_value()) << i;
+  }
+  EXPECT_FALSE(heap_.allocate(kChunk).has_value());
+}
+
+TEST_F(SymHeapTest, FreeAndCoalesceAllowsReuse) {
+  auto a = heap_.allocate(kChunk / 4);
+  auto b = heap_.allocate(kChunk / 4);
+  auto c = heap_.allocate(kChunk / 4);
+  ASSERT_TRUE(a && b && c);
+  heap_.free(*b);
+  heap_.free(*a);  // coalesces with b's block
+  auto big = heap_.allocate(kChunk / 2);
+  ASSERT_TRUE(big);
+  EXPECT_EQ(*big, *a) << "coalesced front block should satisfy the request";
+  (void)c;
+}
+
+TEST_F(SymHeapTest, FreeUnknownOffsetThrows) {
+  heap_.allocate(64);
+  EXPECT_THROW(heap_.free(32), std::invalid_argument);
+}
+
+TEST_F(SymHeapTest, ReallocGrowsAndPreservesContents) {
+  auto off = heap_.allocate(256);
+  ASSERT_TRUE(off);
+  std::vector<std::byte> data(256, std::byte{0x5a});
+  heap_.write(*off, data);
+  auto grown = heap_.reallocate(*off, 4096);
+  ASSERT_TRUE(grown);
+  std::vector<std::byte> back(256);
+  heap_.read(*grown, back);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(heap_.allocation_size(*grown), 4096u);
+}
+
+TEST_F(SymHeapTest, ReallocShrinkKeepsBlock) {
+  auto off = heap_.allocate(4096);
+  ASSERT_TRUE(off);
+  auto shrunk = heap_.reallocate(*off, 128);
+  ASSERT_TRUE(shrunk);
+  EXPECT_EQ(*shrunk, *off);
+}
+
+TEST_F(SymHeapTest, PointerOffsetRoundTrip) {
+  auto off = heap_.allocate(1024);
+  ASSERT_TRUE(off);
+  std::byte* p = heap_.ptr(*off + 100);
+  auto back = heap_.offset_of(p);
+  ASSERT_TRUE(back);
+  EXPECT_EQ(*back, *off + 100);
+  int x = 0;
+  EXPECT_FALSE(heap_.offset_of(&x).has_value());
+}
+
+TEST_F(SymHeapTest, IdenticalCallSequencesGiveIdenticalLayouts) {
+  host::MemoryArena arena2(8u << 20);
+  // Different physical pre-use on the second arena must not matter.
+  arena2.allocate(12345, 64);
+  SymmetricHeap heap2(arena2, kChunk, 8 * kChunk);
+
+  std::vector<std::uint64_t> offs1;
+  std::vector<std::uint64_t> offs2;
+  auto sequence = [](SymmetricHeap& h, std::vector<std::uint64_t>& out) {
+    std::vector<std::uint64_t> live;
+    for (int i = 1; i <= 20; ++i) {
+      auto off = h.allocate(static_cast<std::uint64_t>(i) * 700, 64);
+      ASSERT_TRUE(off);
+      out.push_back(*off);
+      live.push_back(*off);
+      if (i % 3 == 0) {
+        h.free(live[live.size() / 2]);
+        live.erase(live.begin() + static_cast<long>(live.size() / 2));
+      }
+    }
+  };
+  sequence(heap_, offs1);
+  sequence(heap2, offs2);
+  EXPECT_EQ(offs1, offs2);
+}
+
+TEST_F(SymHeapTest, ZeroByteAllocationsGetDistinctOffsets) {
+  auto a = heap_.allocate(0);
+  auto b = heap_.allocate(0);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+}
+
+TEST_F(SymHeapTest, BadAlignmentThrows) {
+  EXPECT_THROW(heap_.allocate(64, 3), std::invalid_argument);
+}
+
+TEST_F(SymHeapTest, PiecesRangeChecked) {
+  heap_.allocate(128);
+  EXPECT_THROW(heap_.pieces(heap_.virtual_size(), 1), std::out_of_range);
+}
+
+TEST(SymHeapConstruction, RejectsBadSizes) {
+  host::MemoryArena arena(1 << 20);
+  EXPECT_THROW(SymmetricHeap(arena, 0, 1024), std::invalid_argument);
+  EXPECT_THROW(SymmetricHeap(arena, 2048, 1024), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

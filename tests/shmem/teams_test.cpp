@@ -1,0 +1,196 @@
+// Teams: lifecycle, translation, sync, and team collectives.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "shmem/api.hpp"
+#include "shmem/teams.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::test_options;
+
+TEST(TeamsTest, WorldTeamMatchesGlobalIds) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    EXPECT_EQ(shmem_team_my_pe(SHMEM_TEAM_WORLD), shmem_my_pe());
+    EXPECT_EQ(shmem_team_n_pes(SHMEM_TEAM_WORLD), shmem_n_pes());
+    EXPECT_EQ(shmem_team_my_pe(SHMEM_TEAM_INVALID), -1);
+    EXPECT_EQ(shmem_team_n_pes(SHMEM_TEAM_INVALID), -1);
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, SplitStridedMembershipAndHandles) {
+  Runtime rt(test_options(6));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    // Every 2nd world PE starting at 0: {0, 2, 4}.
+    ASSERT_EQ(shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 3, nullptr, 0,
+                                       &evens),
+              0);
+    if (shmem_my_pe() % 2 == 0) {
+      ASSERT_NE(evens, SHMEM_TEAM_INVALID);
+      EXPECT_EQ(shmem_team_n_pes(evens), 3);
+      EXPECT_EQ(shmem_team_my_pe(evens), shmem_my_pe() / 2);
+    } else {
+      EXPECT_EQ(evens, SHMEM_TEAM_INVALID);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, NestedSplitComposesStrides) {
+  Runtime rt(test_options(8));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 4, nullptr, 0, &evens);
+    if (shmem_my_pe() % 2 == 0) {
+      // Split the evens again: every 2nd even -> {0, 4}.
+      shmem_team_t quads = SHMEM_TEAM_INVALID;
+      shmem_team_split_strided(evens, 0, 2, 2, nullptr, 0, &quads);
+      if (shmem_my_pe() % 4 == 0) {
+        EXPECT_EQ(shmem_team_n_pes(quads), 2);
+        EXPECT_EQ(shmem_team_my_pe(quads), shmem_my_pe() / 4);
+      } else {
+        EXPECT_EQ(quads, SHMEM_TEAM_INVALID);
+      }
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, TranslatePe) {
+  Runtime rt(test_options(6));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 3, nullptr, 0, &evens);
+    if (shmem_my_pe() % 2 == 0) {
+      // evens index 2 == world PE 4.
+      EXPECT_EQ(shmem_team_translate_pe(evens, 2, SHMEM_TEAM_WORLD), 4);
+      // world PE 3 is not in evens.
+      EXPECT_EQ(shmem_team_translate_pe(SHMEM_TEAM_WORLD, 3, evens), -1);
+      EXPECT_EQ(shmem_team_translate_pe(SHMEM_TEAM_WORLD, 2, evens), 1);
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, TeamSyncOnlyBlocksMembers) {
+  Runtime rt(test_options(4));
+  std::vector<sim::Time> left(4, 0);
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 2, nullptr, 0, &evens);
+    sim::Engine& eng = Runtime::current()->runtime().engine();
+    if (shmem_my_pe() % 2 == 0) {
+      if (shmem_my_pe() == 0) eng.wait_for(sim::msec(10));
+      shmem_team_sync(evens);
+      left[static_cast<std::size_t>(shmem_my_pe())] = eng.now();
+    }
+    shmem_finalize();
+  });
+  EXPECT_GE(left[2], sim::msec(10)) << "member 2 must wait for member 0";
+}
+
+TEST(TeamsTest, BroadcastmemUpdatesRootToo) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    auto* dest = static_cast<long*>(shmem_malloc(4 * sizeof(long)));
+    auto* src = static_cast<long*>(shmem_malloc(4 * sizeof(long)));
+    for (int i = 0; i < 4; ++i) {
+      src[i] = shmem_my_pe() * 10 + i;
+      dest[i] = -1;
+    }
+    shmem_barrier_all();
+    shmem_broadcastmem(SHMEM_TEAM_WORLD, dest, src, 4 * sizeof(long), 2);
+    for (int i = 0; i < 4; ++i) {
+      EXPECT_EQ(dest[i], 20 + i) << "1.5 semantics include the root's dest";
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, TeamReduceOverSubset) {
+  Runtime rt(test_options(6));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t odds = SHMEM_TEAM_INVALID;
+    // Members {1, 3, 5}.
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 1, 2, 3, nullptr, 0, &odds);
+    if (shmem_my_pe() % 2 == 1) {
+      auto* dest = static_cast<int*>(shmem_malloc(8 * sizeof(int)));
+      auto* src = static_cast<int*>(shmem_malloc(8 * sizeof(int)));
+      for (int i = 0; i < 8; ++i) src[i] = shmem_my_pe() + i;
+      EXPECT_EQ(shmem_int_sum_reduce(odds, dest, src, 8), 0);
+      for (int i = 0; i < 8; ++i) EXPECT_EQ(dest[i], (1 + 3 + 5) + 3 * i);
+    } else {
+      // Non-members must still participate in the collective mallocs.
+      shmem_malloc(8 * sizeof(int));
+      shmem_malloc(8 * sizeof(int));
+    }
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, FcollectmemAndAlltoallmem) {
+  Runtime rt(test_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* dest = static_cast<int*>(shmem_malloc(9 * sizeof(int)));
+    auto* src = static_cast<int*>(shmem_malloc(3 * sizeof(int)));
+    for (int i = 0; i < 3; ++i) src[i] = shmem_my_pe() * 10 + i;
+    shmem_barrier_all();
+    shmem_fcollectmem(SHMEM_TEAM_WORLD, dest, src, 3 * sizeof(int));
+    for (int pe = 0; pe < 3; ++pe) {
+      for (int i = 0; i < 3; ++i) EXPECT_EQ(dest[pe * 3 + i], pe * 10 + i);
+    }
+    auto* a2a_src = static_cast<int*>(shmem_malloc(3 * sizeof(int)));
+    auto* a2a_dst = static_cast<int*>(shmem_malloc(3 * sizeof(int)));
+    for (int j = 0; j < 3; ++j) a2a_src[j] = shmem_my_pe() * 10 + j;
+    shmem_barrier_all();
+    shmem_alltoallmem(SHMEM_TEAM_WORLD, a2a_dst, a2a_src, sizeof(int));
+    for (int j = 0; j < 3; ++j) EXPECT_EQ(a2a_dst[j], j * 10 + shmem_my_pe());
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, DestroyInvalidatesHandle) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t t = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 1, 4, nullptr, 0, &t);
+    ASSERT_NE(t, SHMEM_TEAM_INVALID);
+    shmem_team_destroy(t);
+    EXPECT_THROW(shmem_team_sync(t), std::invalid_argument);
+    EXPECT_THROW(shmem_team_destroy(SHMEM_TEAM_WORLD), std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+TEST(TeamsTest, SplitValidation) {
+  Runtime rt(test_options(4));
+  rt.run([&] {
+    shmem_init();
+    shmem_team_t t = SHMEM_TEAM_INVALID;
+    EXPECT_THROW(shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 3, nullptr,
+                                          0, &t),  // member 2*2=4 >= npes
+                 std::invalid_argument);
+    EXPECT_THROW(shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 1, 2, nullptr,
+                                          0, nullptr),
+                 std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,125 @@
+// Protocol-trace assertions: with tracing enabled, the recorded event
+// stream must obey the transport's invariants — barrier starts precede
+// barrier ends on every host and round, every received frame was sent, and
+// tracing stays silent when disabled.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::pattern;
+using testing::test_options;
+
+RuntimeOptions traced_options(int npes) {
+  RuntimeOptions opts = test_options(npes);
+  opts.trace_enabled = true;
+  return opts;
+}
+
+TEST(TraceTest, DisabledByDefaultRecordsNothing) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_TRUE(rt.trace().records().empty());
+}
+
+TEST(TraceTest, BarrierStartsPrecedeEndsPerHostAndRound) {
+  Runtime rt(traced_options(3));
+  rt.run([&] {
+    shmem_init();
+    for (int i = 0; i < 3; ++i) shmem_barrier_all();
+    shmem_finalize();
+  });
+  // Per PE, the barrier signal stream must alternate start, end, start, ...
+  for (int pe = 0; pe < 3; ++pe) {
+    const std::string tag = "host" + std::to_string(pe) + " rx ";
+    int starts = 0;
+    int ends = 0;
+    for (const auto& r : rt.trace().filter("barrier")) {
+      if (r.message == tag + "start") {
+        EXPECT_EQ(starts, ends) << "two starts without an end on PE " << pe;
+        ++starts;
+      } else if (r.message == tag + "end") {
+        EXPECT_EQ(starts, ends + 1) << "end without a start on PE " << pe;
+        ++ends;
+      }
+    }
+    EXPECT_EQ(starts, ends);
+    EXPECT_GT(starts, 0) << "host " << pe << " saw no barrier signals";
+  }
+}
+
+TEST(TraceTest, EveryReceivedFrameWasSentEarlier) {
+  Runtime rt(traced_options(3));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(8192));
+    const auto data = pattern(4096, 1);
+    if (shmem_my_pe() == 0) {
+      shmem_putmem(buf, data.data(), data.size(), 2);  // multi-hop
+      std::vector<std::byte> sink(1024);
+      shmem_getmem(sink.data(), buf, sink.size(), 1);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  const auto tx = rt.trace().filter("frame.tx");
+  const auto rx = rt.trace().filter("frame.rx");
+  EXPECT_FALSE(tx.empty());
+  EXPECT_EQ(tx.size(), rx.size()) << "every frame sent is received exactly once";
+  // Conservation by frame kind: the multiset of (kind, origin, target, id)
+  // descriptors must match between tx and rx.
+  auto strip = [](const std::string& msg) {
+    return msg.substr(msg.find("kind="));
+  };
+  std::multiset<std::string> sent;
+  std::multiset<std::string> received;
+  for (const auto& r : tx) sent.insert(strip(r.message));
+  for (const auto& r : rx) received.insert(strip(r.message));
+  EXPECT_EQ(sent, received);
+}
+
+TEST(TraceTest, OpsAreRecordedWithSizes) {
+  Runtime rt(traced_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(1024));
+    const auto data = pattern(512, 2);
+    if (shmem_my_pe() == 0) {
+      shmem_putmem(buf, data.data(), data.size(), 1);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  bool found = false;
+  for (const auto& r : rt.trace().filter("op")) {
+    if (r.message == "pe0 put target=1 bytes=512") found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, TimestampsAreMonotonic) {
+  Runtime rt(traced_options(3));
+  rt.run([&] {
+    shmem_init();
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  sim::Time last = 0;
+  for (const auto& r : rt.trace().records()) {
+    EXPECT_GE(r.t, last);
+    last = r.t;
+  }
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,129 @@
+// Extended typed surface: unsigned / size_t / ptrdiff_t RMA, unsigned
+// wait_until, unsigned reductions, and typed context RMA.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <limits>
+
+#include "shmem/api.hpp"
+#include "shmem_test_util.hpp"
+
+namespace ntbshmem::shmem {
+namespace {
+
+using testing::test_options;
+
+TEST(TypedApiTest, UnsignedRmaPreservesFullRange) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<unsigned long long*>(
+        shmem_malloc(4 * sizeof(unsigned long long)));
+    unsigned long long src[4] = {
+        0, 1, std::numeric_limits<unsigned long long>::max(),
+        0x8000000000000000ull};
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) shmem_ulonglong_put(buf, src, 4, 1);
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_EQ(buf[2], std::numeric_limits<unsigned long long>::max());
+      EXPECT_EQ(buf[3], 0x8000000000000000ull);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(TypedApiTest, SizeAndPtrdiffRma) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* sz = static_cast<std::size_t*>(shmem_malloc(sizeof(std::size_t)));
+    auto* pd = static_cast<std::ptrdiff_t*>(
+        shmem_malloc(sizeof(std::ptrdiff_t)));
+    *sz = 0;
+    *pd = 0;
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_size_p(sz, static_cast<std::size_t>(1) << 40, 1);
+      shmem_ptrdiff_p(pd, static_cast<std::ptrdiff_t>(-12345), 1);
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_EQ(*sz, static_cast<std::size_t>(1) << 40);
+      EXPECT_EQ(*pd, -12345);
+      EXPECT_EQ(shmem_size_g(sz, 1), *sz);  // self-get through ctx-free API
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(TypedApiTest, UnsignedWaitUntil) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* flag = static_cast<unsigned int*>(
+        shmem_calloc(1, sizeof(unsigned int)));
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_uint_wait_until(flag, SHMEM_CMP_GE, 3000000000u);
+      EXPECT_GE(*flag, 3000000000u);
+    } else {
+      Runtime::current()->runtime().engine().wait_for(sim::msec(1));
+      shmem_uint_p(flag, 3000000001u, 0);  // above INT_MAX: sign bugs show
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(TypedApiTest, UnsignedReductions) {
+  Runtime rt(test_options(3));
+  static long psync[SHMEM_REDUCE_SYNC_SIZE];
+  rt.run([&] {
+    shmem_init();
+    auto* t = static_cast<unsigned long*>(
+        shmem_malloc(2 * sizeof(unsigned long)));
+    auto* s = static_cast<unsigned long*>(
+        shmem_malloc(2 * sizeof(unsigned long)));
+    s[0] = 0x8000000000000000ull >> shmem_my_pe();  // high bits: sign traps
+    s[1] = static_cast<unsigned long>(shmem_my_pe()) + 1;
+    shmem_barrier_all();
+    shmem_ulong_or_to_all(t, s, 1, 0, 0, 3, nullptr, psync);
+    EXPECT_EQ(t[0], 0xE000000000000000ull);
+    shmem_ulong_max_to_all(t + 1, s + 1, 1, 0, 0, 3, nullptr, psync);
+    EXPECT_EQ(t[1], 3u);
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+}
+
+TEST(TypedApiTest, CtxTypedRma) {
+  Runtime rt(test_options(2));
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<double*>(shmem_malloc(4 * sizeof(double)));
+    shmem_barrier_all();
+    shmem_ctx_t c = SHMEM_CTX_INVALID;
+    shmem_ctx_create(0, &c);
+    if (shmem_my_pe() == 0) {
+      double vals[4] = {1.5, -2.5, 3.25, 0.125};
+      shmem_ctx_double_put(c, buf, vals, 4, 1);
+      shmem_ctx_quiet(c);
+      EXPECT_DOUBLE_EQ(shmem_ctx_double_g(c, buf, 1), 1.5);
+      shmem_ctx_int_p(c, reinterpret_cast<int*>(buf + 3), 77, 1);
+      shmem_ctx_quiet(c);
+    }
+    shmem_barrier_all();
+    if (shmem_my_pe() == 1) {
+      EXPECT_DOUBLE_EQ(buf[2], 3.25);
+      EXPECT_EQ(*reinterpret_cast<int*>(buf + 3), 77);
+    }
+    shmem_ctx_destroy(c);
+    shmem_finalize();
+  });
+}
+
+}  // namespace
+}  // namespace ntbshmem::shmem

@@ -1,0 +1,227 @@
+// Tests for the fluid-flow BandwidthResource against analytically computed
+// schedules: solo transfers, equal sharing, caps, mid-flight arrivals and
+// departures, and zero-byte edge cases.
+#include "sim/bandwidth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace ntbshmem::sim {
+namespace {
+
+constexpr double kBps = 1e9;  // 1 GB/s test capacity -> 1 byte/ns
+
+// Allow 1us of rounding slack on analytic comparisons (integer-ns ceils).
+void expect_near_time(Time got, double want_ns, double slack_ns = 1000) {
+  EXPECT_NEAR(static_cast<double>(got), want_ns, slack_ns);
+}
+
+TEST(BandwidthTest, SoloTransferTakesBytesOverCapacity) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done = -1;
+  engine.spawn("p", [&] {
+    link.transfer(1'000'000);  // 1 MB at 1 GB/s = 1 ms
+    done = engine.now();
+  });
+  engine.run();
+  expect_near_time(done, 1e6);
+}
+
+TEST(BandwidthTest, FlowCapLimitsSoloRate) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done = -1;
+  engine.spawn("p", [&] {
+    link.transfer(1'000'000, kBps / 4);  // capped at 250 MB/s -> 4 ms
+    done = engine.now();
+  });
+  engine.run();
+  expect_near_time(done, 4e6);
+}
+
+TEST(BandwidthTest, TwoEqualFlowsShareFairly) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done_a = -1;
+  Time done_b = -1;
+  engine.spawn("a", [&] {
+    link.transfer(1'000'000);
+    done_a = engine.now();
+  });
+  engine.spawn("b", [&] {
+    link.transfer(1'000'000);
+    done_b = engine.now();
+  });
+  engine.run();
+  // Both at 500 MB/s -> 2 ms each.
+  expect_near_time(done_a, 2e6);
+  expect_near_time(done_b, 2e6);
+}
+
+TEST(BandwidthTest, DepartureSpeedsUpSurvivor) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done_small = -1;
+  Time done_big = -1;
+  engine.spawn("small", [&] {
+    link.transfer(500'000);  // shares 0.5 GB/s until done at t=1ms
+    done_small = engine.now();
+  });
+  engine.spawn("big", [&] {
+    link.transfer(1'500'000);
+    done_big = engine.now();
+  });
+  engine.run();
+  // small: 500KB at 0.5 GB/s -> 1 ms.
+  // big: 500KB drained by t=1ms, remaining 1MB at full 1 GB/s -> t=2ms.
+  expect_near_time(done_small, 1e6);
+  expect_near_time(done_big, 2e6);
+}
+
+TEST(BandwidthTest, MidFlightArrivalSlowsExistingFlow) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done_first = -1;
+  engine.spawn("first", [&] {
+    link.transfer(1'000'000);
+    done_first = engine.now();
+  });
+  engine.spawn("second", [&] {
+    engine.wait_for(msec(0) + 500'000);  // join at t=0.5ms
+    link.transfer(2'000'000);
+  });
+  engine.run();
+  // first: 500KB done solo by 0.5ms; remaining 500KB at 0.5 GB/s -> 1ms more.
+  expect_near_time(done_first, 1.5e6);
+}
+
+TEST(BandwidthTest, CappedFlowSurplusGoesToUncappedFlow) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done_uncapped = -1;
+  engine.spawn("capped", [&] {
+    link.transfer(10'000'000, kBps / 10);  // 100 MB/s, runs long
+  });
+  engine.spawn("uncapped", [&] {
+    link.transfer(900'000);
+    done_uncapped = engine.now();
+  });
+  engine.run();
+  // Uncapped flow gets 900 MB/s -> 1 ms for 900KB.
+  expect_near_time(done_uncapped, 1e6, 5000);
+}
+
+TEST(BandwidthTest, ZeroByteTransferCompletesImmediately) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done = -1;
+  engine.spawn("p", [&] {
+    link.transfer(0);
+    done = engine.now();
+  });
+  engine.run();
+  EXPECT_EQ(done, 0);
+}
+
+TEST(BandwidthTest, AsyncCompletionEventFires) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  Time done = -1;
+  engine.spawn("p", [&] {
+    auto a = link.transfer_async(1'000'000);
+    auto b = link.transfer_async(1'000'000);
+    a->wait();
+    b->wait();
+    done = engine.now();
+  });
+  engine.run();
+  expect_near_time(done, 2e6);
+}
+
+TEST(BandwidthTest, ThreeFlowsConvergeToFairThird) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  std::vector<Time> done(3, -1);
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn("p" + std::to_string(i), [&, i] {
+      link.transfer(1'000'000);
+      done[static_cast<std::size_t>(i)] = engine.now();
+    });
+  }
+  engine.run();
+  for (int i = 0; i < 3; ++i) {
+    expect_near_time(done[static_cast<std::size_t>(i)], 3e6);
+  }
+}
+
+TEST(BandwidthTest, InvalidCapacityOrCapThrows) {
+  Engine engine;
+  EXPECT_THROW(BandwidthResource(engine, "bad", 0.0), std::invalid_argument);
+  BandwidthResource link(engine, "link", kBps);
+  engine.spawn("p", [&] {
+    EXPECT_THROW(link.transfer(100, 0.0), std::invalid_argument);
+  });
+  engine.run();
+}
+
+TEST(BandwidthTest, CurrentShareReflectsLoad) {
+  Engine engine;
+  BandwidthResource link(engine, "link", kBps);
+  double share_empty = 0.0;
+  double share_loaded = 0.0;
+  engine.spawn("bg", [&] { link.transfer(10'000'000); });
+  engine.spawn("probe", [&] {
+    engine.wait_for(usec(1));
+    share_loaded = link.current_share_Bps();
+  });
+  share_empty = link.current_share_Bps();
+  engine.run();
+  EXPECT_DOUBLE_EQ(share_empty, kBps);
+  EXPECT_NEAR(share_loaded, kBps / 2, 1.0);
+}
+
+}  // namespace
+}  // namespace ntbshmem::sim
+
+// (appended) Utilization accounting tests.
+namespace ntbshmem::sim {
+namespace {
+
+TEST(BandwidthUtilizationTest, BusyTimeTracksActivePeriods) {
+  Engine engine;
+  BandwidthResource link(engine, "link", 1e9);
+  engine.spawn("p", [&] {
+    link.transfer(1'000'000);            // busy [0, 1ms]
+    engine.wait_for(msec(3));            // idle (3ms)
+    link.transfer(2'000'000);            // busy [4ms, 6ms]
+  });
+  engine.run();
+  EXPECT_NEAR(static_cast<double>(link.busy_time()), 3e6, 5e3);
+  EXPECT_EQ(link.total_bytes(), 3'000'000u);
+  // Utilization over the 6ms run: ~3ms busy -> 0.5.
+  EXPECT_NEAR(link.utilization(engine.now()), 0.5, 0.01);
+  EXPECT_NEAR(link.load_factor(engine.now()), 0.5, 0.01);
+}
+
+TEST(BandwidthUtilizationTest, OverlappingFlowsCountBusyOnce) {
+  Engine engine;
+  BandwidthResource link(engine, "link", 1e9);
+  engine.spawn("a", [&] { link.transfer(1'000'000); });
+  engine.spawn("b", [&] { link.transfer(1'000'000); });
+  engine.run();
+  // Two 1MB flows share 1GB/s: both end at 2ms; busy time is 2ms, not 4ms.
+  EXPECT_NEAR(static_cast<double>(link.busy_time()), 2e6, 5e3);
+}
+
+TEST(BandwidthUtilizationTest, IdleResourceReportsZero) {
+  Engine engine;
+  BandwidthResource link(engine, "link", 1e9);
+  EXPECT_EQ(link.busy_time(), 0);
+  EXPECT_EQ(link.total_bytes(), 0u);
+  EXPECT_DOUBLE_EQ(link.utilization(0), 0.0);
+}
+
+}  // namespace
+}  // namespace ntbshmem::sim

@@ -1,0 +1,112 @@
+// Engine stress: many processes contending on shared primitives, repeated
+// runs on one engine, and determinism at scale.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "sim/bandwidth.hpp"
+#include "sim/engine.hpp"
+#include "sim/event.hpp"
+#include "sim/resource.hpp"
+
+namespace ntbshmem::sim {
+namespace {
+
+TEST(StressTest, ManyProcessesOnSharedMutex) {
+  Engine engine;
+  Resource mutex(engine, "m");
+  int counter = 0;
+  constexpr int kProcs = 64;
+  constexpr int kIters = 20;
+  for (int p = 0; p < kProcs; ++p) {
+    engine.spawn("p" + std::to_string(p), [&] {
+      for (int i = 0; i < kIters; ++i) {
+        Resource::Guard guard(mutex);
+        const int snapshot = counter;
+        engine.wait_for(usec(1));
+        counter = snapshot + 1;  // lost update unless mutual exclusion holds
+      }
+    });
+  }
+  engine.run();
+  EXPECT_EQ(counter, kProcs * kIters);
+  EXPECT_EQ(engine.now(), usec(kProcs * kIters));
+}
+
+TEST(StressTest, ManyFlowsShareBandwidthExactly) {
+  Engine engine;
+  BandwidthResource link(engine, "link", 1e9);
+  constexpr int kFlows = 40;
+  std::vector<Time> done(kFlows, 0);
+  for (int f = 0; f < kFlows; ++f) {
+    engine.spawn("f" + std::to_string(f), [&, f] {
+      link.transfer(1'000'000);
+      done[static_cast<std::size_t>(f)] = engine.now();
+    });
+  }
+  engine.run();
+  // All equal flows finish together at kFlows * 1MB / 1GB/s.
+  for (Time t : done) {
+    EXPECT_NEAR(static_cast<double>(t), kFlows * 1e6, 50e3);
+  }
+}
+
+TEST(StressTest, RepeatedRunsAccumulateTime) {
+  Engine engine;
+  for (int round = 1; round <= 50; ++round) {
+    engine.spawn("r" + std::to_string(round), [&] { engine.wait_for(usec(10)); });
+    engine.run();
+    EXPECT_EQ(engine.now(), usec(10) * round);
+  }
+}
+
+TEST(StressTest, EventThunderingHerdIsFifo) {
+  Engine engine;
+  Event gate(engine, "gate");
+  std::vector<int> order;
+  constexpr int kWaiters = 100;
+  for (int i = 0; i < kWaiters; ++i) {
+    engine.spawn("w" + std::to_string(i), [&, i] {
+      gate.wait();
+      order.push_back(i);
+    });
+  }
+  engine.spawn("opener", [&] {
+    engine.wait_for(usec(5));
+    gate.notify_all();
+  });
+  engine.run();
+  ASSERT_EQ(order.size(), static_cast<std::size_t>(kWaiters));
+  for (int i = 0; i < kWaiters; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(StressTest, LargeScheduleIsDeterministic) {
+  auto run_once = [] {
+    Engine engine;
+    BandwidthResource link(engine, "link", 2e9);
+    Resource slots(engine, "slots", 3);
+    std::int64_t checksum = 0;
+    for (int p = 0; p < 48; ++p) {
+      engine.spawn("p" + std::to_string(p), [&, p] {
+        for (int i = 0; i < 6; ++i) {
+          engine.wait_for(usec((p * 13 + i * 7) % 23 + 1));
+          Resource::Guard guard(slots);
+          link.transfer(10'000 + static_cast<std::uint64_t>((p + i) % 9) * 5'000);
+          checksum += engine.now() % 1'000'003;
+        }
+      });
+    }
+    engine.run();
+    return std::pair<Time, std::int64_t>(engine.now(), checksum);
+  };
+  const auto first = run_once();
+  for (int rep = 0; rep < 3; ++rep) {
+    EXPECT_EQ(run_once(), first);
+  }
+}
+
+}  // namespace
+}  // namespace ntbshmem::sim
