@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multipe.dir/bench_ablation_multipe.cpp.o"
+  "CMakeFiles/bench_ablation_multipe.dir/bench_ablation_multipe.cpp.o.d"
+  "bench_ablation_multipe"
+  "bench_ablation_multipe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multipe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

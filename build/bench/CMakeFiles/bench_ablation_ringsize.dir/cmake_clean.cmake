@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ringsize.dir/bench_ablation_ringsize.cpp.o"
+  "CMakeFiles/bench_ablation_ringsize.dir/bench_ablation_ringsize.cpp.o.d"
+  "bench_ablation_ringsize"
+  "bench_ablation_ringsize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ringsize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_putget.dir/bench_fig9_putget.cpp.o"
+  "CMakeFiles/bench_fig9_putget.dir/bench_fig9_putget.cpp.o.d"
+  "bench_fig9_putget"
+  "bench_fig9_putget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_putget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heat_1d.dir/heat_1d.cpp.o"
+  "CMakeFiles/heat_1d.dir/heat_1d.cpp.o.d"
+  "heat_1d"
+  "heat_1d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heat_1d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

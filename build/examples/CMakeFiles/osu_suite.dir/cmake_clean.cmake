@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/osu_suite.dir/osu_suite.cpp.o"
+  "CMakeFiles/osu_suite.dir/osu_suite.cpp.o.d"
+  "osu_suite"
+  "osu_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/osu_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

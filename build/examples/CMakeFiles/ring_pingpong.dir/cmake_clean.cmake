@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ring_pingpong.dir/ring_pingpong.cpp.o"
+  "CMakeFiles/ring_pingpong.dir/ring_pingpong.cpp.o.d"
+  "ring_pingpong"
+  "ring_pingpong.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ring_pingpong.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "4")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_heat_1d "/root/repo/build/examples/heat_1d" "3" "24" "30")
+set_tests_properties(example_heat_1d PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_histogram "/root/repo/build/examples/histogram" "4" "128")
+set_tests_properties(example_histogram PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_iteration "/root/repo/build/examples/power_iteration" "4" "8")
+set_tests_properties(example_power_iteration PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_ring_pingpong "/root/repo/build/examples/ring_pingpong" "3")
+set_tests_properties(example_ring_pingpong PROPERTIES  TIMEOUT "240" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_common.dir/log.cpp.o"
+  "CMakeFiles/ntbshmem_common.dir/log.cpp.o.d"
+  "CMakeFiles/ntbshmem_common.dir/stats.cpp.o"
+  "CMakeFiles/ntbshmem_common.dir/stats.cpp.o.d"
+  "CMakeFiles/ntbshmem_common.dir/table.cpp.o"
+  "CMakeFiles/ntbshmem_common.dir/table.cpp.o.d"
+  "CMakeFiles/ntbshmem_common.dir/timing_params.cpp.o"
+  "CMakeFiles/ntbshmem_common.dir/timing_params.cpp.o.d"
+  "CMakeFiles/ntbshmem_common.dir/units.cpp.o"
+  "CMakeFiles/ntbshmem_common.dir/units.cpp.o.d"
+  "libntbshmem_common.a"
+  "libntbshmem_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

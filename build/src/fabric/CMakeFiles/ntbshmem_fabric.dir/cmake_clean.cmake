@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_fabric.dir/ring.cpp.o"
+  "CMakeFiles/ntbshmem_fabric.dir/ring.cpp.o.d"
+  "libntbshmem_fabric.a"
+  "libntbshmem_fabric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_fabric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

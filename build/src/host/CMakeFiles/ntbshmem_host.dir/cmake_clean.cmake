@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_host.dir/host.cpp.o"
+  "CMakeFiles/ntbshmem_host.dir/host.cpp.o.d"
+  "CMakeFiles/ntbshmem_host.dir/interrupt.cpp.o"
+  "CMakeFiles/ntbshmem_host.dir/interrupt.cpp.o.d"
+  "CMakeFiles/ntbshmem_host.dir/memory.cpp.o"
+  "CMakeFiles/ntbshmem_host.dir/memory.cpp.o.d"
+  "libntbshmem_host.a"
+  "libntbshmem_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_ntb.dir/ntb_port.cpp.o"
+  "CMakeFiles/ntbshmem_ntb.dir/ntb_port.cpp.o.d"
+  "libntbshmem_ntb.a"
+  "libntbshmem_ntb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_ntb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

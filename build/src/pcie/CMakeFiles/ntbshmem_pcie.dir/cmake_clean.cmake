@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_pcie.dir/link.cpp.o"
+  "CMakeFiles/ntbshmem_pcie.dir/link.cpp.o.d"
+  "libntbshmem_pcie.a"
+  "libntbshmem_pcie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_pcie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libntbshmem_pcie.a"
+)

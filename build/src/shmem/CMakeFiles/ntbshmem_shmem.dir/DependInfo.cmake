@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shmem/api.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/api.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/api.cpp.o.d"
+  "/root/repo/src/shmem/collectives.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/collectives.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/collectives.cpp.o.d"
+  "/root/repo/src/shmem/message.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/message.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/message.cpp.o.d"
+  "/root/repo/src/shmem/runtime.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/runtime.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/runtime.cpp.o.d"
+  "/root/repo/src/shmem/symheap.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/symheap.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/symheap.cpp.o.d"
+  "/root/repo/src/shmem/teams.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/teams.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/teams.cpp.o.d"
+  "/root/repo/src/shmem/transport.cpp" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/transport.cpp.o" "gcc" "src/shmem/CMakeFiles/ntbshmem_shmem.dir/transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fabric/CMakeFiles/ntbshmem_fabric.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntb/CMakeFiles/ntbshmem_ntb.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ntbshmem_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ntbshmem_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntbshmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntbshmem_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_shmem.dir/api.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/api.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/collectives.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/collectives.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/message.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/message.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/runtime.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/runtime.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/symheap.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/symheap.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/teams.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/teams.cpp.o.d"
+  "CMakeFiles/ntbshmem_shmem.dir/transport.cpp.o"
+  "CMakeFiles/ntbshmem_shmem.dir/transport.cpp.o.d"
+  "libntbshmem_shmem.a"
+  "libntbshmem_shmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_shmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntbshmem_sim.dir/bandwidth.cpp.o"
+  "CMakeFiles/ntbshmem_sim.dir/bandwidth.cpp.o.d"
+  "CMakeFiles/ntbshmem_sim.dir/engine.cpp.o"
+  "CMakeFiles/ntbshmem_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/ntbshmem_sim.dir/event.cpp.o"
+  "CMakeFiles/ntbshmem_sim.dir/event.cpp.o.d"
+  "CMakeFiles/ntbshmem_sim.dir/resource.cpp.o"
+  "CMakeFiles/ntbshmem_sim.dir/resource.cpp.o.d"
+  "libntbshmem_sim.a"
+  "libntbshmem_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntbshmem_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,10 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/common
+# Build directory: /root/repo/build/tests/common
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common/common_units_test[1]_include.cmake")
+include("/root/repo/build/tests/common/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/common/common_table_test[1]_include.cmake")
+include("/root/repo/build/tests/common/common_log_test[1]_include.cmake")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fabric_ring_test.dir/ring_test.cpp.o"
+  "CMakeFiles/fabric_ring_test.dir/ring_test.cpp.o.d"
+  "fabric_ring_test"
+  "fabric_ring_test.pdb"
+  "fabric_ring_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fabric_ring_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

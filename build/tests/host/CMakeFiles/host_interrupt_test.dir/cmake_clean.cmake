@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_interrupt_test.dir/interrupt_test.cpp.o"
+  "CMakeFiles/host_interrupt_test.dir/interrupt_test.cpp.o.d"
+  "host_interrupt_test"
+  "host_interrupt_test.pdb"
+  "host_interrupt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_interrupt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/host_memory_test.dir/memory_test.cpp.o"
+  "CMakeFiles/host_memory_test.dir/memory_test.cpp.o.d"
+  "host_memory_test"
+  "host_memory_test.pdb"
+  "host_memory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/host_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

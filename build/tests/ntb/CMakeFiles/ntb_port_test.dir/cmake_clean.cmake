@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ntb_port_test.dir/ntb_port_test.cpp.o"
+  "CMakeFiles/ntb_port_test.dir/ntb_port_test.cpp.o.d"
+  "ntb_port_test"
+  "ntb_port_test.pdb"
+  "ntb_port_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ntb_port_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

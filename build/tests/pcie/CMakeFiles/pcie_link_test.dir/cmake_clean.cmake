@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pcie_link_test.dir/link_test.cpp.o"
+  "CMakeFiles/pcie_link_test.dir/link_test.cpp.o.d"
+  "pcie_link_test"
+  "pcie_link_test.pdb"
+  "pcie_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pcie_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_api_conformance_test.dir/api_conformance_test.cpp.o"
+  "CMakeFiles/shmem_api_conformance_test.dir/api_conformance_test.cpp.o.d"
+  "shmem_api_conformance_test"
+  "shmem_api_conformance_test.pdb"
+  "shmem_api_conformance_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_api_conformance_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_atomics_test.dir/atomics_test.cpp.o"
+  "CMakeFiles/shmem_atomics_test.dir/atomics_test.cpp.o.d"
+  "shmem_atomics_test"
+  "shmem_atomics_test.pdb"
+  "shmem_atomics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_atomics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_barrier_test.dir/barrier_test.cpp.o"
+  "CMakeFiles/shmem_barrier_test.dir/barrier_test.cpp.o.d"
+  "shmem_barrier_test"
+  "shmem_barrier_test.pdb"
+  "shmem_barrier_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_barrier_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_boundary_test.dir/boundary_test.cpp.o"
+  "CMakeFiles/shmem_boundary_test.dir/boundary_test.cpp.o.d"
+  "shmem_boundary_test"
+  "shmem_boundary_test.pdb"
+  "shmem_boundary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_boundary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_ctx_test.dir/ctx_test.cpp.o"
+  "CMakeFiles/shmem_ctx_test.dir/ctx_test.cpp.o.d"
+  "shmem_ctx_test"
+  "shmem_ctx_test.pdb"
+  "shmem_ctx_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_ctx_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_golden_model_test.dir/golden_model_test.cpp.o"
+  "CMakeFiles/shmem_golden_model_test.dir/golden_model_test.cpp.o.d"
+  "shmem_golden_model_test"
+  "shmem_golden_model_test.pdb"
+  "shmem_golden_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_golden_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_integration_test.dir/integration_test.cpp.o"
+  "CMakeFiles/shmem_integration_test.dir/integration_test.cpp.o.d"
+  "shmem_integration_test"
+  "shmem_integration_test.pdb"
+  "shmem_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

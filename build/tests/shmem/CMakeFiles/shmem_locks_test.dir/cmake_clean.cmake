@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_locks_test.dir/locks_test.cpp.o"
+  "CMakeFiles/shmem_locks_test.dir/locks_test.cpp.o.d"
+  "shmem_locks_test"
+  "shmem_locks_test.pdb"
+  "shmem_locks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_locks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_message_test.dir/message_test.cpp.o"
+  "CMakeFiles/shmem_message_test.dir/message_test.cpp.o.d"
+  "shmem_message_test"
+  "shmem_message_test.pdb"
+  "shmem_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

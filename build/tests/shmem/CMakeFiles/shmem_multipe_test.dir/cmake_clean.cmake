@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_multipe_test.dir/multipe_test.cpp.o"
+  "CMakeFiles/shmem_multipe_test.dir/multipe_test.cpp.o.d"
+  "shmem_multipe_test"
+  "shmem_multipe_test.pdb"
+  "shmem_multipe_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_multipe_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

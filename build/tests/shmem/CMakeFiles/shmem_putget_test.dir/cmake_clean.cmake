@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_putget_test.dir/putget_test.cpp.o"
+  "CMakeFiles/shmem_putget_test.dir/putget_test.cpp.o.d"
+  "shmem_putget_test"
+  "shmem_putget_test.pdb"
+  "shmem_putget_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_putget_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

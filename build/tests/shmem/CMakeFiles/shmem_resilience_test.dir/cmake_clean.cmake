@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_resilience_test.dir/resilience_test.cpp.o"
+  "CMakeFiles/shmem_resilience_test.dir/resilience_test.cpp.o.d"
+  "shmem_resilience_test"
+  "shmem_resilience_test.pdb"
+  "shmem_resilience_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_resilience_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

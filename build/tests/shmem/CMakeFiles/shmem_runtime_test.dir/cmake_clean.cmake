@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_runtime_test.dir/runtime_test.cpp.o"
+  "CMakeFiles/shmem_runtime_test.dir/runtime_test.cpp.o.d"
+  "shmem_runtime_test"
+  "shmem_runtime_test.pdb"
+  "shmem_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_signal_test.dir/signal_test.cpp.o"
+  "CMakeFiles/shmem_signal_test.dir/signal_test.cpp.o.d"
+  "shmem_signal_test"
+  "shmem_signal_test.pdb"
+  "shmem_signal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_signal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

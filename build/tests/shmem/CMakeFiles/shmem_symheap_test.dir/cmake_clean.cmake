@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_symheap_test.dir/symheap_test.cpp.o"
+  "CMakeFiles/shmem_symheap_test.dir/symheap_test.cpp.o.d"
+  "shmem_symheap_test"
+  "shmem_symheap_test.pdb"
+  "shmem_symheap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_symheap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_teams_test.dir/teams_test.cpp.o"
+  "CMakeFiles/shmem_teams_test.dir/teams_test.cpp.o.d"
+  "shmem_teams_test"
+  "shmem_teams_test.pdb"
+  "shmem_teams_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_teams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_trace_test.dir/trace_test.cpp.o"
+  "CMakeFiles/shmem_trace_test.dir/trace_test.cpp.o.d"
+  "shmem_trace_test"
+  "shmem_trace_test.pdb"
+  "shmem_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_transport_stats_test.dir/transport_stats_test.cpp.o"
+  "CMakeFiles/shmem_transport_stats_test.dir/transport_stats_test.cpp.o.d"
+  "shmem_transport_stats_test"
+  "shmem_transport_stats_test.pdb"
+  "shmem_transport_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_transport_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

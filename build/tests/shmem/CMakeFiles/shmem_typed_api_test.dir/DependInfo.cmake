@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/shmem/typed_api_test.cpp" "tests/shmem/CMakeFiles/shmem_typed_api_test.dir/typed_api_test.cpp.o" "gcc" "tests/shmem/CMakeFiles/shmem_typed_api_test.dir/typed_api_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/shmem/CMakeFiles/ntbshmem_shmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ntbshmem_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ntbshmem_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcie/CMakeFiles/ntbshmem_pcie.dir/DependInfo.cmake"
+  "/root/repo/build/src/ntb/CMakeFiles/ntbshmem_ntb.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/ntbshmem_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/fabric/CMakeFiles/ntbshmem_fabric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shmem_typed_api_test.dir/typed_api_test.cpp.o"
+  "CMakeFiles/shmem_typed_api_test.dir/typed_api_test.cpp.o.d"
+  "shmem_typed_api_test"
+  "shmem_typed_api_test.pdb"
+  "shmem_typed_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shmem_typed_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests/shmem
+# Build directory: /root/repo/build/tests/shmem
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/shmem/shmem_symheap_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_message_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_putget_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_barrier_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_atomics_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_locks_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_api_conformance_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_property_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_transport_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_signal_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_teams_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_trace_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_golden_model_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_integration_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_ctx_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_resilience_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_typed_api_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_multipe_test[1]_include.cmake")
+include("/root/repo/build/tests/shmem/shmem_boundary_test[1]_include.cmake")

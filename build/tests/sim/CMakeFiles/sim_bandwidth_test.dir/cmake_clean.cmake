@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_bandwidth_test.dir/bandwidth_test.cpp.o"
+  "CMakeFiles/sim_bandwidth_test.dir/bandwidth_test.cpp.o.d"
+  "sim_bandwidth_test"
+  "sim_bandwidth_test.pdb"
+  "sim_bandwidth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_bandwidth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
