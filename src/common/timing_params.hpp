@@ -87,6 +87,12 @@ struct TimingParams {
   // though the raw link does ~3 GB/s (Fig. 8).
   std::uint64_t lut_segment_bytes = 64_KiB;
   DurationNs segment_setup = 150_us_d;
+  // With overlapped segment setup (TransportTuning::overlap_segment_setup)
+  // the bulk of segment i+1's setup is charged concurrently with segment
+  // i's DMA, but a residual per-segment cost — handing the prefetched
+  // descriptor to the engine and bumping the ring tail — cannot be hidden.
+  // Unused on the paper-faithful serial path.
+  DurationNs segment_prefetch_overhead = 2_us_d;
 
   // Service-thread-context transfers (store-and-forward of multi-hop traffic
   // and all Get responses) cannot reprogram translation windows from ISR
@@ -116,6 +122,7 @@ struct TimingParams {
 // Presets for sensitivity studies:
 TimingParams paper_testbed();       // == TimingParams{}
 TimingParams fast_interrupts();     // service_wake 20us: "tuned driver" study
+TimingParams tuned_dma_driver();    // warm descriptor ring: cheap setup
 TimingParams gen4_fabric();         // PCIe Gen4 x8 what-if
 
 }  // namespace ntbshmem

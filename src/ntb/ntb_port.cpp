@@ -91,14 +91,15 @@ void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
 }
 
 void NtbPort::dma_write(int idx, std::uint64_t off,
-                        std::span<const std::byte> src) {
+                        std::span<const std::byte> src,
+                        bool descriptor_prefetched) {
   require_connected("dma_write");
   // Latch the translation by value: the descriptor captures the window
   // target when programmed, so a later program_window (e.g. by the other
   // software context on this host) cannot retarget an in-flight transfer.
   const WindowTarget w = require_mapped(idx, "dma_write");
   await_link_up();
-  engine_.wait_for(config_.dma_setup);
+  if (!descriptor_prefetched) engine_.wait_for(config_.dma_setup);
   await_link_up();
   transfer_path(local_, *w.peer_host, link_->direction_from(end_), src.size(),
                 config_.dma_rate_Bps);
@@ -172,7 +173,23 @@ void NtbPort::ring_doorbell(int bit) {
 
 void NtbPort::receive_doorbell(int bit) {
   db_status_ = static_cast<std::uint16_t>(db_status_ | (1u << bit));
+  if ((latch_bits_ & (1u << bit)) != 0) {
+    // Snapshot the header bank at doorbell-arrival time: with multiple
+    // frame credits the sender may restage these registers before the
+    // service thread runs, and the latch is what keeps the in-flight
+    // header intact (the "double-buffered ScratchPad").
+    latched_frames_.push_back(scratchpad_);
+  }
   local_.interrupts().raise(config_.vector_base + bit);
+}
+
+std::array<std::uint32_t, kNumScratchpads> NtbPort::pop_latched_frame() {
+  if (latched_frames_.empty()) {
+    throw std::logic_error(name_ + ": pop_latched_frame on empty latch FIFO");
+  }
+  auto regs = latched_frames_.front();
+  latched_frames_.pop_front();
+  return regs;
 }
 
 void NtbPort::clear_doorbell(int bit) {

@@ -21,6 +21,7 @@
 
 #include <array>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <span>
 #include <string>
@@ -97,7 +98,12 @@ class NtbPort {
 
   // ---- Data movement (blocking, process context) ----------------------------
   // DMA write: local memory -> peer memory through window `idx` at `off`.
-  void dma_write(int idx, std::uint64_t off, std::span<const std::byte> src);
+  // `descriptor_prefetched` skips the per-descriptor setup/poll charge
+  // (PortConfig::dma_setup): the descriptor was programmed ahead of time
+  // while the previous transfer was draining (TransportTuning's overlapped
+  // segment setup); the software layer accounts for the prefetch cost.
+  void dma_write(int idx, std::uint64_t off, std::span<const std::byte> src,
+                 bool descriptor_prefetched = false);
   // DMA read: peer memory -> local memory (non-posted, slower).
   void dma_read(int idx, std::uint64_t off, std::span<std::byte> dst);
   // PIO paths: CPU stores/loads through the mapped window.
@@ -111,6 +117,18 @@ class NtbPort {
   // in-flight headers.
   void write_scratchpad(int idx, std::uint32_t value);
   std::uint32_t read_scratchpad(int idx);
+
+  // ---- Frame latch (double-buffered ScratchPad extension) -------------------
+  // When a doorbell bit in `mask` arrives, the adapter snapshots the local
+  // ScratchPad bank into a FIFO at arrival time — before the sender can
+  // restage the registers for its next frame. This is the hardware half of
+  // credit-based frame pipelining: with one frame in flight the latched
+  // snapshot always equals the live bank, so enabling it is behaviour- and
+  // timing-neutral for the paper-faithful handshake. Snapshot reads are
+  // charged by the caller (same register-read cost as the live bank).
+  void set_latch_bits(std::uint16_t mask) { latch_bits_ = mask; }
+  bool has_latched_frame() const { return !latched_frames_.empty(); }
+  std::array<std::uint32_t, kNumScratchpads> pop_latched_frame();
 
   // ---- Doorbells ------------------------------------------------------------
   // Sets bit `bit` in the peer's doorbell status and raises the peer's
@@ -150,6 +168,8 @@ class NtbPort {
   std::array<WindowTarget, kNumWindows> windows_{};
   std::array<std::uint32_t, kNumScratchpads> scratchpad_{};
   std::uint16_t db_status_ = 0;
+  std::uint16_t latch_bits_ = 0;
+  std::deque<std::array<std::uint32_t, kNumScratchpads>> latched_frames_;
   std::uint64_t dma_bytes_written_ = 0;
 };
 

@@ -29,6 +29,43 @@ enum class CompletionMode : int {
   kLocalDma,      // paper-prototype mode, used by the Fig. 10 bench
 };
 
+// Transport pipelining knobs (the §III data-path optimisations that go
+// beyond the paper's prototype). The default-constructed block is
+// paper-faithful — one ScratchPad frame in flight per direction, serial
+// per-segment LUT setup, full store-and-forward at every hop — so every
+// figure bench reproduces the paper unless a bench opts in explicitly.
+struct TransportTuning {
+  // ScratchPad frame credits per TX direction. 1 reproduces the paper's
+  // one-frame-in-flight handshake; N>1 models a double-buffered ScratchPad
+  // bank (the receiving adapter latches the header bank per doorbell), so a
+  // second frame's header/payload staging overlaps the previous frame's
+  // in-flight ACK. The bypass staging buffer is partitioned into N slots,
+  // one owned per credit, so in-flight payloads never collide.
+  int tx_credits = 1;
+  // Overlap segment i+1's LUT/descriptor setup with segment i's DMA in the
+  // application fast path (window_write): models descriptor prefetch in the
+  // NTB DMA engine. The first segment still pays the full serial setup.
+  bool overlap_segment_setup = false;
+  // Cut-through forwarding: an intermediate host begins forwarding a
+  // chunked multi-hop message as soon as its first chunk (which carries the
+  // network header) is reassembled, instead of store-and-forwarding the
+  // whole message at every hop.
+  bool cut_through_forwarding = false;
+
+  bool pipelined() const {
+    return tx_credits > 1 || overlap_segment_setup || cut_through_forwarding;
+  }
+
+  static TransportTuning paper() { return TransportTuning{}; }
+  static TransportTuning all_on(int credits = 4) {
+    TransportTuning t;
+    t.tx_credits = credits;
+    t.overlap_segment_setup = true;
+    t.cut_through_forwarding = true;
+    return t;
+  }
+};
+
 struct RuntimeOptions {
   int npes = 3;  // total PEs
   // PEs per host (block mapping: PE p lives on host p / pes_per_host). The
@@ -40,6 +77,7 @@ struct RuntimeOptions {
   fabric::RoutingMode routing = fabric::RoutingMode::kRightOnly;
   DataPath data_path = DataPath::kDma;
   CompletionMode completion = CompletionMode::kFullDelivery;
+  TransportTuning tuning;  // paper-faithful by default
 
   // Symmetric heap: fixed-size chunks allocated on demand and virtually
   // concatenated (paper Fig. 3).

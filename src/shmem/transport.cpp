@@ -26,10 +26,26 @@ Transport::Transport(Runtime& runtime, int host_id)
   host::MemoryArena& arena = ring().host(host_id_).memory();
   const std::uint64_t staging_bytes =
       runtime_.options().timing.bypass_buffer_bytes;
+  const TransportTuning& tune = runtime_.options().tuning;
+  if (tune.tx_credits < 1) {
+    throw std::invalid_argument("TransportTuning::tx_credits must be >= 1");
+  }
+  // Each credit owns one staging slot; a slot must hold at least one bypass
+  // chunk (and a message header for the staged path).
+  const std::uint64_t slot_bytes =
+      staging_bytes / static_cast<std::uint64_t>(tune.tx_credits);
+  if (slot_bytes < runtime_.options().timing.bypass_chunk_bytes ||
+      slot_bytes <= kMessageHeaderBytes) {
+    throw std::invalid_argument(
+        "bypass_buffer_bytes / tx_credits leaves staging slots smaller than "
+        "a bypass chunk");
+  }
   staging_from_left_ = arena.allocate(staging_bytes, 4096);
   staging_from_right_ = arena.allocate(staging_bytes, 4096);
-  tx_left_ = std::make_unique<TxChannel>(engine, prefix + ".tx_left");
-  tx_right_ = std::make_unique<TxChannel>(engine, prefix + ".tx_right");
+  tx_left_ = std::make_unique<TxChannel>(engine, prefix + ".tx_left",
+                                         tune.tx_credits, slot_bytes);
+  tx_right_ = std::make_unique<TxChannel>(engine, prefix + ".tx_right",
+                                          tune.tx_credits, slot_bytes);
   rx_event_ = std::make_unique<sim::Event>(engine, prefix + ".rx");
   tx_event_ = std::make_unique<sim::Event>(engine, prefix + ".tx");
   op_event_ = std::make_unique<sim::Event>(engine, prefix + ".ops");
@@ -80,6 +96,10 @@ const TimingParams& Transport::timing() const {
   return runtime_.options().timing;
 }
 
+const TransportTuning& Transport::tuning() const {
+  return runtime_.options().tuning;
+}
+
 void Transport::trace(const char* category, const std::string& message) {
   runtime_.trace().record(runtime_.engine().now(), category, message);
 }
@@ -101,6 +121,11 @@ void Transport::start_services() {
   for (fabric::Direction d :
        {fabric::Direction::kLeft, fabric::Direction::kRight}) {
     ntb::NtbPort& port = in_port(d);
+    // Latch the header bank per data doorbell at arrival time (the
+    // double-buffered-ScratchPad half of frame pipelining; identical to a
+    // live read when only one frame can be in flight).
+    port.set_latch_bits(
+        static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
     const int base = port.config().vector_base;
     host::InterruptController& irq = ring().host(host_id_).interrupts();
     irq.register_handler(base + kDbDmaPut, [this, d](int) {
@@ -134,17 +159,28 @@ void Transport::start_services() {
 }
 
 void Transport::on_rx_token(fabric::Direction from, RxTokenKind kind) {
-  rx_queue_.push_back(RxToken{from, kind});
+  RxToken token{from, kind, {}};
+  if (kind == RxTokenKind::kFrame) {
+    // ISR context: consume the header snapshot the adapter latched when the
+    // doorbell arrived (free; the service thread charges the reads).
+    token.regs = in_port(from).pop_latched_frame();
+  }
+  rx_queue_.push_back(token);
   rx_event_->notify_all();
 }
 
 void Transport::on_ack(fabric::Direction d) {
   TxChannel& ch = channel(d);
-  const bool was_delivery = ch.counts_as_delivery;
-  const int domain = ch.delivery_domain;
-  ch.counts_as_delivery = false;
+  if (ch.inflight.empty()) {
+    throw std::logic_error("ACK doorbell with no in-flight frame");
+  }
+  const TxChannel::InFlight rec = ch.inflight.front();
+  ch.inflight.pop_front();
+  // Return the staging slot before the credit so a woken sender always
+  // finds a free slot to pair with its credit.
+  ch.free_slots.push_back(rec.stage_slot);
   ch.slot.release();
-  if (was_delivery) note_delivery_completed(domain);
+  if (rec.counts_as_delivery) note_delivery_completed(rec.delivery_domain);
 }
 
 void Transport::track_delivery(int domain, std::uint32_t op_id) {
@@ -173,6 +209,31 @@ void Transport::note_delivery_completed_op(std::uint32_t op_id) {
 
 // ---- send-side primitives ----------------------------------------------------
 
+int Transport::acquire_send_credit(fabric::Direction d) {
+  TxChannel& ch = channel(d);
+  ch.slot.acquire();
+  // Invariant: slots are returned before credits are released (on_ack), so
+  // a granted credit always finds a free slot; no yield between the two.
+  const int slot = ch.free_slots.front();
+  ch.free_slots.pop_front();
+  return slot;
+}
+
+void Transport::emit_frame_inflight(fabric::Direction d,
+                                    const FrameHeader& hdr, int doorbell,
+                                    int slot, bool counts_as_delivery,
+                                    int delivery_domain) {
+  TxChannel& ch = channel(d);
+  // Serialize header staging between concurrent credit holders (the PE
+  // thread and the TX service can emit on the same direction); the record
+  // is pushed in emission order, which is the order ACKs come back in.
+  ch.emit_serial.acquire();
+  ch.inflight.push_back(
+      TxChannel::InFlight{slot, counts_as_delivery, delivery_domain});
+  emit_frame(d, hdr, doorbell);
+  ch.emit_serial.release();
+}
+
 void Transport::emit_frame(fabric::Direction d, const FrameHeader& hdr,
                            int doorbell) {
   ntb::NtbPort& port = out_port(d);
@@ -192,24 +253,50 @@ void Transport::window_write(fabric::Direction d, int window,
                              host::Region region, std::uint64_t off,
                              std::span<const std::byte> src,
                              bool app_context) {
+  sim::Engine& engine = runtime_.engine();
   ntb::NtbPort& port = out_port(d);
   const std::uint64_t seg = timing().lut_segment_bytes;
+  const bool overlap = app_context && tuning().overlap_segment_setup;
+  const bool use_dma = runtime_.options().data_path == DataPath::kDma;
+  // Overlapped mode: while segment i's data drains, the driver programs
+  // segment i+1's DMA descriptor and LUT entry in parallel, so segment i+1
+  // starts at max(transfer i done, setup i+1 done) instead of paying the
+  // full setup serially. `setup_ready` is the virtual time the prefetched
+  // descriptor for the *current* segment becomes valid.
+  sim::Time setup_ready = 0;
+  bool first = true;
   std::uint64_t done = 0;
   while (done < src.size()) {
     const std::uint64_t n = std::min<std::uint64_t>(seg, src.size() - done);
     if (app_context) {
-      // Driver call: program the DMA descriptor and the LUT translation
-      // entry for this segment (TimingParams::segment_setup).
-      runtime_.engine().wait_for(timing().segment_setup);
+      if (!overlap || first) {
+        // Driver call: program the DMA descriptor and the LUT translation
+        // entry for this segment (TimingParams::segment_setup).
+        engine.wait_for(timing().segment_setup);
+      } else {
+        // Residual hand-off cost of the prefetched descriptor, then block
+        // only if the concurrent setup has not finished yet.
+        engine.wait_for(timing().segment_prefetch_overhead);
+        if (engine.now() < setup_ready) engine.wait_until(setup_ready);
+      }
+    }
+    if (overlap) {
+      // The driver starts programming the NEXT segment now, while this
+      // segment's transfer occupies the engine; setups serialize on the
+      // driver thread.
+      const sim::Time driver_free = std::max(setup_ready, engine.now());
+      setup_ready = driver_free + timing().segment_setup;
     }
     port.program_window(window, region);
     const auto piece = src.subspan(done, n);
-    if (runtime_.options().data_path == DataPath::kDma) {
-      port.dma_write(window, off + done, piece);
+    if (use_dma) {
+      port.dma_write(window, off + done, piece,
+                     /*descriptor_prefetched=*/overlap && !first);
     } else {
       port.pio_write(window, off + done, piece);
     }
     done += n;
+    first = false;
   }
 }
 
@@ -230,12 +317,13 @@ void Transport::send_message_staged(fabric::Direction d,
   // The receiver's staging buffer for traffic from our side.
   const host::Region staging =
       runtime_.host_transport(next).staging_region(fabric::opposite(d));
-  if (message.size() > staging.size) {
-    throw std::logic_error("staged message exceeds bypass buffer");
-  }
   TxChannel& ch = channel(d);
-  ch.slot.acquire();
-  ch.counts_as_delivery = false;
+  if (message.size() > ch.slot_bytes) {
+    throw std::logic_error("staged message exceeds bypass staging slot");
+  }
+  const int slot = acquire_send_credit(d);
+  const std::uint64_t slot_off =
+      static_cast<std::uint64_t>(slot) * ch.slot_bytes;
   // The 64-byte message header goes through the head of the pre-mapped
   // bypass window as a plain PIO write; only the payload pays the
   // per-segment driver cost. This keeps a multi-hop Put's local latency in
@@ -243,10 +331,10 @@ void Transport::send_message_staged(fabric::Direction d,
   {
     ntb::NtbPort& port = out_port(d);
     port.program_window(ntb::kBypassWindow, staging);
-    port.pio_write(ntb::kBypassWindow, 0,
+    port.pio_write(ntb::kBypassWindow, slot_off,
                    message.subspan(0, kMessageHeaderBytes));
   }
-  window_write(d, ntb::kBypassWindow, staging, kMessageHeaderBytes,
+  window_write(d, ntb::kBypassWindow, staging, slot_off + kMessageHeaderBytes,
                message.subspan(kMessageHeaderBytes), /*app_context=*/true);
   const MessageHeader mh = read_message_header(message);
   FrameHeader f;
@@ -255,37 +343,49 @@ void Transport::send_message_staged(fabric::Direction d,
   f.target_pe = mh.target_pe;
   f.id = next_msg_id_++;
   f.c = static_cast<std::uint32_t>(message.size());
-  emit_frame(d, f, kDbDmaPut);
-  // The channel is released by the receiver's ACK doorbell; the call is
+  f.d = static_cast<std::uint32_t>(slot_off);  // staging slot offset
+  emit_frame_inflight(d, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
+  // The credit is released by the receiver's ACK doorbell; the call is
   // locally complete once the doorbell is rung (one-sided Put semantics).
+}
+
+void Transport::send_chunk(fabric::Direction d,
+                           std::span<const std::byte> payload,
+                           std::uint32_t msg_id, std::uint64_t off,
+                           std::uint32_t total) {
+  const int next = neighbor(d);
+  const host::Region staging =
+      runtime_.host_transport(next).staging_region(fabric::opposite(d));
+  TxChannel& ch = channel(d);
+  // One ScratchPad+Doorbell handshake per chunk: acquire a credit, deposit
+  // the chunk in the credit's staging slot, notify. The ACK returns the
+  // credit; with tx_credits > 1 the next chunk's staging overlaps this
+  // chunk's in-flight ACK instead of ping-ponging with it.
+  const int slot = acquire_send_credit(d);
+  const std::uint64_t slot_off =
+      static_cast<std::uint64_t>(slot) * ch.slot_bytes;
+  window_write(d, ntb::kBypassWindow, staging, slot_off, payload,
+               /*app_context=*/false);
+  FrameHeader f;
+  f.kind = FrameKind::kChunk;
+  f.origin_pe = static_cast<std::uint8_t>(leader_pe());  // link-level id
+  f.id = msg_id;
+  f.a = off;                                      // offset within message
+  f.b = static_cast<std::uint32_t>(payload.size());  // chunk size
+  f.c = total;                                    // total message size
+  f.d = static_cast<std::uint32_t>(slot_off);     // staging slot offset
+  emit_frame_inflight(d, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
 }
 
 void Transport::send_message_chunked(fabric::Direction d,
                                      std::span<const std::byte> message) {
-  const int next = neighbor(d);
-  const host::Region staging =
-      runtime_.host_transport(next).staging_region(fabric::opposite(d));
   const std::uint64_t chunk = timing().bypass_chunk_bytes;
   const std::uint32_t msg_id = next_msg_id_++;
+  const auto total = static_cast<std::uint32_t>(message.size());
   std::uint64_t off = 0;
-  TxChannel& ch = channel(d);
   while (off < message.size()) {
     const std::uint64_t n = std::min<std::uint64_t>(chunk, message.size() - off);
-    // One ScratchPad+Doorbell handshake per chunk: acquire the channel,
-    // deposit the chunk at the head of the staging buffer, notify. The ACK
-    // releases the slot, which is what paces the next chunk.
-    ch.slot.acquire();
-    ch.counts_as_delivery = false;
-    window_write(d, ntb::kBypassWindow, staging, 0, message.subspan(off, n),
-                 /*app_context=*/false);
-    FrameHeader f;
-    f.kind = FrameKind::kChunk;
-    f.origin_pe = static_cast<std::uint8_t>(leader_pe());  // link-level id
-    f.id = msg_id;
-    f.a = off;                                    // offset within message
-    f.b = static_cast<std::uint32_t>(n);          // chunk size
-    f.c = static_cast<std::uint32_t>(message.size());  // total size
-    emit_frame(d, f, kDbDmaPut);
+    send_chunk(d, message.subspan(off, n), msg_id, off, total);
     off += n;
   }
 }
@@ -327,10 +427,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
                    src.subspan(done, piece.len), /*app_context=*/true);
       done += piece.len;
     }
-    TxChannel& ch = channel(r.dir);
-    ch.slot.acquire();
-    ch.counts_as_delivery = full;
-    ch.delivery_domain = domain;
+    const int slot = acquire_send_credit(r.dir);
     if (full) ++outstanding_by_domain_[domain];
     FrameHeader f;
     f.kind = FrameKind::kDirectPut;
@@ -339,15 +436,19 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     f.id = next_op_id_++;
     f.a = heap_offset;
     f.b = static_cast<std::uint32_t>(src.size());
-    emit_frame(r.dir, f, kDbDmaPut);
+    emit_frame_inflight(r.dir, f, kDbDmaPut, slot,
+                        /*counts_as_delivery=*/full, domain);
     return;
   }
 
   // Multi-hop: stage whole sub-messages into the next hop's bypass buffer
   // (Fig. 4, "PE0 puts data to PE2's shmem buffer" via PE1). The service
   // threads forward from there; we are locally complete after staging.
+  // With tx_credits > 1 the staging buffer is partitioned per credit, so a
+  // sub-message is capped at one slot (and successive sub-messages overlap
+  // in flight instead of serializing on one ACK).
   const std::uint64_t staging_cap =
-      timing().bypass_buffer_bytes - kMessageHeaderBytes;
+      channel(r.dir).slot_bytes - kMessageHeaderBytes;
   std::uint64_t off = 0;
   while (off < src.size()) {
     const std::uint64_t n =
@@ -381,9 +482,7 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
                                     static_cast<std::uint32_t>(dst.size()),
                                     false, domain};
   const fabric::Route r = route_to(source_pe);
-  TxChannel& ch = channel(r.dir);
-  ch.slot.acquire();
-  ch.counts_as_delivery = false;
+  const int slot = acquire_send_credit(r.dir);
   FrameHeader f;
   f.kind = FrameKind::kGetRequest;
   f.origin_pe = static_cast<std::uint8_t>(origin_pe);
@@ -391,7 +490,8 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
   f.id = op_id;
   f.a = heap_offset;
   f.b = static_cast<std::uint32_t>(dst.size());
-  emit_frame(r.dir, f, kDbDmaGet);
+  emit_frame_inflight(r.dir, f, kDbDmaGet, slot, /*counts_as_delivery=*/false,
+                      0);
   ++stats_.gets_issued;
   return op_id;
 }
@@ -620,7 +720,7 @@ void Transport::rx_service_body() {
       rx_queue_.pop_front();
       switch (token.kind) {
         case RxTokenKind::kFrame:
-          process_frame(token.from);
+          process_frame(token);
           break;
         case RxTokenKind::kBarrierStart:
           ++barrier_start_tokens_;
@@ -646,13 +746,21 @@ void Transport::tx_service_body() {
     while (!tx_queue_.empty()) {
       OutboundItem item = std::move(tx_queue_.front());
       tx_queue_.pop_front();
-      if (item.is_raw_frame) {
-        TxChannel& ch = channel(item.dir);
-        ch.slot.acquire();
-        ch.counts_as_delivery = false;
-        emit_frame(item.dir, item.raw_frame, kDbDmaGet);
-      } else {
-        send_message_chunked(item.dir, item.message);
+      switch (item.kind) {
+        case OutboundItem::Kind::kRawFrame: {
+          const int slot = acquire_send_credit(item.dir);
+          emit_frame_inflight(item.dir, item.raw_frame, kDbDmaGet, slot,
+                              /*counts_as_delivery=*/false, 0);
+          break;
+        }
+        case OutboundItem::Kind::kMessage:
+          send_message_chunked(item.dir, item.message);
+          break;
+        case OutboundItem::Kind::kChunk:
+          // Cut-through: one chunk of a message still arriving behind us.
+          send_chunk(item.dir, item.message, item.chunk_msg_id,
+                     item.chunk_off, item.chunk_total);
+          break;
       }
     }
   }
@@ -664,11 +772,15 @@ void Transport::ack_frame(fabric::Direction from) {
   port.ring_doorbell(kDbAck);
 }
 
-void Transport::process_frame(fabric::Direction from) {
+void Transport::process_frame(const RxToken& token) {
+  const fabric::Direction from = token.from;
   ntb::NtbPort& port = in_port(from);
+  // The header registers were latched at doorbell arrival; reading the
+  // latched bank costs the same non-posted register reads as the live one.
   std::array<std::uint32_t, 7> regs{};
   for (int i = 0; i < kFrameRegs; ++i) {
-    regs[static_cast<std::size_t>(i)] = port.read_scratchpad(i);
+    runtime_.engine().wait_for(port.config().reg_read);
+    regs[static_cast<std::size_t>(i)] = token.regs[static_cast<std::size_t>(i)];
   }
   const FrameHeader f = FrameHeader::unpack(regs);
   ++stats_.frames_received;
@@ -691,8 +803,8 @@ void Transport::process_frame(fabric::Direction from) {
         serve_get_request(f);
       } else {
         OutboundItem item;
+        item.kind = OutboundItem::Kind::kRawFrame;
         item.dir = fabric::opposite(from);  // keep travelling
-        item.is_raw_frame = true;
         item.raw_frame = f;
         enqueue_outbound(std::move(item));
       }
@@ -701,7 +813,7 @@ void Transport::process_frame(fabric::Direction from) {
     case FrameKind::kStaged: {
       const host::Region staging = staging_region(from);
       std::vector<std::byte> msg(f.c);
-      auto src = ring().host(host_id_).memory().bytes(staging, 0, f.c);
+      auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.c);
       std::memcpy(msg.data(), src.data(), f.c);
       charge_local_copy(f.c);
       ack_frame(from);
@@ -709,11 +821,12 @@ void Transport::process_frame(fabric::Direction from) {
       return;
     }
     case FrameKind::kChunk: {
+      if (tuning().cut_through_forwarding && try_cut_through(f, from)) return;
       const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
       Reassembly& re = reassembly_[key];
       if (re.data.empty()) re.data.resize(f.c);
       const host::Region staging = staging_region(from);
-      auto src = ring().host(host_id_).memory().bytes(staging, 0, f.b);
+      auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.b);
       std::memcpy(re.data.data() + f.a, src.data(), f.b);
       charge_local_copy(f.b);
       re.received += f.b;
@@ -727,6 +840,48 @@ void Transport::process_frame(fabric::Direction from) {
     }
   }
   throw std::runtime_error("unknown frame kind received");
+}
+
+bool Transport::try_cut_through(const FrameHeader& f, fabric::Direction from) {
+  const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
+  auto it = cut_through_.find(key);
+  if (it == cut_through_.end()) {
+    // Only the first chunk of a multi-chunk message can start cut-through,
+    // and only if it carries the whole network header (chunks arrive in
+    // order on a FIFO link, so f.a == 0 comes first).
+    if (f.a != 0 || f.b < kMessageHeaderBytes || f.b >= f.c) return false;
+    const host::Region staging = staging_region(from);
+    auto head = ring().host(host_id_).memory().bytes(staging, f.d,
+                                                     kMessageHeaderBytes);
+    const MessageHeader mh = read_message_header(
+        std::span<const std::byte>(head.data(), kMessageHeaderBytes));
+    if (is_resident(mh.target_pe)) return false;  // terminal hop: reassemble
+    it = cut_through_.emplace(key, CutThrough{next_msg_id_++, 0}).first;
+    ++stats_.messages_forwarded;
+    trace("cut_through", "host" + std::to_string(host_id_) + " msg " +
+                             std::to_string(f.id) + " -> out msg " +
+                             std::to_string(it->second.out_msg_id));
+  }
+  CutThrough& ct = it->second;
+  // Copy the chunk out of the staging slot and put it on the forward queue
+  // immediately — the tail of the message is still hops behind us.
+  const host::Region staging = staging_region(from);
+  auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.b);
+  OutboundItem item;
+  item.kind = OutboundItem::Kind::kChunk;
+  item.dir = fabric::opposite(from);
+  item.message.assign(src.begin(), src.end());
+  item.chunk_msg_id = ct.out_msg_id;
+  item.chunk_off = f.a;
+  item.chunk_total = f.c;
+  charge_local_copy(f.b);
+  stats_.bytes_forwarded += f.b;
+  ct.forwarded += f.b;
+  const bool last = ct.forwarded >= f.c;
+  if (last) cut_through_.erase(it);
+  ack_frame(from);
+  enqueue_outbound(std::move(item));
+  return true;
 }
 
 void Transport::dispatch_message(std::vector<std::byte> message,

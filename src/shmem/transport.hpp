@@ -30,15 +30,33 @@
 //   * atomics: request/response messages executed by the owner's service
 //     thread (single-threaded per host -> linearizable per target word).
 //   * barrier_ring(): the Fig. 6 two-round start/end doorbell circulation.
+//
+// Pipelined data path (opt-in via RuntimeOptions::tuning; the default is
+// the paper-faithful serial protocol above):
+//   * tx_credits > 1: N frames in flight per direction. The receiving
+//     adapter latches the ScratchPad bank per doorbell (NtbPort frame
+//     latch) and the bypass staging buffer is partitioned into N slots, one
+//     per credit, carried in FrameHeader::d.
+//   * overlap_segment_setup: window_write charges segment i+1's LUT/
+//     descriptor setup concurrently with segment i's DMA (descriptor
+//     prefetch), instead of serially.
+//   * cut_through_forwarding: an intermediate hop forwards each chunk of a
+//     multi-hop message on arrival once the first chunk's network header
+//     shows a non-resident target, instead of store-and-forwarding the
+//     whole message.
+// All three keep the DES deterministic: credits are a FIFO sim::Resource,
+// ACKs return in emission order, and chunk forwarding preserves per-link
+// FIFO order.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <string>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "fabric/ring.hpp"
@@ -146,13 +164,32 @@ class Transport {
   int allocate_domain() { return next_domain_++; }
 
  private:
+  // One TX direction of the host's NTB pair. `credits` is the number of
+  // frames that may be in flight before the sender must wait for an ACK
+  // doorbell: 1 is the paper's handshake; N>1 is the pipelined mode, where
+  // the receiver's adapter latches the ScratchPad bank per doorbell and the
+  // bypass staging buffer is partitioned into N slots so in-flight payloads
+  // never collide. ACKs arrive in emission order (the link and the
+  // receiver's service loop are both FIFO), so in-flight bookkeeping is a
+  // queue popped by the ACK handler.
   struct TxChannel {
-    explicit TxChannel(sim::Engine& engine, const std::string& name)
-        : slot(engine, name, 1) {}
-    sim::Resource slot;
-    // Bookkeeping for the in-flight frame, consumed by the ACK handler.
-    bool counts_as_delivery = false;
-    int delivery_domain = 0;
+    TxChannel(sim::Engine& engine, const std::string& name, int credits,
+              std::uint64_t stage_slot_bytes)
+        : slot(engine, name, static_cast<std::size_t>(credits)),
+          emit_serial(engine, name + ".emit", 1),
+          slot_bytes(stage_slot_bytes) {
+      for (int i = 0; i < credits; ++i) free_slots.push_back(i);
+    }
+    sim::Resource slot;         // frame credits (capacity == tx_credits)
+    sim::Resource emit_serial;  // serializes ScratchPad staging + doorbell
+    std::uint64_t slot_bytes;   // staging partition owned by one credit
+    std::deque<int> free_slots; // staging slots not owned by an in-flight frame
+    struct InFlight {
+      int stage_slot = 0;
+      bool counts_as_delivery = false;
+      int delivery_domain = 0;
+    };
+    std::deque<InFlight> inflight;  // emission order; ACKs pop the front
   };
 
   enum class RxTokenKind : std::uint8_t {
@@ -164,18 +201,38 @@ class Transport {
   struct RxToken {
     fabric::Direction from;  // side the signal arrived from
     RxTokenKind kind = RxTokenKind::kFrame;
+    // Header bank latched by the adapter at doorbell-arrival time (valid
+    // for kFrame tokens). Reading it is charged at process_frame time.
+    std::array<std::uint32_t, ntb::kNumScratchpads> regs{};
   };
 
   struct OutboundItem {
+    enum class Kind : std::uint8_t {
+      kMessage,   // whole logical message, sent chunked hop by hop
+      kRawFrame,  // get-request forwarding (payload-free frame)
+      kChunk,     // cut-through: one chunk of a partially arrived message
+    };
+    Kind kind = Kind::kMessage;
     fabric::Direction dir;            // direction to send
-    std::vector<std::byte> message;   // header+payload; empty for raw frame
+    std::vector<std::byte> message;   // message bytes, or one chunk's payload
     FrameHeader raw_frame;            // get-request forwarding
-    bool is_raw_frame = false;
+    // Cut-through chunk coordinates (kind == kChunk).
+    std::uint32_t chunk_msg_id = 0;
+    std::uint64_t chunk_off = 0;
+    std::uint32_t chunk_total = 0;
   };
 
   struct Reassembly {
     std::vector<std::byte> data;
     std::uint64_t received = 0;
+  };
+
+  // Cut-through forwarding state for one in-transit chunked message: once
+  // the first chunk reveals a non-resident target, every chunk is forwarded
+  // on arrival under a fresh outgoing message id.
+  struct CutThrough {
+    std::uint32_t out_msg_id = 0;
+    std::uint64_t forwarded = 0;  // bytes forwarded so far
   };
 
   struct PendingGet {
@@ -205,12 +262,23 @@ class Transport {
   fabric::Route route_to(int target) const;
   fabric::Route response_route_to(int origin) const;
   const TimingParams& timing() const;
+  const TransportTuning& tuning() const;
 
   // ---- send-side primitives ----
+  // Blocks until a frame credit is free and returns the staging slot index
+  // owned by that credit until the matching ACK doorbell.
+  int acquire_send_credit(fabric::Direction d);
   // Writes the 7 header registers + doorbell; channel must be held.
   void emit_frame(fabric::Direction d, const FrameHeader& hdr, int doorbell);
+  // emit_frame plus in-flight bookkeeping: serializes the ScratchPad
+  // staging against other credit holders and registers the record the ACK
+  // handler consumes. `slot` is the staging slot from acquire_send_credit.
+  void emit_frame_inflight(fabric::Direction d, const FrameHeader& hdr,
+                           int doorbell, int slot, bool counts_as_delivery,
+                           int delivery_domain);
   // Data write through a window with the configured path; charges
-  // segment_setup per LUT segment when `app_context` is true.
+  // segment_setup per LUT segment when `app_context` is true (serially, or
+  // overlapped with the previous segment's DMA under the pipelined tuning).
   void window_write(fabric::Direction d, int window, host::Region region,
                     std::uint64_t off, std::span<const std::byte> src,
                     bool app_context);
@@ -218,6 +286,11 @@ class Transport {
   // bypass buffer with one handshake per chunk. Any process context.
   void send_message_chunked(fabric::Direction d,
                             std::span<const std::byte> message);
+  // Sends one chunk of the logical message `msg_id` (`total` bytes overall)
+  // one hop in `d`; the chunk's payload starts at message offset `off`.
+  void send_chunk(fabric::Direction d, std::span<const std::byte> payload,
+                  std::uint32_t msg_id, std::uint64_t off,
+                  std::uint32_t total);
   // Application fast path: stage the whole message in one handshake.
   void send_message_staged(fabric::Direction d,
                            std::span<const std::byte> message);
@@ -230,7 +303,10 @@ class Transport {
   void on_ack(fabric::Direction d);
   void rx_service_body();
   void tx_service_body();
-  void process_frame(fabric::Direction from);
+  void process_frame(const RxToken& token);
+  // Cut-through fast path for a kChunk frame; returns true when the chunk
+  // was forwarded (consumed) instead of entering reassembly.
+  bool try_cut_through(const FrameHeader& f, fabric::Direction from);
   void ack_frame(fabric::Direction from);
   void dispatch_message(std::vector<std::byte> message, fabric::Direction from);
   // Local delivery between co-resident PEs (shared-memory path).
@@ -269,25 +345,27 @@ class Transport {
   std::unique_ptr<TxChannel> tx_left_;
   std::unique_ptr<TxChannel> tx_right_;
 
-  // RX service state.
+  // RX service state. (Hot-path lookups are unordered_map: nothing relies
+  // on key order, and the stress/bench workloads hit these per frame.)
   std::deque<RxToken> rx_queue_;
   std::unique_ptr<sim::Event> rx_event_;
-  std::map<std::uint64_t, Reassembly> reassembly_;  // key: origin<<32 | msg id
+  std::unordered_map<std::uint64_t, Reassembly> reassembly_;  // origin<<32|id
+  std::unordered_map<std::uint64_t, CutThrough> cut_through_;  // same key
 
   // TX service state.
   std::deque<OutboundItem> tx_queue_;
   std::unique_ptr<sim::Event> tx_event_;
 
   // Pending application operations.
-  std::map<std::uint32_t, PendingGet> pending_gets_;
-  std::map<std::uint32_t, PendingAtomic> pending_atomics_;
+  std::unordered_map<std::uint32_t, PendingGet> pending_gets_;
+  std::unordered_map<std::uint32_t, PendingAtomic> pending_atomics_;
   std::unique_ptr<sim::Event> op_event_;
 
   // Outstanding remote writes per context domain (kFullDelivery
   // accounting). delivery_domain_of_op_ maps staged/atomic op ids back to
   // their domain for the end-to-end DeliveryAck path.
-  std::map<int, std::uint64_t> outstanding_by_domain_;
-  std::map<std::uint32_t, int> delivery_domain_of_op_;
+  std::unordered_map<int, std::uint64_t> outstanding_by_domain_;
+  std::unordered_map<std::uint32_t, int> delivery_domain_of_op_;
   std::unique_ptr<sim::Event> quiet_event_;
 
   // Barrier token counters (signals arrive on the left port, Fig. 6).
