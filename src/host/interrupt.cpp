@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "sim/fault.hpp"
+
 namespace ntbshmem::host {
 
 InterruptController::InterruptController(sim::Engine& engine, std::string name,
@@ -35,7 +37,14 @@ void InterruptController::raise(int vector) {
 }
 
 void InterruptController::deliver(int vector) {
-  engine_.call_after(isr_latency_ + dispatch_cost_, [this, vector] {
+  sim::Dur extra = 0;
+  if (sim::FaultPlan* plan = engine_.faults()) {
+    // Delayed/coalesced vector: the MSI is held back, modelled as extra
+    // delivery latency. Handlers still run in raise order per frame class
+    // because the NTB latch FIFO, not the ISR, carries frame identity.
+    extra = plan->irq_delivery_delay(engine_.now(), name_, vector);
+  }
+  engine_.call_after(isr_latency_ + dispatch_cost_ + extra, [this, vector] {
     const auto& handler = handlers_[static_cast<std::size_t>(vector)];
     ++delivered_;
     if (handler) handler(vector);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "sim/bandwidth.hpp"
+#include "sim/fault.hpp"
 
 namespace ntbshmem::ntb {
 
@@ -76,8 +77,8 @@ const WindowTarget& NtbPort::require_mapped(int idx, const char* op) const {
 }
 
 void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
-                            sim::BandwidthResource& wire, std::uint64_t bytes,
-                            double cap) {
+                            sim::BandwidthResource& wire, pcie::End wire_end,
+                            std::uint64_t bytes, double cap) {
   // The three stages of the path drain concurrently; the transfer is done
   // when the slowest one finishes. Contention on any stage (e.g. a host bus
   // carrying both a TX and an RX stream in the Fig. 8 ring experiment)
@@ -88,9 +89,14 @@ void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
   src_done->wait();
   wire_done->wait();
   dst_done->wait();
+  // Link-layer TLP loss/LCRC errors stall the transfer for replay rounds
+  // but never deliver bad data (CRC-detected, as on a real PCIe link).
+  const sim::Dur replay = link_->fault_replay_delay(
+      engine_.faults(), engine_.now(), wire_end, bytes);
+  if (replay > 0) engine_.wait_for(replay);
 }
 
-void NtbPort::dma_write(int idx, std::uint64_t off,
+bool NtbPort::dma_write(int idx, std::uint64_t off,
                         std::span<const std::byte> src,
                         bool descriptor_prefetched) {
   require_connected("dma_write");
@@ -100,25 +106,47 @@ void NtbPort::dma_write(int idx, std::uint64_t off,
   const WindowTarget w = require_mapped(idx, "dma_write");
   await_link_up();
   if (!descriptor_prefetched) engine_.wait_for(config_.dma_setup);
+  if (sim::FaultPlan* plan = engine_.faults()) {
+    // Descriptor rejected at fetch time: the engine sets its error status
+    // bit and transfers nothing (the setup/poll time was already spent).
+    if (plan->dma_descriptor_error(engine_.now(), name_)) {
+      dma_error_latched_ = true;
+      return false;
+    }
+  }
   await_link_up();
-  transfer_path(local_, *w.peer_host, link_->direction_from(end_), src.size(),
-                config_.dma_rate_Bps);
+  transfer_path(local_, *w.peer_host, link_->direction_from(end_), end_,
+                src.size(), config_.dma_rate_Bps);
   auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
   std::memcpy(dst.data(), src.data(), src.size());
   dma_bytes_written_ += src.size();
+  return true;
 }
 
-void NtbPort::dma_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
+bool NtbPort::dma_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
   require_connected("dma_read");
   const WindowTarget w = require_mapped(idx, "dma_read");
   await_link_up();
   engine_.wait_for(config_.dma_setup);
+  if (sim::FaultPlan* plan = engine_.faults()) {
+    if (plan->dma_descriptor_error(engine_.now(), name_)) {
+      dma_error_latched_ = true;
+      return false;
+    }
+  }
   await_link_up();
   // Read completions flow from the peer back to us.
   transfer_path(*w.peer_host, local_, link_->direction_from(pcie::opposite(end_)),
-                dst.size(), config_.dma_rate_Bps * config_.dma_read_factor);
+                pcie::opposite(end_), dst.size(),
+                config_.dma_rate_Bps * config_.dma_read_factor);
   auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
   std::memcpy(dst.data(), src.data(), dst.size());
+  return true;
+}
+
+void NtbPort::clear_dma_error() {
+  engine_.wait_for(config_.reg_write);
+  dma_error_latched_ = false;
 }
 
 void NtbPort::pio_write(int idx, std::uint64_t off,
@@ -126,8 +154,8 @@ void NtbPort::pio_write(int idx, std::uint64_t off,
   require_connected("pio_write");
   const WindowTarget w = require_mapped(idx, "pio_write");
   await_link_up();
-  transfer_path(local_, *w.peer_host, link_->direction_from(end_), src.size(),
-                config_.pio_write_Bps);
+  transfer_path(local_, *w.peer_host, link_->direction_from(end_), end_,
+                src.size(), config_.pio_write_Bps);
   auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
   std::memcpy(dst.data(), src.data(), src.size());
 }
@@ -137,7 +165,7 @@ void NtbPort::pio_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
   const WindowTarget w = require_mapped(idx, "pio_read");
   await_link_up();
   transfer_path(*w.peer_host, local_, link_->direction_from(pcie::opposite(end_)),
-                dst.size(), config_.pio_read_Bps);
+                pcie::opposite(end_), dst.size(), config_.pio_read_Bps);
   auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
   std::memcpy(dst.data(), src.data(), dst.size());
 }
@@ -149,7 +177,17 @@ void NtbPort::write_scratchpad(int idx, std::uint32_t value) {
   }
   await_link_up();
   engine_.wait_for(config_.reg_write);
-  peer_->scratchpad_[static_cast<std::size_t>(idx)] = value;
+  std::uint32_t stored = value;
+  if (sim::FaultPlan* plan = engine_.faults()) {
+    // Corruption lands in the peer's register bank, not on the wire: the
+    // posted write completed but the stored word is damaged. The transport
+    // detects this via its frame checksum (reg 7) and NAKs.
+    std::uint32_t mask = 0;
+    if (plan->corrupt_scratchpad(engine_.now(), name_, idx, &mask)) {
+      stored ^= mask;
+    }
+  }
+  peer_->scratchpad_[static_cast<std::size_t>(idx)] = stored;
 }
 
 std::uint32_t NtbPort::read_scratchpad(int idx) {
@@ -168,6 +206,11 @@ void NtbPort::ring_doorbell(int bit) {
   }
   await_link_up();
   engine_.wait_for(config_.reg_write);
+  if (sim::FaultPlan* plan = engine_.faults()) {
+    // A dropped ring is lost before the peer sees anything: no status bit,
+    // no latch, no interrupt. The write time was still spent.
+    if (plan->drop_doorbell(engine_.now(), name_, bit)) return;
+  }
   peer_->receive_doorbell(bit);
 }
 
@@ -178,18 +221,21 @@ void NtbPort::receive_doorbell(int bit) {
     // frame credits the sender may restage these registers before the
     // service thread runs, and the latch is what keeps the in-flight
     // header intact (the "double-buffered ScratchPad").
-    latched_frames_.push_back(scratchpad_);
+    latched_frames_.push_back(LatchedFrame{bit, scratchpad_});
   }
   local_.interrupts().raise(config_.vector_base + bit);
 }
 
-std::array<std::uint32_t, kNumScratchpads> NtbPort::pop_latched_frame() {
-  if (latched_frames_.empty()) {
-    throw std::logic_error(name_ + ": pop_latched_frame on empty latch FIFO");
+std::array<std::uint32_t, kNumScratchpads> NtbPort::pop_latched_frame(
+    std::uint16_t accept_mask) {
+  for (auto it = latched_frames_.begin(); it != latched_frames_.end(); ++it) {
+    if ((accept_mask & (1u << it->bit)) == 0) continue;
+    auto regs = it->regs;
+    latched_frames_.erase(it);
+    return regs;
   }
-  auto regs = latched_frames_.front();
-  latched_frames_.pop_front();
-  return regs;
+  throw std::logic_error(name_ +
+                         ": pop_latched_frame found no matching snapshot");
 }
 
 void NtbPort::clear_doorbell(int bit) {

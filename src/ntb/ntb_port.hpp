@@ -102,10 +102,17 @@ class NtbPort {
   // (PortConfig::dma_setup): the descriptor was programmed ahead of time
   // while the previous transfer was draining (TransportTuning's overlapped
   // segment setup); the software layer accounts for the prefetch cost.
-  void dma_write(int idx, std::uint64_t off, std::span<const std::byte> src,
+  // Returns false when the attached FaultPlan rejects the descriptor: the
+  // engine latches its error status bit and moves no data; the caller must
+  // re-program the descriptor (transport retry) or fail fast.
+  bool dma_write(int idx, std::uint64_t off, std::span<const std::byte> src,
                  bool descriptor_prefetched = false);
-  // DMA read: peer memory -> local memory (non-posted, slower).
-  void dma_read(int idx, std::uint64_t off, std::span<std::byte> dst);
+  // DMA read: peer memory -> local memory (non-posted, slower). Same error
+  // contract as dma_write.
+  bool dma_read(int idx, std::uint64_t off, std::span<std::byte> dst);
+  // Latched DMA error status (sticky until cleared; one reg write to clear).
+  bool dma_error_latched() const { return dma_error_latched_; }
+  void clear_dma_error();
   // PIO paths: CPU stores/loads through the mapped window.
   void pio_write(int idx, std::uint64_t off, std::span<const std::byte> src);
   void pio_read(int idx, std::uint64_t off, std::span<std::byte> dst);
@@ -128,7 +135,13 @@ class NtbPort {
   // charged by the caller (same register-read cost as the live bank).
   void set_latch_bits(std::uint16_t mask) { latch_bits_ = mask; }
   bool has_latched_frame() const { return !latched_frames_.empty(); }
-  std::array<std::uint32_t, kNumScratchpads> pop_latched_frame();
+  // Pops the oldest snapshot whose doorbell bit is in `accept_mask`
+  // (default: any). Snapshots are consumed in arrival order per bit class,
+  // so frame identity is carried by the latch FIFO, not by which ISR pops
+  // first — delayed interrupt vectors (fault injection) cannot cross a data
+  // snapshot with an ack snapshot.
+  std::array<std::uint32_t, kNumScratchpads> pop_latched_frame(
+      std::uint16_t accept_mask = 0xffff);
 
   // ---- Doorbells ------------------------------------------------------------
   // Sets bit `bit` in the peer's doorbell status and raises the peer's
@@ -152,10 +165,11 @@ class NtbPort {
   // Fail-fast or block-until-retrained, per PortConfig::retry_on_link_down.
   void await_link_up();
   const WindowTarget& require_mapped(int idx, const char* op) const;
-  // Joint transfer across source bus, cable, destination bus.
+  // Joint transfer across source bus, cable, destination bus. `wire_end` is
+  // the link end the transfer originates at (fault-key for TLP replay).
   void transfer_path(host::Host& src_host, host::Host& dst_host,
-                     sim::BandwidthResource& wire, std::uint64_t bytes,
-                     double cap);
+                     sim::BandwidthResource& wire, pcie::End wire_end,
+                     std::uint64_t bytes, double cap);
   void receive_doorbell(int bit);
 
   sim::Engine& engine_;
@@ -169,7 +183,12 @@ class NtbPort {
   std::array<std::uint32_t, kNumScratchpads> scratchpad_{};
   std::uint16_t db_status_ = 0;
   std::uint16_t latch_bits_ = 0;
-  std::deque<std::array<std::uint32_t, kNumScratchpads>> latched_frames_;
+  struct LatchedFrame {
+    int bit = 0;  // doorbell bit that triggered the snapshot
+    std::array<std::uint32_t, kNumScratchpads> regs{};
+  };
+  std::deque<LatchedFrame> latched_frames_;
+  bool dma_error_latched_ = false;
   std::uint64_t dma_bytes_written_ = 0;
 };
 

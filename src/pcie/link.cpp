@@ -1,5 +1,7 @@
 #include "pcie/link.hpp"
 
+#include "sim/fault.hpp"
+
 namespace ntbshmem::pcie {
 
 LinkConfig gen_lanes(Gen gen, int lanes) {
@@ -16,6 +18,16 @@ Link::Link(sim::Engine& engine, std::string name, const LinkConfig& config)
   const double bps = config_.effective_Bps();
   a_to_b_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".a2b", bps);
   b_to_a_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".b2a", bps);
+}
+
+sim::Dur Link::fault_replay_delay(sim::FaultPlan* plan, sim::Time now, End from,
+                                  std::uint64_t bytes) const {
+  if (plan == nullptr) return 0;
+  // Stream key matches the BandwidthResource carrying this direction, so a
+  // targeted test can arm "link0-1.a2b" directly.
+  const std::string wire = name_ + (from == End::kA ? ".a2b" : ".b2a");
+  return plan->tlp_replay_penalty(
+      now, wire, bytes, static_cast<std::uint32_t>(config_.max_payload));
 }
 
 }  // namespace ntbshmem::pcie

@@ -46,6 +46,14 @@ class Link {
     if (!up_) throw LinkDownError(name_);
   }
 
+  // Fault model: extra occupancy a `bytes`-sized transfer originating at
+  // `from` pays for CRC-detected TLP drop/corruption (the link layer's ACK/
+  // NAK replay — data is never silently corrupted in flight, exactly like
+  // real PCIe). Returns 0 when `plan` is null or rolls nothing; the TLP
+  // count comes from this link's max_payload.
+  sim::Dur fault_replay_delay(sim::FaultPlan* plan, sim::Time now, End from,
+                              std::uint64_t bytes) const;
+
  private:
   std::string name_;
   LinkConfig config_;

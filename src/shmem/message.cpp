@@ -32,6 +32,16 @@ FrameHeader FrameHeader::unpack(const std::array<std::uint32_t, 7>& regs) {
   return h;
 }
 
+std::uint32_t frame_checksum(const std::array<std::uint32_t, 7>& regs) {
+  std::uint32_t h = 0x811c9dc5u;
+  for (const std::uint32_t reg : regs) {
+    for (int shift = 0; shift < 32; shift += 8) {
+      h = (h ^ ((reg >> shift) & 0xffu)) * 0x01000193u;
+    }
+  }
+  return h;
+}
+
 void write_message_header(std::span<std::byte> dst, const MessageHeader& h) {
   if (dst.size() < kMessageHeaderBytes) {
     throw std::invalid_argument("message header destination too small");

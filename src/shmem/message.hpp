@@ -32,6 +32,8 @@ enum DoorbellBit : int {
   kDbBarrierStart = 2,  // DOORBELL_BARRIER_START
   kDbBarrierEnd = 3,    // DOORBELL_BARRIER_END
   kDbAck = 4,           // frame consumed; releases the ScratchPad channel
+  kDbNak = 5,           // reliability: checksum/order reject; payload-free,
+                        // asks the sender to retransmit its oldest frame
 };
 
 // ---- Link layer ------------------------------------------------------------
@@ -47,7 +49,7 @@ struct FrameHeader {
   FrameKind kind = FrameKind::kDirectPut;
   std::uint8_t origin_pe = 0;  // frame-level source (the sending host's PE)
   std::uint8_t target_pe = 0;  // final destination PE of the operation
-  std::uint8_t flags = 0;
+  std::uint8_t flags = 0;      // reliability on: per-channel sequence number
   std::uint32_t id = 0;   // op id (direct put / get request) or message id
   std::uint64_t a = 0;    // heap offset | chunk offset within message
   std::uint32_t b = 0;    // data size | chunk size
@@ -62,6 +64,36 @@ struct FrameHeader {
 
 inline constexpr int kFrameRegs = 7;
 inline constexpr int kAckReg = 7;  // receiver writes consumption status here
+
+// ---- Reliable delivery (opt-in; TransportTuning::reliability) --------------
+//
+// With reliability on, the sender writes frame_checksum(regs 0..6) into the
+// receiver bank's reg 7 alongside the header (one extra posted write — paid
+// only when the feature is enabled, keeping the paper path bit-identical),
+// and the ack doorbell carries a redundantly encoded cumulative sequence
+// number written into the *sender* bank's reg 7. A corrupted ack word fails
+// unpack_ack_word and is ignored; the retransmit timeout recovers.
+
+// 32-bit FNV-1a over the packed header registers; detects the ScratchPad
+// corruption fault (a CRC stand-in — any damaged reg flips the sum).
+std::uint32_t frame_checksum(const std::array<std::uint32_t, 7>& regs);
+
+inline constexpr std::uint32_t kAckMagic = 0xAC5A0000u;
+
+// Cumulative ack word: magic | seq | ~seq. The duplicated sequence byte is
+// the redundancy that lets the receiver-side of the ack path survive the
+// same register corruption faults as data frames.
+constexpr std::uint32_t pack_ack_word(std::uint8_t seq) {
+  return kAckMagic | (static_cast<std::uint32_t>(seq) << 8) |
+         static_cast<std::uint32_t>(seq ^ 0xffu);
+}
+constexpr bool unpack_ack_word(std::uint32_t word, std::uint8_t* seq) {
+  if ((word & 0xffff0000u) != kAckMagic) return false;
+  const auto s = static_cast<std::uint8_t>((word >> 8) & 0xffu);
+  if ((word & 0xffu) != static_cast<std::uint32_t>(s ^ 0xffu)) return false;
+  *seq = s;
+  return true;
+}
 
 // ---- Network layer ---------------------------------------------------------
 

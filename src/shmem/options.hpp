@@ -7,6 +7,7 @@
 #include "common/timing_params.hpp"
 #include "common/units.hpp"
 #include "fabric/ring.hpp"
+#include "sim/fault.hpp"
 
 namespace ntbshmem::shmem {
 
@@ -27,6 +28,25 @@ enum class DataPath : int {
 enum class CompletionMode : int {
   kFullDelivery,  // default: correct OpenSHMEM semantics
   kLocalDma,      // paper-prototype mode, used by the Fig. 10 bench
+};
+
+// Reliable-delivery layer of the transport (opt-in; off reproduces the
+// paper's fail-fast protocol bit-identically). With reliability enabled
+// every frame carries a per-channel sequence number (FrameHeader::flags) and
+// a 32-bit header checksum (ScratchPad reg 7); the receiver is go-back-N —
+// it accepts only the next expected sequence, re-acks duplicates, NAKs
+// checksum rejects and drops out-of-order arrivals — and the sender
+// retransmits on NAK or ack timeout with exponential backoff.
+struct ReliabilityParams {
+  bool enabled = false;
+  // Virtual time from doorbell ring to first retransmit. Must comfortably
+  // exceed the worst-case ack round trip (interrupt delivery + service-wake
+  // + register reads + ack write) or the link sees spurious — harmless but
+  // noisy — retransmits.
+  DurationNs ack_timeout = 5'000'000;  // 5 ms
+  double backoff = 2.0;                // timeout multiplier per retry
+  int max_retries = 10;                // then the channel throws (unrecoverable)
+  int dma_retries = 4;                 // descriptor-error retries per segment
 };
 
 // Transport pipelining knobs (the §III data-path optimisations that go
@@ -52,6 +72,11 @@ struct TransportTuning {
   // whole message at every hop.
   bool cut_through_forwarding = false;
 
+  // Retry/retransmit layer; orthogonal to the pipelining knobs (it is a
+  // robustness feature, not a performance one, so all_on() leaves it off —
+  // fault workloads opt in explicitly via reliable()).
+  ReliabilityParams reliability;
+
   bool pipelined() const {
     return tx_credits > 1 || overlap_segment_setup || cut_through_forwarding;
   }
@@ -64,6 +89,12 @@ struct TransportTuning {
     t.cut_through_forwarding = true;
     return t;
   }
+  // `base` with the reliable-delivery layer switched on.
+  static TransportTuning reliable(TransportTuning base) {
+    base.reliability.enabled = true;
+    return base;
+  }
+  static TransportTuning reliable() { return reliable(TransportTuning{}); }
 };
 
 struct RuntimeOptions {
@@ -93,6 +124,15 @@ struct RuntimeOptions {
   // Ports wait for link retraining instead of failing fast — lets a
   // workload survive transient cable flaps (fault-injection tests).
   bool resilient_links = false;
+
+  // Fault injection: probabilities/schedules consulted by every layer's
+  // injection sites (sim::FaultPlan). The runtime always constructs and
+  // attaches a plan — an all-zero spec injects nothing and is exactly
+  // timing-neutral — so targeted tests can arm one-shot faults on
+  // Runtime::faults() without any configuration. Barrier doorbell bits are
+  // excluded from drop injection (reliable control path; DESIGN.md §4b).
+  sim::FaultSpec faults;
+  std::uint64_t fault_seed = 0x5eedf00d;
 
   // Record protocol events (frames, barrier signals, operations) into
   // Runtime::trace() — used by tests that assert protocol ordering and by

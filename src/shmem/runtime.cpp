@@ -250,9 +250,39 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
   if (options_.npes > 255) {
     throw std::invalid_argument("PE ids must fit in the 8-bit wire format");
   }
+  const ReliabilityParams& rel = options_.tuning.reliability;
+  if (rel.ack_timeout <= 0 || rel.backoff < 1.0 || rel.max_retries < 1 ||
+      rel.dma_retries < 0) {
+    throw std::invalid_argument(
+        "ReliabilityParams: ack_timeout > 0, backoff >= 1.0, "
+        "max_retries >= 1 and dma_retries >= 0 required");
+  }
   trace_.set_enabled(options_.trace_enabled);
+  // The fault plan is always attached: an all-zero spec short-circuits at
+  // every site without waits or PRNG draws, so the paper-mode golden times
+  // are bit-identical with the plan in place (asserted by pipeline_test).
+  {
+    sim::FaultSpec spec = options_.faults;
+    // Barrier doorbells have no retransmit path (the Fig. 6 circulation is
+    // a bare doorbell, not a frame), so the model treats them as a reliable
+    // control path and never drops them.
+    spec.doorbell_drop_mask &= static_cast<std::uint16_t>(
+        ~((1u << kDbBarrierStart) | (1u << kDbBarrierEnd)));
+    fault_plan_ = std::make_unique<sim::FaultPlan>(options_.fault_seed, spec);
+    fault_plan_->bind_trace(&trace_);
+    engine_.attach_faults(fault_plan_.get());
+  }
   fabric_ = std::make_unique<fabric::RingFabric>(engine_,
                                                  options_.fabric_config());
+  for (const sim::LinkFlap& flap : fault_plan_->spec().link_flaps) {
+    if (flap.up_at < flap.down_at || flap.down_at < 0) {
+      throw std::invalid_argument("LinkFlap: need 0 <= down_at <= up_at");
+    }
+    engine_.call_at(flap.down_at,
+                    [this, flap] { fabric_->set_link_up(flap.link, false); });
+    engine_.call_at(flap.up_at,
+                    [this, flap] { fabric_->set_link_up(flap.link, true); });
+  }
   transports_.reserve(static_cast<std::size_t>(options_.num_hosts()));
   for (int h = 0; h < options_.num_hosts(); ++h) {
     transports_.push_back(std::make_unique<Transport>(*this, h));

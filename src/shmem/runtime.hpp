@@ -25,6 +25,7 @@
 #include "shmem/symheap.hpp"
 #include "shmem/transport.hpp"
 #include "sim/engine.hpp"
+#include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
 namespace ntbshmem::shmem {
@@ -155,6 +156,10 @@ class Runtime {
   // Protocol trace (populated when options().trace_enabled).
   sim::TraceRecorder& trace() { return trace_; }
 
+  // The fault plan attached to the engine (always present; an all-zero spec
+  // injects nothing). Tests arm one-shot faults here.
+  sim::FaultPlan& faults() { return *fault_plan_; }
+
   // The Context of the PE process currently executing (TLS); nullptr
   // outside a PE (e.g. in service threads or the scheduler).
   static Context* current();
@@ -162,6 +167,7 @@ class Runtime {
  private:
   RuntimeOptions options_;
   sim::Engine engine_;
+  std::unique_ptr<sim::FaultPlan> fault_plan_;
   std::unique_ptr<fabric::RingFabric> fabric_;
   std::vector<std::unique_ptr<Transport>> transports_;  // one per host
   std::vector<std::unique_ptr<Context>> contexts_;      // one per PE

@@ -48,6 +48,7 @@ Transport::Transport(Runtime& runtime, int host_id)
                                           tune.tx_credits, slot_bytes);
   rx_event_ = std::make_unique<sim::Event>(engine, prefix + ".rx");
   tx_event_ = std::make_unique<sim::Event>(engine, prefix + ".tx");
+  rel_event_ = std::make_unique<sim::Event>(engine, prefix + ".rel");
   op_event_ = std::make_unique<sim::Event>(engine, prefix + ".ops");
   quiet_event_ = std::make_unique<sim::Event>(engine, prefix + ".quiet");
   barrier_event_ = std::make_unique<sim::Event>(engine, prefix + ".barrier");
@@ -123,9 +124,13 @@ void Transport::start_services() {
     ntb::NtbPort& port = in_port(d);
     // Latch the header bank per data doorbell at arrival time (the
     // double-buffered-ScratchPad half of frame pipelining; identical to a
-    // live read when only one frame can be in flight).
-    port.set_latch_bits(
-        static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
+    // live read when only one frame can be in flight). Under reliability the
+    // ack doorbell is latched too: the cumulative ack word travels in our
+    // bank's reg 7 and must be snapshotted before the peer re-acks.
+    std::uint16_t latch =
+        static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet));
+    if (reliability_on()) latch |= static_cast<std::uint16_t>(1u << kDbAck);
+    port.set_latch_bits(latch);
     const int base = port.config().vector_base;
     host::InterruptController& irq = ring().host(host_id_).interrupts();
     irq.register_handler(base + kDbDmaPut, [this, d](int) {
@@ -135,6 +140,9 @@ void Transport::start_services() {
       on_rx_token(d, RxTokenKind::kFrame);
     });
     irq.register_handler(base + kDbAck, [this, d](int) { on_ack(d); });
+    if (reliability_on()) {
+      irq.register_handler(base + kDbNak, [this, d](int) { on_nak(d); });
+    }
   }
   // Barrier signals circulate rightward and therefore arrive on the left
   // adapter (Fig. 6). Like the data doorbells, they are handled by the
@@ -156,14 +164,24 @@ void Transport::start_services() {
                           /*daemon=*/true);
   runtime_.engine().spawn(prefix + ".tx_service", [this] { tx_service_body(); },
                           /*daemon=*/true);
+  if (reliability_on()) {
+    // Spawned only when the layer is on: an extra daemon at t=0 would
+    // perturb the engine's (time, seq) tie-breaks and break the golden
+    // virtual times the paper path must keep reproducing.
+    runtime_.engine().spawn(prefix + ".rel_service",
+                            [this] { rel_service_body(); },
+                            /*daemon=*/true);
+  }
 }
 
 void Transport::on_rx_token(fabric::Direction from, RxTokenKind kind) {
   RxToken token{from, kind, {}};
   if (kind == RxTokenKind::kFrame) {
-    // ISR context: consume the header snapshot the adapter latched when the
-    // doorbell arrived (free; the service thread charges the reads).
-    token.regs = in_port(from).pop_latched_frame();
+    // ISR context: consume the oldest *data* snapshot the adapter latched
+    // (free; the service thread charges the reads). The accept mask keeps a
+    // delay-reordered ack ISR from stealing a data snapshot and vice versa.
+    token.regs = in_port(from).pop_latched_frame(
+        static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
   }
   rx_queue_.push_back(token);
   rx_event_->notify_all();
@@ -171,16 +189,55 @@ void Transport::on_rx_token(fabric::Direction from, RxTokenKind kind) {
 
 void Transport::on_ack(fabric::Direction d) {
   TxChannel& ch = channel(d);
-  if (ch.inflight.empty()) {
-    throw std::logic_error("ACK doorbell with no in-flight frame");
+  if (!reliability_on()) {
+    if (ch.inflight.empty()) {
+      throw std::logic_error("ACK doorbell with no in-flight frame");
+    }
+    const TxChannel::InFlight rec = ch.inflight.front();
+    ch.inflight.pop_front();
+    // Return the staging slot before the credit so a woken sender always
+    // finds a free slot to pair with its credit.
+    ch.free_slots.push_back(rec.stage_slot);
+    ch.slot.release();
+    if (rec.counts_as_delivery) note_delivery_completed(rec.delivery_domain);
+    return;
   }
-  const TxChannel::InFlight rec = ch.inflight.front();
-  ch.inflight.pop_front();
-  // Return the staging slot before the credit so a woken sender always
-  // finds a free slot to pair with its credit.
-  ch.free_slots.push_back(rec.stage_slot);
-  ch.slot.release();
-  if (rec.counts_as_delivery) note_delivery_completed(rec.delivery_domain);
+  // Reliability: the adapter latched our bank when the ack doorbell rang;
+  // reg 7 of the snapshot carries the redundantly encoded cumulative
+  // sequence number.
+  const auto regs = in_port(d).pop_latched_frame(
+      static_cast<std::uint16_t>(1u << kDbAck));
+  std::uint8_t acked = 0;
+  if (!unpack_ack_word(regs[kAckReg], &acked)) {
+    // Corrupted ack word: ignore it; the retransmit timeout recovers and
+    // the eventual duplicate is re-acked by the receiver.
+    ++stats_.invalid_acks_dropped;
+    trace("retry", "host" + std::to_string(host_id_) +
+                       " invalid ack word dropped");
+    return;
+  }
+  retire_acked(d, acked);
+}
+
+void Transport::retire_acked(fabric::Direction d, std::uint8_t acked) {
+  TxChannel& ch = channel(d);
+  const sim::Time now = runtime_.engine().now();
+  bool any = false;
+  // Cumulative: everything at or before `acked` (signed 8-bit distance; the
+  // in-flight window is bounded by tx_credits, far below 128).
+  while (!ch.inflight.empty() &&
+         static_cast<std::int8_t>(ch.inflight.front().seq - acked) <= 0) {
+    TxChannel::InFlight rec = ch.inflight.front();
+    ch.inflight.pop_front();
+    rec.retx_timer.cancel();
+    ch.rel.ack_latency_ns.add(static_cast<double>(now - rec.emitted_at));
+    ++ch.rel.acks_matched;
+    ch.free_slots.push_back(rec.stage_slot);
+    ch.slot.release();
+    if (rec.counts_as_delivery) note_delivery_completed(rec.delivery_domain);
+    any = true;
+  }
+  if (!any) ++ch.rel.stale_acks;
 }
 
 void Transport::track_delivery(int domain, std::uint32_t op_id) {
@@ -228,25 +285,145 @@ void Transport::emit_frame_inflight(fabric::Direction d,
   // thread and the TX service can emit on the same direction); the record
   // is pushed in emission order, which is the order ACKs come back in.
   ch.emit_serial.acquire();
-  ch.inflight.push_back(
-      TxChannel::InFlight{slot, counts_as_delivery, delivery_domain});
-  emit_frame(d, hdr, doorbell);
+  TxChannel::InFlight rec{};
+  rec.stage_slot = slot;
+  rec.counts_as_delivery = counts_as_delivery;
+  rec.delivery_domain = delivery_domain;
+  FrameHeader h = hdr;
+  if (reliability_on()) {
+    // Sequence numbers are assigned under emit_serial so the wire order and
+    // the sequence order coincide (the go-back-N receiver relies on it).
+    h.flags = ch.next_seq++;
+    rec.seq = h.flags;
+    rec.doorbell = doorbell;
+    rec.hdr = h;
+  }
+  ch.inflight.push_back(rec);
+  emit_frame(d, h, doorbell);
+  if (reliability_on()) {
+    // Re-find by seq: acks for earlier frames may have popped the deque
+    // while emit_frame blocked on register writes.
+    if (TxChannel::InFlight* r = find_inflight(ch, rec.seq)) {
+      r->emitted_at = runtime_.engine().now();
+      arm_retx_timer(d, *r);
+    }
+  }
   ch.emit_serial.release();
 }
 
-void Transport::emit_frame(fabric::Direction d, const FrameHeader& hdr,
-                           int doorbell) {
+void Transport::write_frame_regs(fabric::Direction d, const FrameHeader& hdr) {
   ntb::NtbPort& port = out_port(d);
   const auto regs = hdr.pack();
   for (int i = 0; i < kFrameRegs; ++i) {
     port.write_scratchpad(i, regs[static_cast<std::size_t>(i)]);
   }
-  port.ring_doorbell(doorbell);
+  if (reliability_on()) {
+    // One extra posted write: the header checksum in the receiver bank's
+    // reg 7. Computed over the intended values — a corrupted register
+    // lands with an unchanged checksum and fails verification.
+    port.write_scratchpad(kAckReg, frame_checksum(regs));
+  }
+}
+
+void Transport::emit_frame(fabric::Direction d, const FrameHeader& hdr,
+                           int doorbell) {
+  write_frame_regs(d, hdr);
+  out_port(d).ring_doorbell(doorbell);
   ++stats_.frames_sent;
   trace("frame.tx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(hdr.kind)) +
                         " origin=" + std::to_string(hdr.origin_pe) +
                         " target=" + std::to_string(hdr.target_pe) +
                         " id=" + std::to_string(hdr.id));
+}
+
+Transport::TxChannel::InFlight* Transport::find_inflight(TxChannel& ch,
+                                                         std::uint8_t seq) {
+  for (TxChannel::InFlight& rec : ch.inflight) {
+    if (rec.seq == seq) return &rec;
+  }
+  return nullptr;
+}
+
+void Transport::arm_retx_timer(fabric::Direction d, TxChannel::InFlight& rec) {
+  const ReliabilityParams& rp = tuning().reliability;
+  double timeout = static_cast<double>(rp.ack_timeout);
+  for (int i = 0; i < rec.retries; ++i) timeout *= rp.backoff;
+  const std::uint8_t seq = rec.seq;
+  rec.retx_timer = runtime_.engine().call_after(
+      static_cast<sim::Dur>(timeout), [this, d, seq] { on_ack_timeout(d, seq); });
+}
+
+void Transport::on_ack_timeout(fabric::Direction d, std::uint8_t seq) {
+  // Scheduler context: no blocking. Hand the work to the rel service.
+  TxChannel& ch = channel(d);
+  if (find_inflight(ch, seq) == nullptr) return;  // ack won the race
+  ++ch.rel.ack_timeouts;
+  ++stats_.ack_timeouts;
+  trace("retry", "host" + std::to_string(host_id_) + " ack timeout seq=" +
+                     std::to_string(seq));
+  retx_queue_.push_back(RetxRequest{d, seq});
+  rel_event_->notify_all();
+}
+
+void Transport::on_nak(fabric::Direction d) {
+  // The receiver rejected a frame (checksum or order); go-back-N resends
+  // from the oldest unacknowledged frame.
+  TxChannel& ch = channel(d);
+  ++ch.rel.naks_received;
+  ++stats_.naks_received;
+  if (ch.inflight.empty()) return;  // everything already acked: stale NAK
+  const std::uint8_t seq = ch.inflight.front().seq;
+  trace("retry", "host" + std::to_string(host_id_) + " nak -> retransmit seq=" +
+                     std::to_string(seq));
+  retx_queue_.push_back(RetxRequest{d, seq});
+  rel_event_->notify_all();
+}
+
+void Transport::rel_service_body() {
+  for (;;) {
+    if (retx_queue_.empty()) {
+      rel_event_->wait();
+      charge_service_wake();
+    }
+    while (!retx_queue_.empty()) {
+      const RetxRequest req = retx_queue_.front();
+      retx_queue_.pop_front();
+      retransmit(req.dir, req.seq);
+    }
+  }
+}
+
+void Transport::retransmit(fabric::Direction d, std::uint8_t seq) {
+  TxChannel& ch = channel(d);
+  TxChannel::InFlight* rec = find_inflight(ch, seq);
+  if (rec == nullptr) return;  // acked while the request sat in the queue
+  const ReliabilityParams& rp = tuning().reliability;
+  if (rec->retries >= rp.max_retries) {
+    throw std::runtime_error(
+        "host" + std::to_string(host_id_) + ": frame seq " +
+        std::to_string(seq) + " exceeded " + std::to_string(rp.max_retries) +
+        " retransmit attempts (link unrecoverable)");
+  }
+  rec->retx_timer.cancel();
+  ++rec->retries;
+  ++ch.rel.retransmits;
+  ++stats_.retransmits;
+  trace("retry", "host" + std::to_string(host_id_) + " retransmit seq=" +
+                     std::to_string(seq) + " attempt=" +
+                     std::to_string(rec->retries));
+  // Header-only re-emission: the payload still sits in the credit-owned
+  // staging slot (credits are released by the retiring ack, never earlier).
+  // Copy what we need before blocking — the ack for the original emission
+  // may retire the record while the register writes drain.
+  const FrameHeader hdr = rec->hdr;
+  const int doorbell = rec->doorbell;
+  ch.emit_serial.acquire();
+  write_frame_regs(d, hdr);
+  out_port(d).ring_doorbell(doorbell);
+  ch.emit_serial.release();
+  if (TxChannel::InFlight* still = find_inflight(ch, seq)) {
+    arm_retx_timer(d, *still);
+  }
 }
 
 void Transport::window_write(fabric::Direction d, int window,
@@ -290,8 +467,34 @@ void Transport::window_write(fabric::Direction d, int window,
     port.program_window(window, region);
     const auto piece = src.subspan(done, n);
     if (use_dma) {
-      port.dma_write(window, off + done, piece,
-                     /*descriptor_prefetched=*/overlap && !first);
+      bool ok = port.dma_write(window, off + done, piece,
+                               /*descriptor_prefetched=*/overlap && !first);
+      if (!ok) {
+        const ReliabilityParams& rp = tuning().reliability;
+        if (!rp.enabled) {
+          // Fail-fast contract (ntb_port.hpp): without the retry layer a
+          // descriptor error is a hard, diagnosable failure, not a hang.
+          throw std::runtime_error(
+              port.name() +
+              ": DMA descriptor error (reliability disabled; fail-fast)");
+        }
+        int attempts = 0;
+        while (!ok) {
+          if (attempts++ >= rp.dma_retries) {
+            throw std::runtime_error(
+                port.name() + ": DMA descriptor error persisted after " +
+                std::to_string(rp.dma_retries) + " retries");
+          }
+          ++stats_.dma_retries;
+          trace("retry", "host" + std::to_string(host_id_) +
+                             " dma descriptor error, retry " +
+                             std::to_string(attempts));
+          port.clear_dma_error();
+          // Re-program the descriptor from scratch (pays dma_setup again).
+          ok = port.dma_write(window, off + done, piece,
+                              /*descriptor_prefetched=*/false);
+        }
+      }
     } else {
       port.pio_write(window, off + done, piece);
     }
@@ -768,8 +971,56 @@ void Transport::tx_service_body() {
 
 void Transport::ack_frame(fabric::Direction from) {
   ntb::NtbPort& port = in_port(from);
-  port.write_scratchpad(kAckReg, 1);
+  if (!reliability_on()) {
+    port.write_scratchpad(kAckReg, 1);
+    port.ring_doorbell(kDbAck);
+    return;
+  }
+  // The cumulative ack word lands in the *peer* bank's reg 7 — the same
+  // register our own data-frame checksums travel in (reverse direction), so
+  // the write+ring must hold that direction's emit serial. Only taken when
+  // reliability is on: the paper path keeps its lock-free ack.
+  TxChannel& ch = channel(from);
+  const auto acked = static_cast<std::uint8_t>(
+      rx_expected_seq_[static_cast<std::size_t>(from)] - 1);
+  ch.emit_serial.acquire();
+  port.write_scratchpad(kAckReg, pack_ack_word(acked));
   port.ring_doorbell(kDbAck);
+  ch.emit_serial.release();
+}
+
+void Transport::nak_frame(fabric::Direction from) {
+  // Payload-free reject signal; the doorbell register is not the ScratchPad
+  // bank, so no emit serialization is needed.
+  ++stats_.naks_sent;
+  in_port(from).ring_doorbell(kDbNak);
+}
+
+bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
+  std::uint8_t& expected =
+      rx_expected_seq_[static_cast<std::size_t>(token.from)];
+  const auto diff = static_cast<std::int8_t>(f.flags - expected);
+  if (diff == 0) {
+    ++expected;
+    return true;
+  }
+  if (diff < 0) {
+    // Duplicate of a frame we already consumed (our ack was lost or beaten
+    // by the sender's timeout): drop it but re-ack so the sender retires it.
+    ++stats_.frames_duplicate_dropped;
+    trace("retry", "host" + std::to_string(host_id_) + " duplicate seq=" +
+                       std::to_string(f.flags) + " re-acked");
+    ack_frame(token.from);
+    return false;
+  }
+  // Gap: a predecessor was lost. Go-back-N drops successors silently and
+  // NAKs so the sender rewinds to the oldest in-flight frame.
+  ++stats_.frames_out_of_order_dropped;
+  trace("retry", "host" + std::to_string(host_id_) + " out-of-order seq=" +
+                     std::to_string(f.flags) + " expected=" +
+                     std::to_string(expected));
+  nak_frame(token.from);
+  return false;
 }
 
 void Transport::process_frame(const RxToken& token) {
@@ -783,6 +1034,18 @@ void Transport::process_frame(const RxToken& token) {
     regs[static_cast<std::size_t>(i)] = token.regs[static_cast<std::size_t>(i)];
   }
   const FrameHeader f = FrameHeader::unpack(regs);
+  if (reliability_on()) {
+    // One more register read: the checksum the sender wrote into reg 7.
+    runtime_.engine().wait_for(port.config().reg_read);
+    if (token.regs[kAckReg] != frame_checksum(regs)) {
+      ++stats_.frames_corrupt_dropped;
+      trace("retry", "host" + std::to_string(host_id_) +
+                         " checksum mismatch -> nak");
+      nak_frame(from);
+      return;
+    }
+    if (!accept_frame_seq(token, f)) return;
+  }
   ++stats_.frames_received;
   trace("frame.rx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(f.kind)) +
                         " origin=" + std::to_string(f.origin_pe) +

@@ -59,6 +59,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "fabric/ring.hpp"
 #include "shmem/message.hpp"
 #include "shmem/options.hpp"
@@ -80,6 +81,16 @@ struct TransportStats {
   std::uint64_t bytes_forwarded = 0;
   std::uint64_t delivery_acks_sent = 0;
   std::uint64_t barriers_completed = 0;
+  // Reliability-layer accounting (all zero when reliability is off).
+  std::uint64_t retransmits = 0;        // frames re-emitted (timeout or NAK)
+  std::uint64_t ack_timeouts = 0;       // retransmit timers that fired
+  std::uint64_t naks_sent = 0;          // checksum/order rejects signalled
+  std::uint64_t naks_received = 0;
+  std::uint64_t frames_corrupt_dropped = 0;     // checksum mismatch
+  std::uint64_t frames_duplicate_dropped = 0;   // seq below expected; re-acked
+  std::uint64_t frames_out_of_order_dropped = 0;  // seq gap (go-back-N)
+  std::uint64_t invalid_acks_dropped = 0;  // ack word failed redundancy check
+  std::uint64_t dma_retries = 0;           // descriptor errors retried
 };
 
 class Transport {
@@ -153,6 +164,20 @@ class Transport {
 
   const TransportStats& stats() const { return stats_; }
   int host_id() const { return host_id_; }
+
+  // Per-TX-channel reliability counters and ack-latency distribution;
+  // meaningful only with reliability enabled.
+  struct ChannelReliability {
+    std::uint64_t retransmits = 0;
+    std::uint64_t ack_timeouts = 0;
+    std::uint64_t naks_received = 0;
+    std::uint64_t acks_matched = 0;  // in-flight records retired by acks
+    std::uint64_t stale_acks = 0;    // cumulative acks that retired nothing
+    RunningStats ack_latency_ns;  // emission -> retiring ack
+  };
+  const ChannelReliability& channel_reliability(fabric::Direction d) const {
+    return d == fabric::Direction::kRight ? tx_right_->rel : tx_left_->rel;
+  }
   // Staging buffer for frames arriving from the given side (the bypass
   // buffer of paper Fig. 4; written by that side's neighbour host).
   host::Region staging_region(fabric::Direction from) const {
@@ -188,8 +213,19 @@ class Transport {
       int stage_slot = 0;
       bool counts_as_delivery = false;
       int delivery_domain = 0;
+      // Reliability bookkeeping (untouched when reliability is off). The
+      // header and doorbell are kept for retransmission — payloads stay in
+      // the credit-owned staging slot, so a retransmit is header-only.
+      std::uint8_t seq = 0;
+      int doorbell = 0;
+      int retries = 0;
+      FrameHeader hdr;
+      sim::Time emitted_at = 0;
+      sim::CallbackHandle retx_timer;
     };
     std::deque<InFlight> inflight;  // emission order; ACKs pop the front
+    std::uint8_t next_seq = 0;      // reliability: next sequence to assign
+    ChannelReliability rel;
   };
 
   enum class RxTokenKind : std::uint8_t {
@@ -268,7 +304,9 @@ class Transport {
   // Blocks until a frame credit is free and returns the staging slot index
   // owned by that credit until the matching ACK doorbell.
   int acquire_send_credit(fabric::Direction d);
-  // Writes the 7 header registers + doorbell; channel must be held.
+  // Writes the 7 header registers (+ checksum reg under reliability).
+  void write_frame_regs(fabric::Direction d, const FrameHeader& hdr);
+  // write_frame_regs + doorbell; channel must be held.
   void emit_frame(fabric::Direction d, const FrameHeader& hdr, int doorbell);
   // emit_frame plus in-flight bookkeeping: serializes the ScratchPad
   // staging against other credit holders and registers the record the ACK
@@ -297,6 +335,25 @@ class Transport {
   std::vector<std::byte> build_message(const MessageHeader& header,
                                        std::span<const std::byte> payload);
   void enqueue_outbound(OutboundItem item);
+
+  // ---- reliability (all no-ops / unreachable when the layer is off) ----
+  bool reliability_on() const { return tuning().reliability.enabled; }
+  TxChannel::InFlight* find_inflight(TxChannel& ch, std::uint8_t seq);
+  // Arms the per-frame retransmit timer (timeout grows with rec.retries).
+  void arm_retx_timer(fabric::Direction d, TxChannel::InFlight& rec);
+  // Scheduler context: queue a retransmit and wake the rel service.
+  void on_ack_timeout(fabric::Direction d, std::uint8_t seq);
+  void on_nak(fabric::Direction d);
+  // Retires in-flight records up to (and including) `seq` — cumulative ack.
+  void retire_acked(fabric::Direction d, std::uint8_t seq);
+  // Re-emits the header of in-flight frame `seq` (payload still staged);
+  // throws after ReliabilityParams::max_retries.
+  void retransmit(fabric::Direction d, std::uint8_t seq);
+  void rel_service_body();
+  // Receiver side: signal a checksum/order reject to the sender.
+  void nak_frame(fabric::Direction from);
+  // Accept gate for a frame's sequence number; true => process it.
+  bool accept_frame_seq(const RxToken& token, const FrameHeader& f);
 
   // ---- receive side ----
   void on_rx_token(fabric::Direction from, RxTokenKind kind);
@@ -355,6 +412,19 @@ class Transport {
   // TX service state.
   std::deque<OutboundItem> tx_queue_;
   std::unique_ptr<sim::Event> tx_event_;
+
+  // Reliability service state: retransmits queued by ISR/timer callbacks
+  // (scheduler context cannot block on register writes) and drained by the
+  // rel service daemon, which is spawned only when reliability is enabled.
+  struct RetxRequest {
+    fabric::Direction dir;
+    std::uint8_t seq = 0;
+  };
+  std::deque<RetxRequest> retx_queue_;
+  std::unique_ptr<sim::Event> rel_event_;
+  // Go-back-N receive state: next expected sequence per arrival side
+  // (indexed by fabric::Direction).
+  std::array<std::uint8_t, 2> rx_expected_seq_{};
 
   // Pending application operations.
   std::unordered_map<std::uint32_t, PendingGet> pending_gets_;

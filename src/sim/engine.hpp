@@ -38,6 +38,7 @@ namespace ntbshmem::sim {
 
 class Engine;
 class Event;
+class FaultPlan;
 
 // Thrown (once) inside a process when the engine shuts down while the
 // process is still blocked; unwinds the process stack so RAII cleanup runs.
@@ -147,6 +148,14 @@ class Engine {
   // Number of processes that have been spawned but not finished.
   std::size_t live_processes() const;
 
+  // ---- Fault injection ------------------------------------------------------
+  // Attaches a fault plan that hardware models consult at their injection
+  // sites (nullptr detaches). The engine does not own the plan; it must
+  // outlive the simulation. No plan attached (or an all-zero plan) means
+  // every site is a no-op.
+  void attach_faults(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* faults() const { return faults_; }
+
   // ---- Low-level primitives for building synchronization objects ----------
   // (used by Event/Resource/BandwidthResource; not for application code)
 
@@ -190,6 +199,7 @@ class Engine {
   std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_nondaemon_ = 0;
   Process* current_ = nullptr;
+  FaultPlan* faults_ = nullptr;
   std::binary_semaphore sched_sem_{0};
   std::exception_ptr first_error_;
   bool shutting_down_ = false;

@@ -42,6 +42,16 @@ class TraceRecorder {
     return out;
   }
 
+  // Number of records in a category, without filter()'s copies — for
+  // count-only assertions over large traces.
+  std::size_t count(const std::string& category) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.category == category) ++n;
+    }
+    return n;
+  }
+
  private:
   bool enabled_ = false;
   std::vector<TraceRecord> records_;

@@ -45,6 +45,14 @@ constexpr long long kGoldenPut3Hop1MiB_ns = 58'053'474;
 constexpr long long kGoldenPut64K1Hop_ns = 180'046;
 constexpr long long kGoldenGet64K1Hop_ns = 2'356'038;
 
+// Same workloads under TransportTuning::all_on(4), captured before the
+// fault-injection engine and reliability layer existed: the always-attached
+// (all-zero) FaultPlan and the disabled retry machinery must be exactly
+// timing-neutral for the pipelined tuning too, not just the paper mode.
+constexpr long long kGoldenAllOnWorkloadA_ns = 14'978'270;
+constexpr long long kGoldenAllOnWorkloadB_ns = 25'098'652;
+constexpr long long kGoldenAllOnPut3Hop1MiB_ns = 9'068'652;
+
 TEST(PipelineGolden, PaperModeWorkloadAUnchanged) {
   // 3 PEs, full delivery: put 256K 1 hop + quiet, put 256K 2 hops + quiet,
   // get 64K, barrier.
@@ -89,6 +97,51 @@ TEST(PipelineGolden, PaperModeWorkloadBUnchanged) {
   });
   EXPECT_EQ(static_cast<long long>(d), kGoldenWorkloadB_ns);
   EXPECT_EQ(static_cast<long long>(put_quiet), kGoldenPut3Hop1MiB_ns);
+}
+
+TEST(PipelineGolden, AllOnWorkloadAUnchanged) {
+  Runtime rt(pipe_options(3, CompletionMode::kFullDelivery,
+                          TransportTuning::all_on(4)));
+  const sim::Dur d = rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(1 << 20));
+    std::vector<std::byte> local(256 * 1024, std::byte{0x5a});
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_putmem(buf, local.data(), local.size(), 1);
+      shmem_quiet();
+      shmem_putmem(buf, local.data(), local.size(), 2);
+      shmem_quiet();
+      std::vector<std::byte> sink(64 * 1024);
+      shmem_getmem(sink.data(), buf, sink.size(), 1);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(static_cast<long long>(d), kGoldenAllOnWorkloadA_ns);
+}
+
+TEST(PipelineGolden, AllOnWorkloadBUnchanged) {
+  Runtime rt(pipe_options(5, CompletionMode::kFullDelivery,
+                          TransportTuning::all_on(4)));
+  sim::Dur put_quiet = 0;
+  const sim::Dur d = rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(2 << 20));
+    std::vector<std::byte> local(1 << 20, std::byte{0x77});
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      sim::Engine& eng = Runtime::current()->runtime().engine();
+      const sim::Time t0 = eng.now();
+      shmem_putmem(buf, local.data(), local.size(), 3);
+      shmem_quiet();
+      put_quiet = eng.now() - t0;
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(static_cast<long long>(d), kGoldenAllOnWorkloadB_ns);
+  EXPECT_EQ(static_cast<long long>(put_quiet), kGoldenAllOnPut3Hop1MiB_ns);
 }
 
 TEST(PipelineGolden, PaperModePerOpLatenciesUnchanged) {

@@ -18,23 +18,46 @@ namespace {
 using testing::pattern;
 using testing::test_options;
 
-using Param = std::tuple<int, DataPath, fabric::RoutingMode, CompletionMode>;
+// Transport-tuning axis: the paper-faithful serial protocol, the fully
+// pipelined data path, and the pipelined path with the reliability layer on
+// (which must be behaviour-invisible when nothing is injected).
+enum class Tune : int { kPaper, kAllOn, kAllOnReliable };
+
+TransportTuning make_tuning(Tune t) {
+  switch (t) {
+    case Tune::kPaper:
+      return TransportTuning::paper();
+    case Tune::kAllOn:
+      return TransportTuning::all_on(4);
+    case Tune::kAllOnReliable:
+      return TransportTuning::reliable(TransportTuning::all_on(4));
+  }
+  return TransportTuning::paper();
+}
+
+using Param =
+    std::tuple<int, DataPath, fabric::RoutingMode, CompletionMode, Tune>;
 
 class TrafficSweep : public ::testing::TestWithParam<Param> {
  protected:
   RuntimeOptions options() const {
-    const auto& [npes, path, routing, completion] = GetParam();
-    return test_options(npes, path, routing, completion);
+    const auto& [npes, path, routing, completion, tune] = GetParam();
+    RuntimeOptions opts = test_options(npes, path, routing, completion);
+    opts.tuning = make_tuning(tune);
+    return opts;
   }
   int npes() const { return std::get<0>(GetParam()); }
 };
 
 std::string param_name(const ::testing::TestParamInfo<Param>& info) {
-  const auto& [npes, path, routing, completion] = info.param;
+  const auto& [npes, path, routing, completion, tune] = info.param;
   std::string s = "n" + std::to_string(npes);
   s += path == DataPath::kDma ? "_dma" : "_memcpy";
   s += routing == fabric::RoutingMode::kRightOnly ? "_right" : "_shortest";
   s += completion == CompletionMode::kFullDelivery ? "_full" : "_localdma";
+  s += tune == Tune::kPaper
+           ? "_paper"
+           : (tune == Tune::kAllOn ? "_allon" : "_allonrel");
   return s;
 }
 
@@ -158,7 +181,8 @@ INSTANTIATE_TEST_SUITE_P(
         ::testing::Values(fabric::RoutingMode::kRightOnly,
                           fabric::RoutingMode::kShortest),
         ::testing::Values(CompletionMode::kFullDelivery,
-                          CompletionMode::kLocalDma)),
+                          CompletionMode::kLocalDma),
+        ::testing::Values(Tune::kPaper, Tune::kAllOn, Tune::kAllOnReliable)),
     param_name);
 
 }  // namespace

@@ -72,10 +72,11 @@ TEST(TraceTest, EveryReceivedFrameWasSentEarlier) {
     shmem_barrier_all();
     shmem_finalize();
   });
+  EXPECT_GT(rt.trace().count("frame.tx"), 0u);
+  EXPECT_EQ(rt.trace().count("frame.tx"), rt.trace().count("frame.rx"))
+      << "every frame sent is received exactly once";
   const auto tx = rt.trace().filter("frame.tx");
   const auto rx = rt.trace().filter("frame.rx");
-  EXPECT_FALSE(tx.empty());
-  EXPECT_EQ(tx.size(), rx.size()) << "every frame sent is received exactly once";
   // Conservation by frame kind: the multiset of (kind, origin, target, id)
   // descriptors must match between tx and rx.
   auto strip = [](const std::string& msg) {
@@ -105,6 +106,40 @@ TEST(TraceTest, OpsAreRecordedWithSizes) {
     if (r.message == "pe0 put target=1 bytes=512") found = true;
   }
   EXPECT_TRUE(found);
+}
+
+TEST(TraceTest, FaultAndRetryEventsAreCategorized) {
+  // A lost data doorbell under the reliable tuning must leave an audit
+  // trail: the injection under "fault", the timeout + retransmit under
+  // "retry", and a clean run records neither.
+  RuntimeOptions opts = traced_options(3);
+  opts.tuning = TransportTuning::reliable(TransportTuning{});
+  Runtime rt(opts);
+  rt.faults().arm_one_shot(sim::FaultPlan::Site::kDoorbell, "host0.right:0");
+  rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(4096));
+    const auto data = pattern(4096, 4);
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_putmem(buf, data.data(), data.size(), 1);
+      shmem_quiet();
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(rt.trace().count("fault"), 1u);
+  EXPECT_GE(rt.trace().count("retry"), 2u)  // timeout note + retransmit note
+      << "recovery actions must be traced under the retry category";
+
+  Runtime clean(opts);
+  clean.run([&] {
+    shmem_init();
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(clean.trace().count("fault"), 0u);
+  EXPECT_EQ(clean.trace().count("retry"), 0u);
 }
 
 TEST(TraceTest, TimestampsAreMonotonic) {
