@@ -32,6 +32,7 @@ RuntimeOptions options(int npes) {
   opts.symheap_chunk_bytes = 1u << 20;
   opts.symheap_max_bytes = 8u << 20;
   opts.host_memory_bytes = 16u << 20;
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -50,6 +51,7 @@ sim::Dur measure(int npes, BarrierAlgorithm alg) {
     }
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   return total / kReps;
 }
 
@@ -83,9 +85,11 @@ BENCHMARK(ntbshmem::bench::BM_Barrier)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -31,6 +31,7 @@ RuntimeOptions options(std::uint64_t chunk) {
   opts.symheap_chunk_bytes = 2u << 20;
   opts.symheap_max_bytes = 16u << 20;
   opts.host_memory_bytes = 32u << 20;
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -58,6 +59,7 @@ std::pair<sim::Dur, sim::Dur> measure(std::uint64_t chunk) {
     shmem_barrier_all();
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   return {get1 / kReps, get2 / kReps};
 }
 
@@ -92,9 +94,11 @@ BENCHMARK(ntbshmem::bench::BM_BypassChunk)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

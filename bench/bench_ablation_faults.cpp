@@ -42,6 +42,7 @@ RuntimeOptions options(double loss) {
   opts.faults.doorbell_drop = loss;
   opts.faults.scratchpad_corrupt = loss / 5.0;  // header hits -> NAK path
   opts.faults.tlp_drop = loss / 10.0;           // link-layer losses ride along
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -85,6 +86,7 @@ Sample measure(double loss) {
     s.retransmits += rt.host_transport(h).stats().retransmits;
   }
   s.faults = rt.faults().stats().total();
+  ObsCli::instance().capture(rt);
   return s;
 }
 
@@ -129,9 +131,11 @@ BENCHMARK(ntbshmem::bench::BM_FaultGoodput)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

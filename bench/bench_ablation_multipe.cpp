@@ -34,6 +34,7 @@ RuntimeOptions options(int per_host) {
   opts.symheap_max_bytes = 4u << 20;
   opts.host_memory_bytes =
       (static_cast<std::uint64_t>(per_host) * 6 + 16) << 20;
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -58,6 +59,7 @@ double measure(int per_host) {
     shmem_barrier_all();
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   // All PEs stream concurrently; normalize by the slowest observed window.
   return to_MBps(kBlock * kReps * static_cast<std::uint64_t>(kHosts) *
                      static_cast<std::uint64_t>(per_host),
@@ -97,9 +99,11 @@ BENCHMARK(ntbshmem::bench::BM_MultiPe)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -60,15 +60,21 @@ RuntimeOptions options(const TransportTuning& tuning) {
   opts.symheap_max_bytes = 16u << 20;
   opts.host_memory_bytes = 64u << 20;
   opts.link_dma_rates_Bps = {3.0e9};
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
-// put `bytes` from PE 0 to the PE `hops` rightward, then quiet; returns the
-// put+quiet virtual time.
-sim::Dur measure(const TransportTuning& tuning, std::uint64_t bytes,
-                 int hops) {
-  Runtime rt(options(tuning));
+struct Measurement {
   sim::Dur put_quiet = 0;
+  RunCounters counters;
+};
+
+// put `bytes` from PE 0 to the PE `hops` rightward, then quiet; returns the
+// put+quiet virtual time plus the run's transport counters.
+Measurement measure(const TransportTuning& tuning, std::uint64_t bytes,
+                    int hops) {
+  Runtime rt(options(tuning));
+  Measurement meas;
   rt.run([&] {
     shmem_init();
     auto* buf = static_cast<std::byte*>(shmem_malloc(2u << 20));
@@ -79,12 +85,14 @@ sim::Dur measure(const TransportTuning& tuning, std::uint64_t bytes,
       const sim::Time t0 = eng.now();
       shmem_putmem(buf, local.data(), local.size(), hops);
       shmem_quiet();
-      put_quiet = eng.now() - t0;
+      meas.put_quiet = eng.now() - t0;
     }
     shmem_barrier_all();
     shmem_finalize();
   });
-  return put_quiet;
+  meas.counters = RunCounters::from(rt);
+  ObsCli::instance().capture(rt);
+  return meas;
 }
 
 struct Sample {
@@ -93,6 +101,7 @@ struct Sample {
   int hops;
   long long ns;
   double MBps;
+  RunCounters counters;
 };
 
 std::vector<Sample> sweep() {
@@ -100,10 +109,11 @@ std::vector<Sample> sweep() {
   for (const Mode& m : modes()) {
     for (const std::uint64_t bytes : {64_KiB, 256_KiB, 1_MiB}) {
       for (int hops = 1; hops <= 3; ++hops) {
-        const sim::Dur d = measure(m.tuning, bytes, hops);
+        const Measurement meas = measure(m.tuning, bytes, hops);
         samples.push_back(Sample{m.name, bytes, hops,
-                                 static_cast<long long>(d),
-                                 to_MBps(bytes, d)});
+                                 static_cast<long long>(meas.put_quiet),
+                                 to_MBps(bytes, meas.put_quiet),
+                                 meas.counters});
       }
     }
   }
@@ -140,7 +150,11 @@ void write_json(const std::vector<Sample>& samples, const std::string& path) {
     const Sample& s = samples[i];
     out << "    {\"mode\": \"" << s.mode << "\", \"bytes\": " << s.bytes
         << ", \"hops\": " << s.hops << ", \"virtual_ns\": " << s.ns
-        << ", \"MBps\": " << s.MBps << "}"
+        << ", \"MBps\": " << s.MBps
+        << ", \"metrics\": {\"credit_stall_ns\": " << s.counters.credit_stall_ns
+        << ", \"retransmits\": " << s.counters.retransmits
+        << ", \"frames_sent\": " << s.counters.frames_sent
+        << ", \"dma_bytes\": " << s.counters.dma_bytes << "}}"
         << (i + 1 < samples.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -150,9 +164,13 @@ void write_json(const std::vector<Sample>& samples, const std::string& path) {
 void BM_Pipeline3Hop1MiB(benchmark::State& state) {
   const Mode m = modes()[static_cast<std::size_t>(state.range(0))];
   for (auto _ : state) {
-    const sim::Dur d = measure(m.tuning, 1_MiB, 3);
-    state.SetIterationTime(sim::to_seconds(d));
-    state.counters["MBps"] = to_MBps(1_MiB, d);
+    const Measurement meas = measure(m.tuning, 1_MiB, 3);
+    state.SetIterationTime(sim::to_seconds(meas.put_quiet));
+    state.counters["MBps"] = to_MBps(1_MiB, meas.put_quiet);
+    state.counters["credit_stall_ns"] =
+        static_cast<double>(meas.counters.credit_stall_ns);
+    state.counters["retransmits"] =
+        static_cast<double>(meas.counters.retransmits);
   }
   state.SetLabel(m.name);
 }
@@ -167,11 +185,13 @@ BENCHMARK(ntbshmem::bench::BM_Pipeline3Hop1MiB)
     ->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   const auto samples = ntbshmem::bench::sweep();
   ntbshmem::bench::print_tables(samples);
   ntbshmem::bench::write_json(samples, "bench_ablation_pipeline.json");
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -33,13 +33,18 @@ fabric::FabricConfig config(int hosts) {
 // throughput in MB/s.
 std::pair<double, double> measure(int hosts) {
   sim::Engine engine;
+  obs::Hub hub;
+  ObsCli::instance().apply(engine, hub);
   fabric::RingFabric ring(engine, config(hosts));
   std::vector<std::byte> payload(kBlock, std::byte{0x11});
   std::vector<sim::Dur> elapsed(static_cast<std::size_t>(hosts), 0);
   for (int h = 0; h < hosts; ++h) {
     auto dst = ring.host(ring.right_neighbor(h)).memory().allocate(kBlock, 4096);
     ring.right_port(h).program_window(ntb::kRawWindow, dst);
-    engine.spawn("x" + std::to_string(h), [&, h] {
+    // lvalue concat sidesteps a GCC 12 -Wrestrict false positive on
+    // operator+(const char*, string&&)
+    const std::string idx = std::to_string(h);
+    engine.spawn("x" + idx, [&, h] {
       const sim::Time start = engine.now();
       for (int r = 0; r < kReps; ++r) {
         ring.right_port(h).dma_write(ntb::kRawWindow, 0, payload);
@@ -48,6 +53,7 @@ std::pair<double, double> measure(int hosts) {
     });
   }
   engine.run();
+  ObsCli::instance().capture(hub);
   double aggregate = 0;
   double min_link = 1e18;
   for (int h = 0; h < hosts; ++h) {
@@ -80,7 +86,8 @@ void BM_RingSize(benchmark::State& state) {
       auto dst =
           ring.host(ring.right_neighbor(h)).memory().allocate(kBlock, 4096);
       ring.right_port(h).program_window(ntb::kRawWindow, dst);
-      engine.spawn("x" + std::to_string(h), [&, h] {
+      const std::string idx = std::to_string(h);
+      engine.spawn("x" + idx, [&, h] {
         for (int r = 0; r < kReps; ++r) {
           ring.right_port(h).dma_write(ntb::kRawWindow, 0, payload);
         }
@@ -105,9 +112,11 @@ BENCHMARK(ntbshmem::bench::BM_RingSize)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

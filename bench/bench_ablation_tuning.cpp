@@ -37,6 +37,7 @@ RuntimeOptions options(const TimingParams& timing) {
   opts.host_memory_bytes = 64u << 20;
   // Uniform link rate so the presets differ only in the studied knobs.
   opts.link_dma_rates_Bps = {timing.dma_rate_Bps};
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -71,6 +72,7 @@ Sample measure(const TimingParams& timing) {
     if (shmem_my_pe() == 0) s.barrier_us = sim::to_us(eng.now() - t0);
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   return s;
 }
 
@@ -112,9 +114,11 @@ BENCHMARK(ntbshmem::bench::BM_Tuning)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -32,6 +32,7 @@ RuntimeOptions fig10_options(DataPath path) {
   opts.symheap_chunk_bytes = 2u << 20;
   opts.symheap_max_bytes = 16u << 20;
   opts.host_memory_bytes = 64u << 20;
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -58,6 +59,7 @@ sim::Dur measure(DataPath path, int hops, std::uint64_t size) {
     }
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   return total / kReps;
 }
 
@@ -108,9 +110,11 @@ BENCHMARK(ntbshmem::bench::BM_BarrierAfterPut)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_table();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -38,6 +38,8 @@ fabric::FabricConfig fig8_config() {
 // all starting simultaneously; returns per-link throughput in MB/s.
 std::vector<double> measure(std::uint64_t size, const std::vector<int>& active) {
   sim::Engine engine;
+  obs::Hub hub;
+  ObsCli::instance().apply(engine, hub);
   fabric::RingFabric ring(engine, fig8_config());
   std::vector<std::byte> payload(size, std::byte{0xa5});
   std::vector<sim::Dur> elapsed(static_cast<std::size_t>(kHosts), 0);
@@ -48,7 +50,10 @@ std::vector<double> measure(std::uint64_t size, const std::vector<int>& active) 
                           .memory()
                           .allocate(size, 4096);
     ring.right_port(link).program_window(ntb::kRawWindow, dst_region);
-    engine.spawn("xfer" + std::to_string(link), [&, link] {
+    // lvalue concat sidesteps a GCC 12 -Wrestrict false positive on
+    // operator+(const char*, string&&)
+    const std::string idx = std::to_string(link);
+    engine.spawn("xfer" + idx, [&, link] {
       const sim::Time start = engine.now();
       for (int r = 0; r < kReps; ++r) {
         ring.right_port(link).dma_write(ntb::kRawWindow, 0, payload);
@@ -57,6 +62,7 @@ std::vector<double> measure(std::uint64_t size, const std::vector<int>& active) 
     });
   }
   engine.run();
+  ObsCli::instance().capture(hub);
 
   std::vector<double> mbps(static_cast<std::size_t>(kHosts), 0.0);
   for (int link : active) {
@@ -128,7 +134,8 @@ void BM_LinkTransfer(benchmark::State& state) {
                      .memory()
                      .allocate(size, 4096);
       ring.right_port(link).program_window(ntb::kRawWindow, dst);
-      engine.spawn("x" + std::to_string(link), [&, link] {
+      const std::string idx = std::to_string(link);
+      engine.spawn("x" + idx, [&, link] {
         for (int r = 0; r < kReps; ++r) {
           ring.right_port(link).dma_write(ntb::kRawWindow, 0, payload);
         }
@@ -153,9 +160,11 @@ BENCHMARK(ntbshmem::bench::BM_LinkTransfer)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_tables();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -35,6 +35,7 @@ RuntimeOptions fig9_options(DataPath path) {
   opts.symheap_chunk_bytes = 2u << 20;
   opts.symheap_max_bytes = 16u << 20;
   opts.host_memory_bytes = 64u << 20;
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -80,6 +81,7 @@ PutGetSample measure(DataPath path, int hops, std::uint64_t size) {
     shmem_barrier_all();
     shmem_finalize();
   });
+  ObsCli::instance().capture(rt);
   return sample;
 }
 
@@ -163,9 +165,11 @@ BENCHMARK(ntbshmem::bench::BM_PutLatency)
     ->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   ntbshmem::bench::print_tables();
+  ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -1,19 +1,27 @@
 // Shared helpers for the figure-reproduction benches.
 //
-// Each bench binary does two things:
+// Each bench binary does three things:
 //   1. registers google-benchmark benchmarks (manual time, fed from the
-//      virtual clock) so `--benchmark_filter` etc. work as usual, and
+//      virtual clock) so `--benchmark_filter` etc. work as usual,
 //   2. prints the paper-style table for its figure: one row per request
 //      size, one column per series — the same layout as the gnuplot data
-//      behind the paper's plots.
+//      behind the paper's plots, and
+//   3. understands the observability flags (ObsCli below):
+//        --trace-out=FILE    Chrome trace-event JSON of the last sim run
+//        --metrics-out=FILE  metrics snapshot (JSON) of the last sim run
 #pragma once
 
 #include <cstdint>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/table.hpp"
 #include "common/units.hpp"
+#include "obs/export.hpp"
+#include "shmem/runtime.hpp"
 #include "sim/time.hpp"
 
 namespace ntbshmem::bench {
@@ -29,5 +37,107 @@ inline double to_MBps(std::uint64_t bytes, sim::Dur elapsed) {
   if (elapsed <= 0) return 0.0;
   return Bps_to_MBps(static_cast<double>(bytes) / sim::to_seconds(elapsed));
 }
+
+// Observability CLI shared by every bench binary. main() calls
+// parse_args() before benchmark::Initialize (the flags are not google-
+// benchmark's, so they must be stripped first); each bench's options
+// factory calls apply() so runtimes record spans when a trace was asked
+// for; each measurement calls capture() before its Runtime dies. Benches
+// run many sequential runtimes — the last captured run is what lands on
+// disk, written at exit by report().
+class ObsCli {
+ public:
+  static ObsCli& instance() {
+    static ObsCli cli;
+    return cli;
+  }
+
+  void parse_args(int* argc, char** argv) {
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+      const std::string_view arg = argv[i];
+      if (arg.rfind("--trace-out=", 0) == 0) {
+        trace_path_ = std::string(arg.substr(12));
+      } else if (arg.rfind("--metrics-out=", 0) == 0) {
+        metrics_path_ = std::string(arg.substr(14));
+      } else {
+        argv[out++] = argv[i];
+      }
+    }
+    *argc = out;
+  }
+
+  bool tracing() const { return !trace_path_.empty(); }
+  bool active() const { return tracing() || !metrics_path_.empty(); }
+
+  void apply(shmem::RuntimeOptions& opts) const {
+    if (tracing()) {
+      opts.obs.spans_enabled = true;
+      // Mirror protocol/fault TraceRecorder events onto the timeline too.
+      opts.trace_enabled = true;
+    }
+  }
+
+  // Variant for the link-level benches that drive a bare sim::Engine +
+  // RingFabric without a shmem::Runtime: attach `hub` to the engine before
+  // constructing the fabric (components cache instrument pointers at
+  // construction), keeping `hub` alive past the fabric.
+  void apply(sim::Engine& engine, obs::Hub& hub) const {
+    if (tracing()) hub.tracer.set_enabled(true);
+    engine.attach_obs(&hub);
+  }
+
+  void capture(shmem::Runtime& rt) { capture(rt.obs()); }
+
+  void capture(obs::Hub& hub) {
+    if (tracing()) {
+      std::ofstream out(trace_path_);
+      obs::write_chrome_trace(hub.tracer, out);
+      captured_trace_ = true;
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream out(metrics_path_);
+      obs::write_metrics_json(hub.metrics.snapshot(), out, /*indent=*/2);
+      captured_metrics_ = true;
+    }
+  }
+
+  void report() const {
+    if (captured_trace_) std::cout << "wrote trace " << trace_path_ << "\n";
+    if (captured_metrics_) {
+      std::cout << "wrote metrics " << metrics_path_ << "\n";
+    }
+  }
+
+ private:
+  ObsCli() = default;
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool captured_trace_ = false;
+  bool captured_metrics_ = false;
+};
+
+// Counter context for a bench's JSON output: sums the named per-host
+// transport metrics of one finished run so throughput samples carry the
+// protocol accounting (stall time, retransmits) that explains them.
+struct RunCounters {
+  std::uint64_t credit_stall_ns = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t dma_bytes = 0;
+
+  static RunCounters from(shmem::Runtime& rt) {
+    const obs::Snapshot snap = rt.obs().metrics.snapshot();
+    RunCounters c;
+    c.credit_stall_ns =
+        static_cast<std::uint64_t>(snap.total(".transport.credit_stall_ns"));
+    c.retransmits =
+        static_cast<std::uint64_t>(snap.total(".transport.retransmits"));
+    c.frames_sent =
+        static_cast<std::uint64_t>(snap.total(".transport.frames_sent"));
+    c.dma_bytes = static_cast<std::uint64_t>(snap.total(".dma_bytes"));
+    return c;
+  }
+};
 
 }  // namespace ntbshmem::bench

@@ -4,12 +4,21 @@
 #include <cstdarg>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace ntbshmem {
 namespace {
 
 std::atomic<int> g_level{static_cast<int>(LogLevel::kOff)};
 std::atomic<bool> g_env_checked{false};
+
+// Sink + time source are cold-path state (log_message only runs when the
+// level gate passes); a mutex keeps registration safe against the engine's
+// serialized-but-real process threads.
+std::mutex g_route_mu;
+LogSink g_sink;                          // null => stderr
+const void* g_time_owner = nullptr;
+std::function<long long()> g_time_fn;
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -51,13 +60,55 @@ bool log_enabled(LogLevel level) {
   return static_cast<int>(level) <= g_level.load(std::memory_order_relaxed);
 }
 
+void set_log_sink(LogSink sink) {
+  const std::lock_guard<std::mutex> lock(g_route_mu);
+  g_sink = std::move(sink);
+}
+
+void set_log_time_source(const void* owner, std::function<long long()> fn) {
+  const std::lock_guard<std::mutex> lock(g_route_mu);
+  g_time_owner = owner;
+  g_time_fn = std::move(fn);
+}
+
+void clear_log_time_source(const void* owner) {
+  const std::lock_guard<std::mutex> lock(g_route_mu);
+  if (g_time_owner == owner) {
+    g_time_owner = nullptr;
+    g_time_fn = nullptr;
+  }
+}
+
 void log_message(LogLevel level, const char* fmt, ...) {
   char buf[1024];
   va_list args;
   va_start(args, fmt);
   std::vsnprintf(buf, sizeof buf, fmt, args);
   va_end(args);
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+
+  std::function<long long()> time_fn;
+  LogSink sink;
+  {
+    const std::lock_guard<std::mutex> lock(g_route_mu);
+    time_fn = g_time_fn;
+    sink = g_sink;
+  }
+
+  std::string line = "[";
+  line += level_name(level);
+  line += "]";
+  if (time_fn) {
+    char tbuf[40];
+    std::snprintf(tbuf, sizeof tbuf, " [t=%lldns]", time_fn());
+    line += tbuf;
+  }
+  line += " ";
+  line += buf;
+  if (sink) {
+    sink(level, line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
 }
 
 }  // namespace ntbshmem

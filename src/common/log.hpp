@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdio>
+#include <functional>
 #include <string>
 
 namespace ntbshmem {
@@ -27,7 +28,22 @@ void init_log_from_env();
 
 bool log_enabled(LogLevel level);
 
-// printf-style; prepends "[level] " and appends a newline.
+// Where formatted log lines go. The sink receives the fully formatted line
+// (level + optional sim-time prefix + message, no trailing newline). A null
+// sink restores the default: fprintf to stderr.
+using LogSink = std::function<void(LogLevel, const std::string& line)>;
+void set_log_sink(LogSink sink);
+
+// Sim-time prefix: while a time source is registered, every log line carries
+// "[t=<ns>ns]" so output can be correlated with trace events. The `owner`
+// token scopes the registration — clear_log_time_source(owner) only removes
+// that owner's source, so a destroyed Engine cannot clobber a newer one.
+// sim::Engine registers itself in its constructor.
+void set_log_time_source(const void* owner, std::function<long long()> fn);
+void clear_log_time_source(const void* owner);
+
+// printf-style; prepends "[level] " (and the sim time when a source is
+// registered) and routes the line to the active sink.
 void log_message(LogLevel level, const char* fmt, ...)
     __attribute__((format(printf, 2, 3)));
 

@@ -13,7 +13,14 @@ InterruptController::InterruptController(sim::Engine& engine, std::string name,
       name_(std::move(name)),
       isr_latency_(isr_latency),
       dispatch_cost_(dispatch_cost),
-      handlers_(kNumVectors) {}
+      handlers_(kNumVectors) {
+  if (obs::Hub* hub = engine.obs()) {
+    obs::MetricsRegistry& reg = hub->metrics;
+    obs_raised_ = reg.counter(name_ + ".raised");
+    obs_delivered_ = reg.counter(name_ + ".delivered");
+    obs_masked_latched_ = reg.counter(name_ + ".masked_latched");
+  }
+}
 
 void InterruptController::check_vector(int vector) const {
   if (vector < 0 || vector >= kNumVectors) {
@@ -28,9 +35,11 @@ void InterruptController::register_handler(int vector, Handler handler) {
 
 void InterruptController::raise(int vector) {
   check_vector(vector);
+  obs_raised_->inc();
   const std::uint32_t bit = 1u << vector;
   if ((mask_bits_ & bit) != 0) {
     pending_bits_ |= bit;
+    obs_masked_latched_->inc();
     return;
   }
   deliver(vector);
@@ -47,6 +56,7 @@ void InterruptController::deliver(int vector) {
   engine_.call_after(isr_latency_ + dispatch_cost_ + extra, [this, vector] {
     const auto& handler = handlers_[static_cast<std::size_t>(vector)];
     ++delivered_;
+    obs_delivered_->inc();
     if (handler) handler(vector);
   });
 }

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/hub.hpp"
 #include "sim/engine.hpp"
 
 namespace ntbshmem::host {
@@ -55,6 +56,11 @@ class InterruptController {
   std::uint32_t mask_bits_ = 0;
   std::uint32_t pending_bits_ = 0;
   std::uint64_t delivered_ = 0;
+
+  // Observability (null instruments without an attached hub).
+  obs::Counter* obs_raised_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_delivered_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_masked_latched_ = obs::MetricsRegistry::null_counter();
 };
 
 }  // namespace ntbshmem::host

@@ -10,7 +10,25 @@ namespace ntbshmem::ntb {
 
 NtbPort::NtbPort(sim::Engine& engine, host::Host& local, std::string name,
                  const PortConfig& config)
-    : engine_(engine), local_(local), name_(std::move(name)), config_(config) {}
+    : engine_(engine), local_(local), name_(std::move(name)), config_(config) {
+  if (obs::Hub* hub = engine.obs()) {
+    tracer_ = &hub->tracer;
+    obs_track_ = tracer_->track(local_.name(), name_);
+    obs_cat_dma_ = tracer_->category("dma");
+    obs_cat_ctl_ = tracer_->category("ntb");
+    obs_ev_dma_write_ = tracer_->event("dma_write");
+    obs_ev_dma_read_ = tracer_->event("dma_read");
+    obs_ev_doorbell_ = tracer_->event("doorbell");
+    obs_ev_dma_error_ = tracer_->event("dma_descriptor_error");
+    obs::MetricsRegistry& reg = hub->metrics;
+    obs_doorbells_ = reg.counter(name_ + ".doorbells_rung");
+    obs_sp_writes_ = reg.counter(name_ + ".scratchpad_writes");
+    obs_dma_descriptors_ = reg.counter(name_ + ".dma_descriptors");
+    obs_dma_bytes_ = reg.counter(name_ + ".dma_bytes");
+    obs_pio_bytes_ = reg.counter(name_ + ".pio_bytes");
+    obs_dma_sizes_ = reg.histogram(name_ + ".dma_transfer_bytes");
+  }
+}
 
 void NtbPort::connect(NtbPort& a, NtbPort& b, pcie::Link& link) {
   if (a.connected() || b.connected()) {
@@ -83,6 +101,7 @@ void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
   // when the slowest one finishes. Contention on any stage (e.g. a host bus
   // carrying both a TX and an RX stream in the Fig. 8 ring experiment)
   // stretches that stage's completion and thus the whole transfer.
+  link_->note_transfer_start(wire_end, bytes);
   auto src_done = src_host.bus().transfer_async(bytes, cap);
   auto wire_done = wire.transfer_async(bytes, cap);
   auto dst_done = dst_host.bus().transfer_async(bytes, cap);
@@ -93,7 +112,11 @@ void NtbPort::transfer_path(host::Host& src_host, host::Host& dst_host,
   // but never deliver bad data (CRC-detected, as on a real PCIe link).
   const sim::Dur replay = link_->fault_replay_delay(
       engine_.faults(), engine_.now(), wire_end, bytes);
-  if (replay > 0) engine_.wait_for(replay);
+  if (replay > 0) {
+    link_->note_replay(wire_end, replay);
+    engine_.wait_for(replay);
+  }
+  link_->note_transfer_end(wire_end, bytes);
 }
 
 bool NtbPort::dma_write(int idx, std::uint64_t off,
@@ -104,6 +127,13 @@ bool NtbPort::dma_write(int idx, std::uint64_t off,
   // target when programmed, so a later program_window (e.g. by the other
   // software context on this host) cannot retarget an in-flight transfer.
   const WindowTarget w = require_mapped(idx, "dma_write");
+  obs_dma_descriptors_->inc();
+  std::uint64_t span_id = 0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    span_id = tracer_->next_async_id();
+    tracer_->async_begin(obs_track_, obs_cat_dma_, obs_ev_dma_write_,
+                         engine_.now(), span_id);
+  }
   await_link_up();
   if (!descriptor_prefetched) engine_.wait_for(config_.dma_setup);
   if (sim::FaultPlan* plan = engine_.faults()) {
@@ -111,6 +141,12 @@ bool NtbPort::dma_write(int idx, std::uint64_t off,
     // bit and transfers nothing (the setup/poll time was already spent).
     if (plan->dma_descriptor_error(engine_.now(), name_)) {
       dma_error_latched_ = true;
+      if (span_id != 0) {
+        tracer_->instant(obs_track_, obs_cat_dma_, obs_ev_dma_error_,
+                         engine_.now());
+        tracer_->async_end(obs_track_, obs_cat_dma_, obs_ev_dma_write_,
+                           engine_.now(), span_id);
+      }
       return false;
     }
   }
@@ -120,17 +156,36 @@ bool NtbPort::dma_write(int idx, std::uint64_t off,
   auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
   std::memcpy(dst.data(), src.data(), src.size());
   dma_bytes_written_ += src.size();
+  obs_dma_bytes_->add(src.size());
+  obs_dma_sizes_->record(src.size());
+  if (span_id != 0) {
+    tracer_->async_end(obs_track_, obs_cat_dma_, obs_ev_dma_write_,
+                       engine_.now(), span_id);
+  }
   return true;
 }
 
 bool NtbPort::dma_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
   require_connected("dma_read");
   const WindowTarget w = require_mapped(idx, "dma_read");
+  obs_dma_descriptors_->inc();
+  std::uint64_t span_id = 0;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    span_id = tracer_->next_async_id();
+    tracer_->async_begin(obs_track_, obs_cat_dma_, obs_ev_dma_read_,
+                         engine_.now(), span_id);
+  }
   await_link_up();
   engine_.wait_for(config_.dma_setup);
   if (sim::FaultPlan* plan = engine_.faults()) {
     if (plan->dma_descriptor_error(engine_.now(), name_)) {
       dma_error_latched_ = true;
+      if (span_id != 0) {
+        tracer_->instant(obs_track_, obs_cat_dma_, obs_ev_dma_error_,
+                         engine_.now());
+        tracer_->async_end(obs_track_, obs_cat_dma_, obs_ev_dma_read_,
+                           engine_.now(), span_id);
+      }
       return false;
     }
   }
@@ -141,6 +196,11 @@ bool NtbPort::dma_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
                 config_.dma_rate_Bps * config_.dma_read_factor);
   auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
   std::memcpy(dst.data(), src.data(), dst.size());
+  obs_dma_sizes_->record(dst.size());
+  if (span_id != 0) {
+    tracer_->async_end(obs_track_, obs_cat_dma_, obs_ev_dma_read_,
+                       engine_.now(), span_id);
+  }
   return true;
 }
 
@@ -158,6 +218,7 @@ void NtbPort::pio_write(int idx, std::uint64_t off,
                 src.size(), config_.pio_write_Bps);
   auto dst = w.peer_host->memory().bytes(w.region, off, src.size());
   std::memcpy(dst.data(), src.data(), src.size());
+  obs_pio_bytes_->add(src.size());
 }
 
 void NtbPort::pio_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
@@ -168,6 +229,7 @@ void NtbPort::pio_read(int idx, std::uint64_t off, std::span<std::byte> dst) {
                 pcie::opposite(end_), dst.size(), config_.pio_read_Bps);
   auto src = w.peer_host->memory().bytes(w.region, off, dst.size());
   std::memcpy(dst.data(), src.data(), dst.size());
+  obs_pio_bytes_->add(dst.size());
 }
 
 void NtbPort::write_scratchpad(int idx, std::uint32_t value) {
@@ -177,6 +239,7 @@ void NtbPort::write_scratchpad(int idx, std::uint32_t value) {
   }
   await_link_up();
   engine_.wait_for(config_.reg_write);
+  obs_sp_writes_->inc();
   std::uint32_t stored = value;
   if (sim::FaultPlan* plan = engine_.faults()) {
     // Corruption lands in the peer's register bank, not on the wire: the
@@ -206,6 +269,11 @@ void NtbPort::ring_doorbell(int bit) {
   }
   await_link_up();
   engine_.wait_for(config_.reg_write);
+  obs_doorbells_->inc();
+  if (tracer_ != nullptr) {
+    tracer_->instant(obs_track_, obs_cat_ctl_, obs_ev_doorbell_, engine_.now(),
+                     static_cast<double>(bit));
+  }
   if (sim::FaultPlan* plan = engine_.faults()) {
     // A dropped ring is lost before the peer sees anything: no status bit,
     // no latch, no interrupt. The write time was still spent.

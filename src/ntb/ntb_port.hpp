@@ -27,6 +27,7 @@
 #include <string>
 
 #include "host/host.hpp"
+#include "obs/hub.hpp"
 #include "pcie/link.hpp"
 #include "sim/engine.hpp"
 
@@ -190,6 +191,24 @@ class NtbPort {
   std::deque<LatchedFrame> latched_frames_;
   bool dma_error_latched_ = false;
   std::uint64_t dma_bytes_written_ = 0;
+
+  // Observability: ids/instruments cached at construction from the engine's
+  // obs::Hub. tracer_ stays null without a hub; the counters point at the
+  // shared null instruments so hot paths never branch on registry presence.
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId obs_track_ = 0;
+  obs::CategoryId obs_cat_dma_ = 0;
+  obs::CategoryId obs_cat_ctl_ = 0;
+  obs::EventId obs_ev_dma_write_ = 0;
+  obs::EventId obs_ev_dma_read_ = 0;
+  obs::EventId obs_ev_doorbell_ = 0;
+  obs::EventId obs_ev_dma_error_ = 0;
+  obs::Counter* obs_doorbells_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_sp_writes_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_dma_descriptors_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_dma_bytes_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_pio_bytes_ = obs::MetricsRegistry::null_counter();
+  obs::Histogram* obs_dma_sizes_ = obs::MetricsRegistry::null_histogram();
 };
 
 }  // namespace ntbshmem::ntb

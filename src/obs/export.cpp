@@ -1,0 +1,195 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <map>
+
+namespace ntbshmem::obs {
+namespace {
+
+// Chrome trace timestamps are microseconds; sim time is integer ns. Three
+// decimals keep full 1 ns resolution.
+std::string ts_us(sim::Time t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f",
+                static_cast<double>(t) / 1000.0);
+  return buf;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
+  // Stable pid per distinct process name, in first-seen track order.
+  std::map<std::string, int> pids;
+  std::vector<std::pair<std::string, int>> pid_order;
+  for (const auto& tr : tracer.tracks()) {
+    if (pids.emplace(tr.process, static_cast<int>(pids.size()) + 1).second) {
+      pid_order.emplace_back(tr.process, pids.at(tr.process));
+    }
+  }
+
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const std::string& body) {
+    if (!first) out << ",";
+    first = false;
+    out << "\n" << body;
+  };
+
+  for (const auto& [proc, pid] : pid_order) {
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"" +
+         json_escape(proc) + "\"}}");
+  }
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+    const auto& tr = tracer.tracks()[i];
+    const int pid = pids.at(tr.process);
+    const int tid = static_cast<int>(i) + 1;
+    emit("{\"ph\":\"M\",\"pid\":" + std::to_string(pid) + ",\"tid\":" +
+         std::to_string(tid) + ",\"name\":\"thread_name\",\"args\":{\"name\":\"" +
+         json_escape(tr.name) + "\"}}");
+  }
+
+  for (std::size_t i = 0; i < tracer.tracks().size(); ++i) {
+    const auto& tr = tracer.tracks()[i];
+    const int pid = pids.at(tr.process);
+    const int tid = static_cast<int>(i) + 1;
+    const std::string ids = ",\"pid\":" + std::to_string(pid) +
+                            ",\"tid\":" + std::to_string(tid);
+    for (const auto& rec : tr.records) {
+      const std::string name =
+          json_escape(tracer.events().name(rec.event));
+      const std::string cat =
+          json_escape(tracer.categories().name(rec.category));
+      std::string body = "{\"name\":\"" + name + "\",\"cat\":\"" + cat +
+                         "\",\"ts\":" + ts_us(rec.t) + ids;
+      switch (rec.kind) {
+        case RecordKind::kBegin:
+          body += ",\"ph\":\"B\"}";
+          break;
+        case RecordKind::kEnd:
+          body += ",\"ph\":\"E\"}";
+          break;
+        case RecordKind::kInstant: {
+          body += ",\"ph\":\"i\",\"s\":\"t\"";
+          std::string args;
+          if (rec.value != 0.0) args += "\"value\":" + fmt_double(rec.value);
+          if (rec.detail != kNoDetail) {
+            if (!args.empty()) args += ",";
+            args += "\"detail\":\"" + json_escape(tracer.detail(rec.detail)) +
+                    "\"";
+          }
+          if (!args.empty()) body += ",\"args\":{" + args + "}";
+          body += "}";
+          break;
+        }
+        case RecordKind::kCounter:
+          body += ",\"ph\":\"C\",\"args\":{\"" + name +
+                  "\":" + fmt_double(rec.value) + "}}";
+          break;
+        case RecordKind::kAsyncBegin:
+          body += ",\"ph\":\"b\",\"id\":\"" + std::to_string(rec.id) + "\"}";
+          break;
+        case RecordKind::kAsyncEnd:
+          body += ",\"ph\":\"e\",\"id\":\"" + std::to_string(rec.id) + "\"}";
+          break;
+      }
+      emit(body);
+    }
+  }
+  out << "\n]}\n";
+}
+
+namespace {
+
+void write_row_json(const MetricRow& row, std::ostream& out) {
+  switch (row.kind) {
+    case MetricRow::Kind::kCounter:
+    case MetricRow::Kind::kGauge:
+    case MetricRow::Kind::kProbe:
+      out << fmt_double(row.value);
+      break;
+    case MetricRow::Kind::kHistogram: {
+      out << "{\"count\":" << fmt_double(row.value) << ",\"sum\":"
+          << row.hist_sum << ",\"min\":" << row.hist_min
+          << ",\"max\":" << row.hist_max << ",\"buckets\":[";
+      for (std::size_t b = 0; b < row.hist_buckets.size(); ++b) {
+        if (b != 0) out << ",";
+        out << row.hist_buckets[b];
+      }
+      out << "]}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+void write_metrics_json(const Snapshot& snap, std::ostream& out, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  const std::string pad2(static_cast<std::size_t>(indent) + 2, ' ');
+  out << pad << "{\n" << pad2 << "\"metrics\": {";
+  for (std::size_t i = 0; i < snap.rows.size(); ++i) {
+    if (i != 0) out << ",";
+    out << "\n" << pad2 << "  \"" << json_escape(snap.rows[i].name) << "\": ";
+    write_row_json(snap.rows[i], out);
+  }
+  out << "\n" << pad2 << "}\n" << pad << "}\n";
+}
+
+void write_metrics_text(const Snapshot& snap, std::ostream& out) {
+  std::size_t width = 0;
+  for (const auto& row : snap.rows) width = std::max(width, row.name.size());
+  for (const auto& row : snap.rows) {
+    out << row.name << std::string(width - row.name.size() + 2, ' ');
+    switch (row.kind) {
+      case MetricRow::Kind::kCounter:
+      case MetricRow::Kind::kProbe:
+        out << fmt_double(row.value) << "\n";
+        break;
+      case MetricRow::Kind::kGauge:
+        out << fmt_double(row.value) << " (gauge)\n";
+        break;
+      case MetricRow::Kind::kHistogram:
+        out << "count=" << fmt_double(row.value) << " sum=" << row.hist_sum
+            << " min=" << row.hist_min << " max=" << row.hist_max
+            << " mean="
+            << fmt_double(row.value == 0.0
+                              ? 0.0
+                              : static_cast<double>(row.hist_sum) / row.value)
+            << "\n";
+        break;
+    }
+  }
+}
+
+}  // namespace ntbshmem::obs

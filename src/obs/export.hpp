@@ -1,0 +1,33 @@
+// Exporters: Chrome trace-event JSON (Perfetto / chrome://tracing) for the
+// span tracer, and plain-text / JSON dumps for the metrics registry.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ntbshmem::obs {
+
+// Serializes the tracer as a Chrome trace-event JSON object
+// {"traceEvents": [...], "displayTimeUnit": "ns"}.
+//
+// Mapping: track process -> pid (with a process_name metadata event), track
+// -> tid (thread_name metadata), kBegin/kEnd -> "B"/"E", kInstant -> "i",
+// kCounter -> "C", kAsyncBegin/kAsyncEnd -> "b"/"e" with the record id.
+// Timestamps are sim-time nanoseconds emitted in microseconds with 3
+// decimals (the format's native unit), so 1 ns resolution survives.
+void write_chrome_trace(const Tracer& tracer, std::ostream& out);
+
+// Metrics snapshot as a JSON object: {"metrics": {name: value-or-histogram}}.
+void write_metrics_json(const Snapshot& snap, std::ostream& out,
+                        int indent = 0);
+
+// Human-readable aligned dump, one metric per line.
+void write_metrics_text(const Snapshot& snap, std::ostream& out);
+
+// JSON string escaping (shared with bench JSON writers).
+std::string json_escape(std::string_view s);
+
+}  // namespace ntbshmem::obs

@@ -1,0 +1,17 @@
+// The Hub bundles one simulation's observability state: the span tracer and
+// the metrics registry. A sim::Engine carries an optional Hub* (null by
+// default — the zero-cost path); components reach it through
+// engine.obs() at construction and cache instrument pointers / interned ids.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ntbshmem::obs {
+
+struct Hub {
+  Tracer tracer;
+  MetricsRegistry metrics;
+};
+
+}  // namespace ntbshmem::obs

@@ -1,0 +1,125 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+namespace ntbshmem::obs {
+
+std::size_t Histogram::used_buckets() const {
+  std::size_t n = kBuckets;
+  while (n > 0 && buckets_[n - 1] == 0) --n;
+  return n;
+}
+
+const MetricRow* Snapshot::find(std::string_view name) const {
+  const auto it = std::lower_bound(
+      rows.begin(), rows.end(), name,
+      [](const MetricRow& row, std::string_view key) { return row.name < key; });
+  if (it == rows.end() || it->name != name) return nullptr;
+  return &*it;
+}
+
+double Snapshot::total(std::string_view suffix) const {
+  double sum = 0.0;
+  for (const auto& row : rows) {
+    if (row.name.size() >= suffix.size() &&
+        std::string_view{row.name}.substr(row.name.size() - suffix.size()) ==
+            suffix) {
+      sum += row.value;
+    }
+  }
+  return sum;
+}
+
+template <typename T>
+T* MetricsRegistry::find_or_add(std::deque<Named<T>>& store,
+                                std::string_view name) {
+  for (auto& entry : store) {
+    if (entry.name == name) return &entry.instrument;
+  }
+  store.push_back(Named<T>{std::string(name), T{}});
+  return &store.back().instrument;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  return find_or_add(counters_, name);
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  return find_or_add(gauges_, name);
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  return find_or_add(histograms_, name);
+}
+
+void MetricsRegistry::register_probe(std::string_view name,
+                                     std::function<double()> fn) {
+  for (auto& probe : probes_) {
+    if (probe.name == name) {
+      probe.fn = std::move(fn);  // component rebuilt: newest source wins
+      return;
+    }
+  }
+  probes_.push_back(Probe{std::string(name), std::move(fn)});
+}
+
+Snapshot MetricsRegistry::snapshot() const {
+  Snapshot snap;
+  snap.rows.reserve(instrument_count());
+  for (const auto& entry : counters_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.kind = MetricRow::Kind::kCounter;
+    row.value = static_cast<double>(entry.instrument.value());
+    snap.rows.push_back(std::move(row));
+  }
+  for (const auto& entry : gauges_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.kind = MetricRow::Kind::kGauge;
+    row.value = entry.instrument.value();
+    snap.rows.push_back(std::move(row));
+  }
+  for (const auto& entry : histograms_) {
+    MetricRow row;
+    row.name = entry.name;
+    row.kind = MetricRow::Kind::kHistogram;
+    row.value = static_cast<double>(entry.instrument.count());
+    row.hist_sum = entry.instrument.sum();
+    row.hist_min = entry.instrument.min();
+    row.hist_max = entry.instrument.max();
+    const std::size_t used = entry.instrument.used_buckets();
+    row.hist_buckets.reserve(used);
+    for (std::size_t b = 0; b < used; ++b) {
+      row.hist_buckets.push_back(entry.instrument.bucket(b));
+    }
+    snap.rows.push_back(std::move(row));
+  }
+  for (const auto& probe : probes_) {
+    MetricRow row;
+    row.name = probe.name;
+    row.kind = MetricRow::Kind::kProbe;
+    row.value = probe.fn ? probe.fn() : 0.0;
+    snap.rows.push_back(std::move(row));
+  }
+  std::sort(snap.rows.begin(), snap.rows.end(),
+            [](const MetricRow& a, const MetricRow& b) { return a.name < b.name; });
+  return snap;
+}
+
+Counter* MetricsRegistry::null_counter() {
+  static Counter sink;
+  return &sink;
+}
+
+Gauge* MetricsRegistry::null_gauge() {
+  static Gauge sink;
+  return &sink;
+}
+
+Histogram* MetricsRegistry::null_histogram() {
+  static Histogram sink;
+  return &sink;
+}
+
+}  // namespace ntbshmem::obs

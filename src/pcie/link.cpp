@@ -13,11 +13,50 @@ LinkConfig gen_lanes(Gen gen, int lanes) {
 }
 
 Link::Link(sim::Engine& engine, std::string name, const LinkConfig& config)
-    : name_(std::move(name)), config_(config) {
+    : name_(std::move(name)), config_(config), engine_(&engine) {
   config_.validate();
   const double bps = config_.effective_Bps();
   a_to_b_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".a2b", bps);
   b_to_a_ = std::make_unique<sim::BandwidthResource>(engine, name_ + ".b2a", bps);
+  if (obs::Hub* hub = engine.obs()) {
+    tracer_ = &hub->tracer;
+    obs_track_ = tracer_->track("fabric", name_);
+    obs_ev_inflight_[0] = tracer_->event("inflight_a2b_bytes");
+    obs_ev_inflight_[1] = tracer_->event("inflight_b2a_bytes");
+    obs::MetricsRegistry& reg = hub->metrics;
+    obs_bytes_[0] = reg.counter(name_ + ".a2b.bytes");
+    obs_bytes_[1] = reg.counter(name_ + ".b2a.bytes");
+    obs_tlps_[0] = reg.counter(name_ + ".a2b.tlps");
+    obs_tlps_[1] = reg.counter(name_ + ".b2a.tlps");
+    obs_replays_ = reg.counter(name_ + ".tlp_replays");
+    obs_replay_stall_ns_ = reg.counter(name_ + ".replay_stall_ns");
+  }
+}
+
+void Link::note_transfer_start(End from, std::uint64_t bytes) {
+  const auto dir = static_cast<std::size_t>(from);
+  obs_bytes_[dir]->add(bytes);
+  const auto payload = static_cast<std::uint64_t>(config_.max_payload);
+  obs_tlps_[dir]->add((bytes + payload - 1) / payload);
+  inflight_bytes_[dir] += bytes;
+  if (tracer_ != nullptr) {
+    tracer_->counter(obs_track_, obs_ev_inflight_[dir], engine_->now(),
+                     static_cast<double>(inflight_bytes_[dir]));
+  }
+}
+
+void Link::note_transfer_end(End from, std::uint64_t bytes) {
+  const auto dir = static_cast<std::size_t>(from);
+  inflight_bytes_[dir] -= bytes;
+  if (tracer_ != nullptr) {
+    tracer_->counter(obs_track_, obs_ev_inflight_[dir], engine_->now(),
+                     static_cast<double>(inflight_bytes_[dir]));
+  }
+}
+
+void Link::note_replay(End, sim::Dur stall) {
+  obs_replays_->inc();
+  obs_replay_stall_ns_->add(static_cast<std::uint64_t>(stall));
 }
 
 sim::Dur Link::fault_replay_delay(sim::FaultPlan* plan, sim::Time now, End from,

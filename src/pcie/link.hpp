@@ -10,6 +10,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/hub.hpp"
 #include "pcie/config.hpp"
 #include "sim/bandwidth.hpp"
 #include "sim/engine.hpp"
@@ -54,12 +55,34 @@ class Link {
   sim::Dur fault_replay_delay(sim::FaultPlan* plan, sim::Time now, End from,
                               std::uint64_t bytes) const;
 
+  // ---- Observability hooks (called by NtbPort around transfer_path) --------
+  // Account a transfer originating at `from`: bytes + TLP count (from this
+  // link's max_payload) on entry, and an in-flight-bytes utilization sample
+  // on the link's trace track at both edges. All no-ops without a hub.
+  void note_transfer_start(End from, std::uint64_t bytes);
+  void note_transfer_end(End from, std::uint64_t bytes);
+  // Account a link-layer replay stall (CRC-detected TLP loss, `stall` ns).
+  void note_replay(End from, sim::Dur stall);
+
  private:
   std::string name_;
   LinkConfig config_;
   bool up_ = true;
   std::unique_ptr<sim::BandwidthResource> a_to_b_;
   std::unique_ptr<sim::BandwidthResource> b_to_a_;
+
+  // Observability (null instruments when the engine has no hub attached).
+  sim::Engine* engine_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  obs::TrackId obs_track_ = 0;
+  obs::EventId obs_ev_inflight_[2] = {0, 0};  // per direction (a2b, b2a)
+  obs::Counter* obs_bytes_[2] = {obs::MetricsRegistry::null_counter(),
+                                 obs::MetricsRegistry::null_counter()};
+  obs::Counter* obs_tlps_[2] = {obs::MetricsRegistry::null_counter(),
+                                obs::MetricsRegistry::null_counter()};
+  obs::Counter* obs_replays_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_replay_stall_ns_ = obs::MetricsRegistry::null_counter();
+  std::uint64_t inflight_bytes_[2] = {0, 0};
 };
 
 }  // namespace ntbshmem::pcie

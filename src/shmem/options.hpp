@@ -1,6 +1,7 @@
 // Runtime configuration for the OpenSHMEM-over-NTB library.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -97,6 +98,17 @@ struct TransportTuning {
   static TransportTuning reliable() { return reliable(TransportTuning{}); }
 };
 
+// Observability layer (src/obs): typed span tracing and per-layer metrics.
+// The runtime always owns an obs::Hub and attaches it to the engine, so the
+// metric counters are registered (an increment is one pointer-deref add);
+// span/instant/counter-sample *recording* happens only when spans_enabled.
+struct ObsOptions {
+  bool spans_enabled = false;
+  // Per-track record cap for long soak runs (oldest records evicted,
+  // tracked per track as `dropped`); 0 keeps every record.
+  std::size_t ring_capacity = 0;
+};
+
 struct RuntimeOptions {
   int npes = 3;  // total PEs
   // PEs per host (block mapping: PE p lives on host p / pes_per_host). The
@@ -138,6 +150,9 @@ struct RuntimeOptions {
   // Runtime::trace() — used by tests that assert protocol ordering and by
   // debugging sessions. Off by default: benchmarks must not pay for it.
   bool trace_enabled = false;
+
+  // Typed span tracing + metrics (Runtime::obs(), exported via obs/export).
+  ObsOptions obs;
 
   int num_hosts() const {
     return pes_per_host > 0 ? npes / pes_per_host : 0;

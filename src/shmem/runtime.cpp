@@ -258,6 +258,15 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
         "max_retries >= 1 and dma_retries >= 0 required");
   }
   trace_.set_enabled(options_.trace_enabled);
+  // Observability: the hub is always attached (counter increments are one
+  // pointer-deref adds and never touch the engine, so golden times are
+  // unaffected); span recording is gated separately by ObsOptions.
+  obs_.tracer.set_enabled(options_.obs.spans_enabled);
+  obs_.tracer.set_ring_capacity(options_.obs.ring_capacity);
+  engine_.attach_obs(&obs_);
+  // Legacy trace records (notably fault injections) tee onto the exported
+  // timeline as instant events.
+  trace_.bind_mirror(&obs_.tracer);
   // The fault plan is always attached: an all-zero spec short-circuits at
   // every site without waits or PRNG draws, so the paper-mode golden times
   // are bit-identical with the plan in place (asserted by pipeline_test).

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fabric/ring.hpp"
+#include "obs/hub.hpp"
 #include "shmem/options.hpp"
 #include "shmem/symheap.hpp"
 #include "shmem/transport.hpp"
@@ -156,6 +157,11 @@ class Runtime {
   // Protocol trace (populated when options().trace_enabled).
   sim::TraceRecorder& trace() { return trace_; }
 
+  // Observability hub: typed span tracer + metrics registry. Always
+  // attached to the engine; spans record only when options().obs asks.
+  obs::Hub& obs() { return obs_; }
+  const obs::Hub& obs() const { return obs_; }
+
   // The fault plan attached to the engine (always present; an all-zero spec
   // injects nothing). Tests arm one-shot faults here.
   sim::FaultPlan& faults() { return *fault_plan_; }
@@ -167,6 +173,10 @@ class Runtime {
  private:
   RuntimeOptions options_;
   sim::Engine engine_;
+  // The hub must outlive every component that cached instrument pointers at
+  // construction (fabric, transports): declared before them, attached to the
+  // engine before they are built.
+  obs::Hub obs_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;
   std::unique_ptr<fabric::RingFabric> fabric_;
   std::vector<std::unique_ptr<Transport>> transports_;  // one per host

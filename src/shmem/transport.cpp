@@ -17,6 +17,30 @@ std::uint64_t reassembly_key(std::uint8_t origin, std::uint32_t id) {
   return (static_cast<std::uint64_t>(origin) << 32) | id;
 }
 
+// RAII span on an obs track: begin at construction, end at destruction,
+// both stamped at the engine's then-current sim time. Recording is a no-op
+// when `tracer` is null (no hub) or tracing is disabled.
+class ObsSpan {
+ public:
+  ObsSpan(obs::Tracer* tracer, sim::Engine& engine, obs::TrackId track,
+          obs::CategoryId cat, obs::EventId ev)
+      : tracer_(tracer), engine_(engine), track_(track), cat_(cat), ev_(ev) {
+    if (tracer_ != nullptr) tracer_->begin(track_, cat_, ev_, engine_.now());
+  }
+  ~ObsSpan() {
+    if (tracer_ != nullptr) tracer_->end(track_, cat_, ev_, engine_.now());
+  }
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  obs::Tracer* tracer_;
+  sim::Engine& engine_;
+  obs::TrackId track_;
+  obs::CategoryId cat_;
+  obs::EventId ev_;
+};
+
 }  // namespace
 
 Transport::Transport(Runtime& runtime, int host_id)
@@ -55,6 +79,73 @@ Transport::Transport(Runtime& runtime, int host_id)
   heap_event_ = std::make_unique<sim::Event>(engine, prefix + ".heap");
   local_barrier_event_ =
       std::make_unique<sim::Event>(engine, prefix + ".local_barrier");
+  init_obs();
+}
+
+void Transport::init_obs() {
+  obs::Hub* hub = runtime_.engine().obs();
+  if (hub == nullptr) return;
+  tracer_ = &hub->tracer;
+  const std::string host_name = ring().host(host_id_).name();
+  for (int i = 0; i < pes_per_host(); ++i) {
+    pe_tracks_.push_back(
+        tracer_->track(host_name, "pe" + std::to_string(leader_pe() + i)));
+  }
+  rx_track_ = tracer_->track(host_name, "rx_service");
+  frames_track_[static_cast<std::size_t>(fabric::Direction::kRight)] =
+      tracer_->track(host_name, "frames_right");
+  frames_track_[static_cast<std::size_t>(fabric::Direction::kLeft)] =
+      tracer_->track(host_name, "frames_left");
+  cat_op_ = tracer_->category("op");
+  cat_frame_ = tracer_->category("frame");
+  cat_barrier_ = tracer_->category("barrier");
+  ev_put_ = tracer_->event("put");
+  ev_get_ = tracer_->event("get");
+  ev_atomic_ = tracer_->event("atomic");
+  ev_barrier_ = tracer_->event("barrier");
+  ev_frame_ = tracer_->event("frame_inflight");
+  ev_process_frame_ = tracer_->event("process_frame");
+
+  obs::MetricsRegistry& reg = hub->metrics;
+  const std::string prefix = host_name + ".transport";
+  obs_credit_stalls_ = reg.counter(prefix + ".credit_stalls");
+  obs_credit_stall_ns_ = reg.counter(prefix + ".credit_stall_ns");
+  obs_credit_stall_hist_ = reg.histogram(prefix + ".credit_stall_wait_ns");
+  obs_barrier_hist_ = reg.histogram(prefix + ".barrier_latency_ns");
+  // Every TransportStats field doubles as a snapshot probe, so metrics
+  // exports carry the protocol accounting without double bookkeeping. The
+  // captured field pointers are valid for any snapshot taken while the
+  // Runtime is alive (the documented contract for Runtime::obs()).
+  auto probe = [&](const char* key, const std::uint64_t* field) {
+    reg.register_probe(prefix + "." + std::string(key),
+                       [field] { return static_cast<double>(*field); });
+  };
+  probe("puts_issued", &stats_.puts_issued);
+  probe("gets_issued", &stats_.gets_issued);
+  probe("atomics_issued", &stats_.atomics_issued);
+  probe("frames_sent", &stats_.frames_sent);
+  probe("frames_received", &stats_.frames_received);
+  probe("messages_forwarded", &stats_.messages_forwarded);
+  probe("bytes_forwarded", &stats_.bytes_forwarded);
+  probe("delivery_acks_sent", &stats_.delivery_acks_sent);
+  probe("barriers_completed", &stats_.barriers_completed);
+  probe("retransmits", &stats_.retransmits);
+  probe("ack_timeouts", &stats_.ack_timeouts);
+  probe("naks_sent", &stats_.naks_sent);
+  probe("naks_received", &stats_.naks_received);
+  probe("frames_corrupt_dropped", &stats_.frames_corrupt_dropped);
+  probe("frames_duplicate_dropped", &stats_.frames_duplicate_dropped);
+  probe("frames_out_of_order_dropped", &stats_.frames_out_of_order_dropped);
+  probe("invalid_acks_dropped", &stats_.invalid_acks_dropped);
+  probe("dma_retries", &stats_.dma_retries);
+}
+
+void Transport::end_frame_span(fabric::Direction d,
+                               const TxChannel::InFlight& rec) {
+  if (tracer_ != nullptr && rec.obs_span != 0) {
+    tracer_->async_end(frames_track_[static_cast<std::size_t>(d)], cat_frame_,
+                       ev_frame_, runtime_.engine().now(), rec.obs_span);
+  }
 }
 
 int Transport::pes_per_host() const {
@@ -195,6 +286,7 @@ void Transport::on_ack(fabric::Direction d) {
     }
     const TxChannel::InFlight rec = ch.inflight.front();
     ch.inflight.pop_front();
+    end_frame_span(d, rec);
     // Return the staging slot before the credit so a woken sender always
     // finds a free slot to pair with its credit.
     ch.free_slots.push_back(rec.stage_slot);
@@ -229,6 +321,7 @@ void Transport::retire_acked(fabric::Direction d, std::uint8_t acked) {
          static_cast<std::int8_t>(ch.inflight.front().seq - acked) <= 0) {
     TxChannel::InFlight rec = ch.inflight.front();
     ch.inflight.pop_front();
+    end_frame_span(d, rec);
     rec.retx_timer.cancel();
     ch.rel.ack_latency_ns.add(static_cast<double>(now - rec.emitted_at));
     ++ch.rel.acks_matched;
@@ -268,7 +361,14 @@ void Transport::note_delivery_completed_op(std::uint32_t op_id) {
 
 int Transport::acquire_send_credit(fabric::Direction d) {
   TxChannel& ch = channel(d);
+  const sim::Time t0 = runtime_.engine().now();
   ch.slot.acquire();
+  const sim::Dur stalled = runtime_.engine().now() - t0;
+  if (stalled > 0) {
+    obs_credit_stalls_->inc();
+    obs_credit_stall_ns_->add(static_cast<std::uint64_t>(stalled));
+    obs_credit_stall_hist_->record(static_cast<std::uint64_t>(stalled));
+  }
   // Invariant: slots are returned before credits are released (on_ack), so
   // a granted credit always finds a free slot; no yield between the two.
   const int slot = ch.free_slots.front();
@@ -297,6 +397,14 @@ void Transport::emit_frame_inflight(fabric::Direction d,
     rec.seq = h.flags;
     rec.doorbell = doorbell;
     rec.hdr = h;
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Frame lifetime span (emission -> retiring ack) on the direction's
+    // frame track; async because credits allow overlapping lifetimes.
+    rec.obs_span = tracer_->next_async_id();
+    tracer_->async_begin(frames_track_[static_cast<std::size_t>(d)],
+                         cat_frame_, ev_frame_, runtime_.engine().now(),
+                         rec.obs_span);
   }
   ch.inflight.push_back(rec);
   emit_frame(d, h, doorbell);
@@ -603,6 +711,7 @@ void Transport::enqueue_outbound(OutboundItem item) {
 void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
                     int target_pe, int origin_pe, int domain) {
   sim::Engine& engine = runtime_.engine();
+  ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_put_);
   engine.wait_for(timing().sw_overhead);
   ++stats_.puts_issued;
   trace("op", "pe" + std::to_string(origin_pe) + " put target=" +
@@ -702,6 +811,7 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
 void Transport::get(std::uint64_t heap_offset, std::span<std::byte> dst,
                     int source_pe, int origin_pe) {
   sim::Engine& engine = runtime_.engine();
+  ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_get_);
   engine.wait_for(timing().sw_overhead);
   if (dst.empty()) return;
   if (is_resident(source_pe)) {
@@ -726,6 +836,7 @@ std::uint64_t Transport::atomic(AtomicOp op, std::uint64_t heap_offset,
                                 std::uint64_t operand1,
                                 std::uint64_t operand2, int origin_pe) {
   sim::Engine& engine = runtime_.engine();
+  ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_atomic_);
   engine.wait_for(timing().sw_overhead);
   ++stats_.atomics_issued;
   if (is_resident(target_pe)) {
@@ -769,6 +880,7 @@ void Transport::atomic_post(AtomicOp op, std::uint64_t heap_offset,
                             std::uint64_t operand1, int origin_pe,
                             int domain) {
   sim::Engine& engine = runtime_.engine();
+  ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_atomic_);
   engine.wait_for(timing().sw_overhead);
   ++stats_.atomics_issued;
   if (op == AtomicOp::kFetch || op == AtomicOp::kFetchAdd ||
@@ -859,6 +971,9 @@ void Transport::barrier_ring(int origin_pe) {
   // drains its own domains before calling. Here we only run the
   // synchronization protocol.
   sim::Engine& engine = runtime_.engine();
+  ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_barrier_,
+               ev_barrier_);
+  const sim::Time barrier_t0 = engine.now();
   engine.wait_for(timing().sw_overhead);
 
   const int k = pes_per_host();
@@ -905,6 +1020,7 @@ void Transport::barrier_ring(int origin_pe) {
     right.ring_doorbell(kDbBarrierEnd);
   }
   ++stats_.barriers_completed;
+  obs_barrier_hist_->record(static_cast<std::uint64_t>(engine.now() - barrier_t0));
   // Release the residents.
   ++local_barrier_round_;
   local_barrier_event_->notify_all();
@@ -1026,6 +1142,8 @@ bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
 void Transport::process_frame(const RxToken& token) {
   const fabric::Direction from = token.from;
   ntb::NtbPort& port = in_port(from);
+  ObsSpan span(tracer_, runtime_.engine(), rx_track_, cat_frame_,
+               ev_process_frame_);
   // The header registers were latched at doorbell arrival; reading the
   // latched bank costs the same non-posted register reads as the live one.
   std::array<std::uint32_t, 7> regs{};

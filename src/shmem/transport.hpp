@@ -61,6 +61,7 @@
 
 #include "common/stats.hpp"
 #include "fabric/ring.hpp"
+#include "obs/hub.hpp"
 #include "shmem/message.hpp"
 #include "shmem/options.hpp"
 #include "sim/event.hpp"
@@ -222,6 +223,9 @@ class Transport {
       FrameHeader hdr;
       sim::Time emitted_at = 0;
       sim::CallbackHandle retx_timer;
+      // Async-span id of the frame's lifetime on the exported timeline
+      // (emission -> retiring ack); 0 when tracing is off.
+      std::uint64_t obs_span = 0;
     };
     std::deque<InFlight> inflight;  // emission order; ACKs pop the front
     std::uint8_t next_seq = 0;      // reliability: next sequence to assign
@@ -387,6 +391,19 @@ class Transport {
 
   // Appends a protocol-trace record when tracing is enabled.
   void trace(const char* category, const std::string& message);
+  // ---- observability ----
+  // Caches tracks/categories/instruments from the engine's obs::Hub (no-op
+  // without one); called once from the constructor.
+  void init_obs();
+  // Track of the calling PE (per-resident-PE span attribution); 0 when no
+  // hub is attached.
+  obs::TrackId pe_track(int origin_pe) const {
+    return pe_tracks_.empty()
+               ? 0
+               : pe_tracks_[static_cast<std::size_t>(origin_pe - leader_pe())];
+  }
+  // Closes a retired frame's lifetime span (ACK time).
+  void end_frame_span(fabric::Direction d, const TxChannel::InFlight& rec);
   // Charges the CPU cost of a local DRAM-to-DRAM copy.
   void charge_local_copy(std::uint64_t bytes);
   // Models the service thread's scheduling latency after an idle wake.
@@ -454,6 +471,28 @@ class Transport {
   std::uint32_t next_msg_id_ = 1;
   int next_domain_ = 1;  // 0 is reserved (kDefaultDomain, unused directly)
   TransportStats stats_;
+
+  // Observability: interned ids + instruments cached by init_obs(). The
+  // tracer pointer stays null without a hub; counters/histograms fall back
+  // to the shared null instruments so hot paths never branch.
+  obs::Tracer* tracer_ = nullptr;
+  std::vector<obs::TrackId> pe_tracks_;       // one per resident PE
+  obs::TrackId rx_track_ = 0;                 // RX service thread
+  std::array<obs::TrackId, 2> frames_track_{};  // per direction
+  obs::CategoryId cat_op_ = 0;
+  obs::CategoryId cat_frame_ = 0;
+  obs::CategoryId cat_barrier_ = 0;
+  obs::EventId ev_put_ = 0;
+  obs::EventId ev_get_ = 0;
+  obs::EventId ev_atomic_ = 0;
+  obs::EventId ev_barrier_ = 0;
+  obs::EventId ev_frame_ = 0;
+  obs::EventId ev_process_frame_ = 0;
+  obs::Counter* obs_credit_stalls_ = obs::MetricsRegistry::null_counter();
+  obs::Counter* obs_credit_stall_ns_ = obs::MetricsRegistry::null_counter();
+  obs::Histogram* obs_credit_stall_hist_ =
+      obs::MetricsRegistry::null_histogram();
+  obs::Histogram* obs_barrier_hist_ = obs::MetricsRegistry::null_histogram();
 };
 
 }  // namespace ntbshmem::shmem

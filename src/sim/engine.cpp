@@ -4,6 +4,7 @@
 #include <sstream>
 #include <utility>
 
+#include "common/log.hpp"
 #include "sim/event.hpp"
 
 namespace ntbshmem::sim {
@@ -70,9 +71,17 @@ void CallbackHandle::cancel() {
 
 // ---- Engine ----------------------------------------------------------------
 
-Engine::Engine() = default;
+Engine::Engine() {
+  // Log lines carry the virtual clock while this engine exists, so printf
+  // debugging correlates with trace/metric timestamps. The owner token keeps
+  // a dying engine from clobbering a newer one's registration.
+  set_log_time_source(this, [this] { return static_cast<long long>(now_); });
+}
 
-Engine::~Engine() { shutdown(); }
+Engine::~Engine() {
+  shutdown();
+  clear_log_time_source(this);
+}
 
 Process& Engine::spawn(std::string name, std::function<void()> body,
                        bool daemon) {

@@ -34,6 +34,10 @@
 
 #include "sim/time.hpp"
 
+namespace ntbshmem::obs {
+struct Hub;
+}  // namespace ntbshmem::obs
+
 namespace ntbshmem::sim {
 
 class Engine;
@@ -156,6 +160,14 @@ class Engine {
   void attach_faults(FaultPlan* plan) { faults_ = plan; }
   FaultPlan* faults() const { return faults_; }
 
+  // ---- Observability --------------------------------------------------------
+  // Attaches the tracing/metrics hub that components consult at construction
+  // (nullptr detaches). Like the fault plan, the hub is not owned and must
+  // outlive the simulation; no hub attached means components fall back to
+  // the shared null instruments — the zero-cost path.
+  void attach_obs(obs::Hub* hub) { obs_ = hub; }
+  obs::Hub* obs() const { return obs_; }
+
   // ---- Low-level primitives for building synchronization objects ----------
   // (used by Event/Resource/BandwidthResource; not for application code)
 
@@ -200,6 +212,7 @@ class Engine {
   std::size_t live_nondaemon_ = 0;
   Process* current_ = nullptr;
   FaultPlan* faults_ = nullptr;
+  obs::Hub* obs_ = nullptr;
   std::binary_semaphore sched_sem_{0};
   std::exception_ptr first_error_;
   bool shutting_down_ = false;

@@ -1,15 +1,28 @@
-// Lightweight trace recorder.
+// Lightweight trace recorder — compatibility shim over the obs layer.
 //
-// Components append timestamped records when a TraceRecorder is attached;
-// tests use it to assert protocol ordering (e.g. "barrier_end never
-// precedes barrier_start on any host") and debugging sessions dump it.
-// Recording is O(1) per record and disabled by default (null recorder).
+// Components append timestamped (category, message) records when a
+// TraceRecorder is attached; tests use it to assert protocol ordering
+// (e.g. "barrier_end never precedes barrier_start on any host") and
+// debugging sessions dump it. Recording is O(1) per record and disabled by
+// default (null recorder).
+//
+// New instrumentation should use obs::Tracer (typed spans, interned ids,
+// per-track buffers) directly; this class remains for the existing
+// string-assertion tests and keeps two upgrades:
+//   * a per-category index, so count() is O(1) and filter() is O(matches)
+//     instead of both re-scanning every record per assertion, and
+//   * an optional mirror into an obs::Tracer, so legacy records (notably
+//     fault injections) show up on the exported Perfetto timeline as
+//     instant events on per-category "trace" tracks.
 #pragma once
 
 #include <cstdint>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "sim/time.hpp"
 
 namespace ntbshmem::sim {
@@ -24,37 +37,59 @@ class TraceRecorder {
  public:
   void record(Time t, std::string category, std::string message) {
     if (!enabled_) return;
+    if (mirror_ != nullptr && mirror_->enabled()) {
+      mirror_record(t, category, message);
+    }
+    by_category_[category].push_back(records_.size());
     records_.push_back(TraceRecord{t, std::move(category), std::move(message)});
   }
 
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
-  void clear() { records_.clear(); }
+
+  void clear() {
+    records_.clear();
+    by_category_.clear();
+  }
+
   const std::vector<TraceRecord>& records() const { return records_; }
 
   // All records in a category, in time order (records are appended in
-  // nondecreasing time order by construction).
+  // nondecreasing time order by construction). O(matches) via the index.
   std::vector<TraceRecord> filter(const std::string& category) const {
     std::vector<TraceRecord> out;
-    for (const auto& r : records_) {
-      if (r.category == category) out.push_back(r);
-    }
+    const auto it = by_category_.find(category);
+    if (it == by_category_.end()) return out;
+    out.reserve(it->second.size());
+    for (const std::size_t idx : it->second) out.push_back(records_[idx]);
     return out;
   }
 
-  // Number of records in a category, without filter()'s copies — for
-  // count-only assertions over large traces.
+  // Number of records in a category, O(1) via the index.
   std::size_t count(const std::string& category) const {
-    std::size_t n = 0;
-    for (const auto& r : records_) {
-      if (r.category == category) ++n;
-    }
-    return n;
+    const auto it = by_category_.find(category);
+    return it == by_category_.end() ? 0 : it->second.size();
   }
 
+  // Tees every future record into `tracer` (nullptr detaches) as an instant
+  // event on track ("trace", category) with the message as its detail
+  // payload. Only records while the tracer itself is enabled.
+  void bind_mirror(obs::Tracer* tracer) { mirror_ = tracer; }
+
  private:
+  void mirror_record(Time t, const std::string& category,
+                     const std::string& message) {
+    // Rare-event path (trace recording is test/debug only): interning per
+    // record is fine, and category names are bounded.
+    const obs::TrackId track = mirror_->track("trace", category);
+    mirror_->instant_detail(track, mirror_->category(category),
+                            mirror_->event(category), t, message);
+  }
+
   bool enabled_ = false;
   std::vector<TraceRecord> records_;
+  std::unordered_map<std::string, std::vector<std::size_t>> by_category_;
+  obs::Tracer* mirror_ = nullptr;
 };
 
 }  // namespace ntbshmem::sim

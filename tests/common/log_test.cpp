@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 #include "common/timing_params.hpp"
+#include "sim/engine.hpp"
 
 namespace ntbshmem {
 namespace {
@@ -23,6 +27,46 @@ TEST(LogTest, MacroCompilesAndRespectsLevel) {
   set_log_level(LogLevel::kDebug);
   NTB_LOG_DEBUG("debug line %s", "ok");   // prints to stderr
   set_log_level(LogLevel::kOff);
+}
+
+TEST(LogTest, SinkCapturesFormattedLines) {
+  std::vector<std::string> lines;
+  set_log_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  set_log_level(LogLevel::kInfo);
+  NTB_LOG_INFO("value %d", 42);
+  NTB_LOG_DEBUG("gated off %d", 1);
+  set_log_level(LogLevel::kOff);
+  set_log_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "[info] value 42");
+}
+
+TEST(LogTest, SimTimePrefixWhileEngineAlive) {
+  std::vector<std::string> lines;
+  set_log_sink([&](LogLevel, const std::string& line) {
+    lines.push_back(line);
+  });
+  set_log_level(LogLevel::kInfo);
+  {
+    // The engine registers itself as the log time source in its
+    // constructor; every line logged from sim context carries [t=...ns].
+    sim::Engine engine;
+    engine.spawn("logger", [&] {
+      engine.wait_for(sim::usec(5));
+      NTB_LOG_INFO("from sim");
+    });
+    engine.run();
+  }
+  NTB_LOG_INFO("after engine");  // destroyed engine must unregister itself
+  set_log_level(LogLevel::kOff);
+  set_log_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[info] [t=5000ns] from sim");
+  EXPECT_EQ(lines[1], "[info] after engine");
 }
 
 TEST(TimingPresetsTest, PresetsDifferInTheStudiedKnobs) {

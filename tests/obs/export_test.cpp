@@ -1,0 +1,147 @@
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "json_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace ntbshmem::obs {
+namespace {
+
+using testing::count_occurrences;
+using testing::json_well_formed;
+
+TEST(JsonEscapeTest, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string_view("a\x01z", 3)), "a\\u0001z");
+}
+
+// Hand-builds a tracer with every record kind, exports it, and checks the
+// Chrome trace-event structure that Perfetto relies on.
+TEST(ChromeTraceTest, ExportsAllRecordKindsAsWellFormedJson) {
+  Tracer tr;
+  tr.set_enabled(true);
+  const TrackId pe0 = tr.track("host0", "pe0");
+  const TrackId link = tr.track("fabric", "link0");
+  const CategoryId cat = tr.category("op");
+  const EventId put = tr.event("put");
+  const EventId inflight = tr.event("frame_inflight");
+  const EventId sample = tr.event("inflight_bytes");
+
+  tr.begin(pe0, cat, put, 1000);
+  tr.instant(pe0, cat, put, 1200, 42.0);
+  tr.end(pe0, cat, put, 1500);
+  const std::uint64_t id = tr.next_async_id();
+  tr.async_begin(link, cat, inflight, 1100, id);
+  tr.async_end(link, cat, inflight, 1900, id);
+  tr.counter(link, sample, 1300, 4096.0);
+  tr.instant_detail(pe0, cat, put, 2000, "detail \"quoted\"\nline");
+
+  std::ostringstream out;
+  write_chrome_trace(tr, out);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+
+  // Metadata: one process_name per distinct process, one thread_name per
+  // track.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"process_name\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), 2u);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"host0\"}"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"fabric\"}"), std::string::npos);
+
+  // One of each phase, with async ids matched and 1 ns resolution kept
+  // (1000 ns -> ts 1.000 us).
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"B\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"E\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"b\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"e\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"id\":\"" + std::to_string(id) + "\""),
+            2u);
+  EXPECT_NE(json.find("\"ts\":1.000"), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.200"), std::string::npos);
+
+  // Payloads: instant value, counter args keyed by event name, escaped
+  // detail string.
+  EXPECT_NE(json.find("\"value\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"inflight_bytes\":4096}"),
+            std::string::npos);
+  EXPECT_NE(json.find("detail \\\"quoted\\\"\\nline"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyTracerExportsEmptyEventArray) {
+  Tracer tr;
+  std::ostringstream out;
+  write_chrome_trace(tr, out);
+  EXPECT_TRUE(json_well_formed(out.str())) << out.str();
+  EXPECT_EQ(count_occurrences(out.str(), "\"ph\":"), 0u);
+}
+
+TEST(ChromeTraceTest, ExportIsDeterministic) {
+  const auto build_and_export = [] {
+    Tracer tr;
+    tr.set_enabled(true);
+    const TrackId t = tr.track("host0", "pe0");
+    const CategoryId cat = tr.category("op");
+    const EventId ev = tr.event("put");
+    tr.begin(t, cat, ev, 10);
+    tr.end(t, cat, ev, 20);
+    std::ostringstream out;
+    write_chrome_trace(tr, out);
+    return out.str();
+  };
+  EXPECT_EQ(build_and_export(), build_and_export());
+}
+
+TEST(MetricsExportTest, JsonDumpIsWellFormedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("host0.port.doorbells_rung")->add(7);
+  reg.gauge("host0.port.credits")->set(2.0);
+  reg.histogram("host0.port.dma_transfer_bytes")->record(4096);
+  reg.register_probe("host0.transport.puts_issued", [] { return 3.0; });
+
+  std::ostringstream out;
+  write_metrics_json(reg.snapshot(), out, 0);
+  const std::string json = out.str();
+
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"host0.port.doorbells_rung\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"host0.port.credits\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"host0.transport.puts_issued\": 3"),
+            std::string::npos);
+  // Histograms export as an object with the full distribution.
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\":4096"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":["), std::string::npos);
+}
+
+TEST(MetricsExportTest, TextDumpHasOneLinePerRow) {
+  MetricsRegistry reg;
+  reg.counter("a.counter")->add(1);
+  reg.gauge("b.gauge")->set(2.0);
+  reg.histogram("c.hist")->record(8);
+
+  std::ostringstream out;
+  write_metrics_text(reg.snapshot(), out);
+  const std::string text = out.str();
+
+  EXPECT_EQ(count_occurrences(text, "\n"), 3u);
+  EXPECT_NE(text.find("a.counter"), std::string::npos);
+  EXPECT_NE(text.find("(gauge)"), std::string::npos);
+  EXPECT_NE(text.find("count=1 sum=8"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ntbshmem::obs

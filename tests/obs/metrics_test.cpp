@@ -1,0 +1,173 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+namespace ntbshmem::obs {
+namespace {
+
+TEST(CounterTest, AddAndInc) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.set(3.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+}
+
+TEST(HistogramTest, BucketOfIsBitWidth) {
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((1ull << 20) - 1), 20u);
+  EXPECT_EQ(Histogram::bucket_of(1ull << 20), 21u);
+  EXPECT_EQ(Histogram::bucket_of(std::numeric_limits<std::uint64_t>::max()),
+            64u);
+}
+
+TEST(HistogramTest, BucketRangesTileTheDomain) {
+  EXPECT_EQ(Histogram::bucket_lo(0), 0u);
+  EXPECT_EQ(Histogram::bucket_hi(0), 0u);
+  EXPECT_EQ(Histogram::bucket_lo(1), 1u);
+  EXPECT_EQ(Histogram::bucket_hi(1), 1u);
+  EXPECT_EQ(Histogram::bucket_lo(2), 2u);
+  EXPECT_EQ(Histogram::bucket_hi(2), 3u);
+  EXPECT_EQ(Histogram::bucket_lo(3), 4u);
+  EXPECT_EQ(Histogram::bucket_hi(3), 7u);
+  EXPECT_EQ(Histogram::bucket_lo(64), 1ull << 63);
+  EXPECT_EQ(Histogram::bucket_hi(64), std::numeric_limits<std::uint64_t>::max());
+  // Every bucket's bounds contain exactly the values that map to it.
+  for (std::size_t b = 0; b < Histogram::kBuckets; ++b) {
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_lo(b)), b) << "bucket " << b;
+    EXPECT_EQ(Histogram::bucket_of(Histogram::bucket_hi(b)), b) << "bucket " << b;
+  }
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+  h.record(8);
+  h.record(2);
+  h.record(2);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 12u);
+  EXPECT_EQ(h.min(), 2u);
+  EXPECT_EQ(h.max(), 8u);
+  EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(2)), 2u);
+  EXPECT_EQ(h.bucket(Histogram::bucket_of(8)), 1u);
+  EXPECT_EQ(h.used_buckets(), Histogram::bucket_of(8) + 1);
+}
+
+TEST(HistogramTest, ZeroSampleOccupiesBucketZero) {
+  Histogram h;
+  h.record(0);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.used_buckets(), 1u);
+}
+
+TEST(RegistryTest, RegistrationIsIdempotentPerName) {
+  MetricsRegistry reg;
+  Counter* c1 = reg.counter("host0.port.doorbells_rung");
+  Counter* c2 = reg.counter("host0.port.doorbells_rung");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, reg.counter("host1.port.doorbells_rung"));
+  EXPECT_EQ(reg.gauge("g"), reg.gauge("g"));
+  EXPECT_EQ(reg.histogram("h"), reg.histogram("h"));
+}
+
+TEST(RegistryTest, InstrumentPointersSurviveMoreRegistrations) {
+  MetricsRegistry reg;
+  Counter* first = reg.counter("first");
+  for (int i = 0; i < 200; ++i) {
+    reg.counter("extra" + std::to_string(i));
+  }
+  first->inc();  // would crash / lose the write if storage relocated
+  EXPECT_EQ(reg.counter("first"), first);
+  EXPECT_EQ(first->value(), 1u);
+}
+
+TEST(RegistryTest, ProbesAreSampledAtSnapshotTime) {
+  MetricsRegistry reg;
+  double source = 1.0;
+  reg.register_probe("host0.transport.puts_issued", [&] { return source; });
+
+  EXPECT_DOUBLE_EQ(reg.snapshot().find("host0.transport.puts_issued")->value,
+                   1.0);
+  source = 7.0;  // snapshot must re-pull, not cache
+  EXPECT_DOUBLE_EQ(reg.snapshot().find("host0.transport.puts_issued")->value,
+                   7.0);
+}
+
+TEST(RegistryTest, SnapshotRowsAreSortedAndFindable) {
+  MetricsRegistry reg;
+  reg.counter("zeta")->add(1);
+  reg.counter("alpha")->add(2);
+  reg.gauge("mid")->set(3.0);
+  reg.histogram("beta")->record(16);
+
+  const Snapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.rows.size(), 4u);
+  for (std::size_t i = 1; i < snap.rows.size(); ++i) {
+    EXPECT_LT(snap.rows[i - 1].name, snap.rows[i].name);
+  }
+  ASSERT_NE(snap.find("alpha"), nullptr);
+  EXPECT_DOUBLE_EQ(snap.find("alpha")->value, 2.0);
+  EXPECT_EQ(snap.find("nope"), nullptr);
+
+  const MetricRow* hist = snap.find("beta");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->kind, MetricRow::Kind::kHistogram);
+  EXPECT_DOUBLE_EQ(hist->value, 1.0);  // count
+  EXPECT_EQ(hist->hist_sum, 16u);
+  EXPECT_EQ(hist->hist_buckets.size(), Histogram::bucket_of(16) + 1);
+}
+
+TEST(RegistryTest, TotalMergesPerHostCounterFamilies) {
+  MetricsRegistry reg;
+  reg.counter("host0.transport.retransmits")->add(2);
+  reg.counter("host1.transport.retransmits")->add(3);
+  reg.counter("host2.transport.retransmits")->add(5);
+  reg.counter("host0.transport.frames_sent")->add(100);  // different family
+
+  const Snapshot snap = reg.snapshot();
+  EXPECT_DOUBLE_EQ(snap.total(".transport.retransmits"), 10.0);
+  EXPECT_DOUBLE_EQ(snap.total(".transport.frames_sent"), 100.0);
+  EXPECT_DOUBLE_EQ(snap.total(".transport.naks_sent"), 0.0);
+}
+
+TEST(RegistryTest, NullInstrumentsAreSharedWriteSinks) {
+  Counter* c = MetricsRegistry::null_counter();
+  Gauge* g = MetricsRegistry::null_gauge();
+  Histogram* h = MetricsRegistry::null_histogram();
+  ASSERT_NE(c, nullptr);
+  ASSERT_NE(g, nullptr);
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(c, MetricsRegistry::null_counter());
+  // Writable without a registry behind them (unit-tested components).
+  c->inc();
+  g->set(1.0);
+  h->record(1);
+}
+
+}  // namespace
+}  // namespace ntbshmem::obs

@@ -144,6 +144,62 @@ TEST(PipelineGolden, AllOnWorkloadBUnchanged) {
   EXPECT_EQ(static_cast<long long>(put_quiet), kGoldenAllOnPut3Hop1MiB_ns);
 }
 
+TEST(PipelineGolden, TracingOnKeepsWorkloadAGoldenTime) {
+  // The obs layer records spans/metrics as pure bookkeeping: enabling full
+  // tracing must not move virtual time by a nanosecond.
+  RuntimeOptions opts = pipe_options(3, CompletionMode::kFullDelivery);
+  opts.obs.spans_enabled = true;
+  opts.trace_enabled = true;
+  Runtime rt(opts);
+  const sim::Dur d = rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(1 << 20));
+    std::vector<std::byte> local(256 * 1024, std::byte{0x5a});
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      shmem_putmem(buf, local.data(), local.size(), 1);
+      shmem_quiet();
+      shmem_putmem(buf, local.data(), local.size(), 2);
+      shmem_quiet();
+      std::vector<std::byte> sink(64 * 1024);
+      shmem_getmem(sink.data(), buf, sink.size(), 1);
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(static_cast<long long>(d), kGoldenWorkloadA_ns);
+  EXPECT_GT(rt.obs().tracer.total_records(), 0u);  // and it did trace
+}
+
+TEST(PipelineGolden, TracingOnKeepsAllOnWorkloadBGoldenTime) {
+  // Same invariant on the pipelined (all_on) data path, whose credit-stall
+  // and frame-span instrumentation sits on the hottest paths.
+  RuntimeOptions opts =
+      pipe_options(5, CompletionMode::kFullDelivery, TransportTuning::all_on(4));
+  opts.obs.spans_enabled = true;
+  opts.trace_enabled = true;
+  Runtime rt(opts);
+  sim::Dur put_quiet = 0;
+  const sim::Dur d = rt.run([&] {
+    shmem_init();
+    auto* buf = static_cast<std::byte*>(shmem_malloc(2 << 20));
+    std::vector<std::byte> local(1 << 20, std::byte{0x77});
+    shmem_barrier_all();
+    if (shmem_my_pe() == 0) {
+      sim::Engine& eng = Runtime::current()->runtime().engine();
+      const sim::Time t0 = eng.now();
+      shmem_putmem(buf, local.data(), local.size(), 3);
+      shmem_quiet();
+      put_quiet = eng.now() - t0;
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_EQ(static_cast<long long>(d), kGoldenAllOnWorkloadB_ns);
+  EXPECT_EQ(static_cast<long long>(put_quiet), kGoldenAllOnPut3Hop1MiB_ns);
+  EXPECT_GT(rt.obs().tracer.total_records(), 0u);
+}
+
 TEST(PipelineGolden, PaperModePerOpLatenciesUnchanged) {
   // 3 PEs, paper kLocalDma discipline (fig9-style): 64 KiB 1-hop latencies.
   Runtime rt(pipe_options(3, CompletionMode::kLocalDma));
