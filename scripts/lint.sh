@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# Determinism/correctness lint gate — the single entry point used both by
+# `cmake --build <dir> --target lint` and by CI's lint job, so local runs
+# and CI are always the identical invocation.
+#
+#   scripts/lint.sh [BUILD_DIR] [--update-baseline]
+#
+# Stage 1: tools/detlint over the build's compile_commands.json (hard fail
+#          on any diagnostic; JSON report at BUILD_DIR/detlint-report.json).
+# Stage 2: clang-tidy (via run-clang-tidy) with the repo .clang-tidy profile
+#          over every src/ translation unit. Diagnostics are normalised to
+#          "<file>:<check>" and diffed against tools/lint/clang-tidy-baseline.txt:
+#          anything not in the baseline fails the gate. When clang-tidy is
+#          not installed the stage is skipped with a notice (CI installs it,
+#          so the gate still runs on every PR).
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+UPDATE_BASELINE=0
+for arg in "$@"; do
+  [[ "$arg" == "--update-baseline" ]] && UPDATE_BASELINE=1
+done
+BASELINE="$REPO_ROOT/tools/lint/clang-tidy-baseline.txt"
+COMPDB="$BUILD_DIR/compile_commands.json"
+
+if [[ ! -f "$COMPDB" ]]; then
+  echo "lint: $COMPDB not found — configure first:" >&2
+  echo "  cmake -B $BUILD_DIR -S $REPO_ROOT" >&2
+  exit 2
+fi
+
+# ---- Stage 1: detlint -------------------------------------------------------
+DETLINT="$BUILD_DIR/tools/detlint/detlint"
+if [[ ! -x "$DETLINT" ]]; then
+  echo "lint: building detlint..."
+  cmake --build "$BUILD_DIR" --target detlint -j >/dev/null
+fi
+echo "lint: detlint (determinism rules) over src/"
+"$DETLINT" --compdb "$COMPDB" --report "$BUILD_DIR/detlint-report.json"
+
+# ---- Stage 2: clang-tidy ----------------------------------------------------
+TIDY="$(command -v clang-tidy || true)"
+RUN_TIDY="$(command -v run-clang-tidy || command -v run-clang-tidy.py || true)"
+if [[ -z "$TIDY" ]]; then
+  echo "lint: clang-tidy not installed — skipping stage 2 (CI runs it)"
+  exit 0
+fi
+
+echo "lint: clang-tidy ($("$TIDY" --version | head -n1 | sed 's/^ *//'))"
+TIDY_LOG="$BUILD_DIR/clang-tidy.log"
+if [[ -n "$RUN_TIDY" ]]; then
+  # run-clang-tidy exits non-zero when diagnostics fire; the baseline diff
+  # below is the actual gate, so don't let the raw exit status kill the run.
+  "$RUN_TIDY" -quiet -p "$BUILD_DIR" "^$REPO_ROOT/src/.*" \
+    >"$TIDY_LOG" 2>/dev/null || true
+else
+  : >"$TIDY_LOG"
+  while IFS= read -r tu; do
+    "$TIDY" -p "$BUILD_DIR" --quiet "$tu" >>"$TIDY_LOG" 2>/dev/null || true
+  done < <(grep -o '"file": *"[^"]*"' "$COMPDB" | sed 's/.*: *"//; s/"$//' \
+             | grep "^$REPO_ROOT/src/" | sort -u)
+fi
+
+# Normalise "path/file.cpp:12:3: warning: ... [check-name]" to
+# "relative/path/file.cpp:check-name", one line per unique finding.
+NORMALISED="$(grep -E 'warning:|error:' "$TIDY_LOG" \
+  | grep -oE '^[^:]+:[0-9]+:[0-9]+:.*\[[a-z0-9.,-]+\]$' \
+  | sed -E "s|^$REPO_ROOT/||; s|:[0-9]+:[0-9]+:.*\[([a-z0-9.,-]+)\]\$|:\1|" \
+  | sort -u || true)"
+
+if [[ "$UPDATE_BASELINE" == 1 ]]; then
+  {
+    grep '^#' "$BASELINE"
+    [[ -n "$NORMALISED" ]] && printf '%s\n' "$NORMALISED"
+  } >"$BASELINE.tmp" && mv "$BASELINE.tmp" "$BASELINE"
+  echo "lint: baseline updated ($(printf '%s' "$NORMALISED" | grep -c . || true) entries)"
+  exit 0
+fi
+
+NEW="$(comm -23 <(printf '%s\n' "$NORMALISED" | grep -v '^$' || true) \
+               <(grep -v '^#' "$BASELINE" | grep -v '^$' | sort -u))"
+if [[ -n "$NEW" ]]; then
+  echo "lint: NEW clang-tidy diagnostics (not in tools/lint/clang-tidy-baseline.txt):" >&2
+  printf '%s\n' "$NEW" >&2
+  echo "lint: full log: $TIDY_LOG" >&2
+  exit 1
+fi
+echo "lint: clang-tidy clean against baseline"

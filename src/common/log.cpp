@@ -1,5 +1,10 @@
 #include "common/log.hpp"
 
+// detlint:allow-file(no-mutable-static): process-wide log routing (level,
+// sink, time source) is deliberately global — it must outlive any single
+// engine, is guarded by g_route_mu/atomics, and is never read by the timing
+// model, so it cannot perturb schedules.
+
 #include <atomic>
 #include <cstdarg>
 #include <cstdlib>

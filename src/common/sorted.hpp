@@ -1,0 +1,51 @@
+// Deterministic iteration over unordered associative containers.
+//
+// Iterating a std::unordered_map/set visits elements in hash-table order,
+// which depends on insertion history, rehash points and (across standard
+// library versions) the hash implementation — none of which the determinism
+// contract (DESIGN.md §4d) lets sim-visible code depend on. The detlint rule
+// `no-unordered-iteration` therefore bans direct iteration in src/ and
+// points here: take a key-sorted snapshot first.
+//
+// The snapshot is O(n log n) and allocates, so these helpers belong on
+// cold/occasional paths (drain loops, teardown sweeps, report generation).
+// A hot per-event path that needs ordered traversal should use an ordered
+// container or an explicit index instead.
+#pragma once
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace ntbshmem {
+
+// Key-sorted copy of a map's (key, mapped) pairs.
+template <class Map>
+std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>>
+sorted_items(const Map& m) {
+  std::vector<std::pair<typename Map::key_type, typename Map::mapped_type>> v;
+  v.reserve(m.size());
+  for (const auto& kv : m) v.emplace_back(kv.first, kv.second);
+  std::sort(v.begin(), v.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return v;
+}
+
+// Sorted copy of a map's or set's keys. For maps this is the right shape for
+// erase-while-iterating sweeps: iterate the snapshot, erase by key.
+template <class Container>
+std::vector<typename Container::key_type> sorted_keys(const Container& c) {
+  std::vector<typename Container::key_type> v;
+  v.reserve(c.size());
+  for (const auto& e : c) {
+    if constexpr (requires { e.first; }) {
+      v.push_back(e.first);
+    } else {
+      v.push_back(e);
+    }
+  }
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+}  // namespace ntbshmem

@@ -154,6 +154,16 @@ struct RuntimeOptions {
   // Typed span tracing + metrics (Runtime::obs(), exported via obs/export).
   ObsOptions obs;
 
+  // Schedule auditing (sim/audit.hpp). `schedule_digest` folds every engine
+  // dispatch into an FNV accumulator readable via
+  // engine().schedule_digest(); `schedule_tiebreak_seed != 0` permutes
+  // same-timestamp dispatch order with a seeded bijection — a debug mode
+  // that must leave SHMEM-visible results (heap contents, barrier counts)
+  // unchanged while it scrambles the schedule (DESIGN.md §4d). Both are
+  // applied before any service process spawns, so they cover the whole run.
+  bool schedule_digest = false;
+  std::uint64_t schedule_tiebreak_seed = 0;
+
   int num_hosts() const {
     return pes_per_host > 0 ? npes / pes_per_host : 0;
   }

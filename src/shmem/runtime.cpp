@@ -8,6 +8,7 @@
 namespace ntbshmem::shmem {
 
 namespace {
+// detlint:allow(no-mutable-static): per-OS-thread PE-context binding (the shmem_* API's TLS dispatch); rebound on every process switch, no cross-run state
 thread_local Context* t_current_context = nullptr;
 }  // namespace
 
@@ -258,6 +259,11 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
         "max_retries >= 1 and dma_retries >= 0 required");
   }
   trace_.set_enabled(options_.trace_enabled);
+  // Schedule auditing must switch on before anything is queued on the
+  // engine so the digest covers every dispatch and the tie-break
+  // permutation covers the very first service spawns.
+  if (options_.schedule_digest) engine_.enable_schedule_digest();
+  engine_.set_tiebreak_permutation(options_.schedule_tiebreak_seed);
   // Observability: the hub is always attached (counter increments are one
   // pointer-deref adds and never touch the engine, so golden times are
   // unaffected); span recording is gated separately by ObsOptions.

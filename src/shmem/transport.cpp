@@ -5,6 +5,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "common/sorted.hpp"
 #include "shmem/runtime.hpp"
 
 namespace ntbshmem::shmem {
@@ -928,9 +929,13 @@ void Transport::quiet(int domain) {
   auto in_domain = [domain](int d) {
     return domain == kAllDomains || d == domain;
   };
+  // Hash-order iteration over the pending tables is banned in sim-visible
+  // code (detlint: no-unordered-iteration) — these sweeps run on key-sorted
+  // snapshots instead, so the drain order is a pure function of the issued
+  // op ids, not of rehash history.
   for (;;) {
     bool all_done = true;
-    for (const auto& [id, g] : pending_gets_) {
+    for (const auto& [id, g] : sorted_items(pending_gets_)) {
       if (!g.done && in_domain(g.domain)) {
         all_done = false;
         break;
@@ -939,15 +944,14 @@ void Transport::quiet(int domain) {
     if (all_done) break;
     op_event_->wait();
   }
-  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
-    it = (it->second.done && in_domain(it->second.domain))
-             ? pending_gets_.erase(it)
-             : std::next(it);
+  for (const std::uint32_t id : sorted_keys(pending_gets_)) {
+    const PendingGet& g = pending_gets_.at(id);
+    if (g.done && in_domain(g.domain)) pending_gets_.erase(id);
   }
   if (runtime_.options().completion == CompletionMode::kFullDelivery) {
     for (;;) {
       std::uint64_t pending = 0;
-      for (const auto& [d, count] : outstanding_by_domain_) {
+      for (const auto& [d, count] : sorted_items(outstanding_by_domain_)) {
         if (in_domain(d)) pending += count;
       }
       if (pending == 0) break;

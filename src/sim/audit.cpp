@@ -1,0 +1,32 @@
+#include "sim/audit.hpp"
+
+namespace ntbshmem::sim {
+
+std::uint64_t splitmix64_mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+void ScheduleDigest::reset() {
+  hash_ = kOffset;
+  count_ = 0;
+}
+
+void ScheduleDigest::mix(Time t, std::uint64_t seq, DispatchKind kind) {
+  constexpr std::uint64_t kPrime = 0x100000001b3ull;
+  auto fold = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      hash_ ^= (v >> (i * 8)) & 0xffu;
+      hash_ *= kPrime;
+    }
+  };
+  fold(static_cast<std::uint64_t>(t));
+  fold(seq);
+  hash_ ^= static_cast<std::uint64_t>(kind);
+  hash_ *= kPrime;
+  ++count_;
+}
+
+}  // namespace ntbshmem::sim

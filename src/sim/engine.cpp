@@ -11,6 +11,7 @@ namespace ntbshmem::sim {
 
 namespace {
 // The process currently executing on this OS thread (one per Process).
+// detlint:allow(no-mutable-static): per-OS-thread identity binding for the serialized process model; set/cleared on every handoff, never carries state across runs
 thread_local Process* t_current_process = nullptr;
 }  // namespace
 
@@ -92,7 +93,8 @@ Process& Engine::spawn(std::string name, std::function<void()> body,
   if (!daemon) live_nondaemon_++;
   // First resume happens through the normal queue so spawn order == start
   // order at equal times.
-  queue_.push(QueueItem{now_, next_seq_++, p, p->epoch_, nullptr});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueueItem{now_, seq, tie_of(seq), p, p->epoch_, nullptr});
   return *p;
 }
 
@@ -100,7 +102,8 @@ CallbackHandle Engine::call_at(Time t, std::function<void()> fn) {
   if (t < now_) t = now_;
   auto state = std::make_shared<CallbackHandle::State>();
   state->fn = std::move(fn);
-  queue_.push(QueueItem{t, next_seq_++, nullptr, 0, state});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueueItem{t, seq, tie_of(seq), nullptr, 0, state});
   return CallbackHandle(state);
 }
 
@@ -110,7 +113,8 @@ CallbackHandle Engine::call_after(Dur d, std::function<void()> fn) {
 
 void Engine::schedule_process(Time t, Process* p) {
   if (t < now_) t = now_;
-  queue_.push(QueueItem{t, next_seq_++, p, p->epoch_, nullptr});
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(QueueItem{t, seq, tie_of(seq), p, p->epoch_, nullptr});
 }
 
 void Engine::resume(Process* p) {
@@ -134,6 +138,7 @@ void Engine::run() {
     if (item.callback) {
       if (item.callback->cancelled || item.callback->fired) continue;
       now_ = item.t;
+      if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kCallback);
       item.callback->fired = true;
       item.callback->fn();
       continue;
@@ -141,6 +146,7 @@ void Engine::run() {
     Process* p = item.process;
     if (p->finished() || item.epoch != p->epoch_) continue;  // stale wake-up
     now_ = item.t;
+    if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kProcess);
     resume(p);
     if (first_error_) {
       auto err = first_error_;

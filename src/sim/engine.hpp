@@ -32,6 +32,7 @@
 #include <thread>
 #include <vector>
 
+#include "sim/audit.hpp"
 #include "sim/time.hpp"
 
 namespace ntbshmem::obs {
@@ -168,6 +169,26 @@ class Engine {
   void attach_obs(obs::Hub* hub) { obs_ = hub; }
   obs::Hub* obs() const { return obs_; }
 
+  // ---- Schedule auditing ----------------------------------------------------
+  // Opt-in FNV digest of the dispatched (time, seq, kind) event stream; see
+  // sim/audit.hpp. Enabling resets the accumulator. Zero-cost when off.
+  void enable_schedule_digest(bool on = true) {
+    digest_enabled_ = on;
+    digest_.reset();
+  }
+  bool schedule_digest_enabled() const { return digest_enabled_; }
+  const ScheduleDigest& schedule_digest() const { return digest_; }
+
+  // Debug mode: permute the FIFO tie-break of same-timestamp queue entries
+  // with a seeded bijection (seed 0 restores exact FIFO order). Applies to
+  // entries pushed from this call on, so set it before spawning the
+  // workload. Any seed yields a schedule that is still fully deterministic;
+  // only the ordering of same-time dispatches changes. Simulation results
+  // that are allowed to depend on FIFO order (event wake-up order, spawn
+  // start order) may move — SHMEM-visible state must not (DESIGN.md §4d).
+  void set_tiebreak_permutation(std::uint64_t seed) { tiebreak_seed_ = seed; }
+  std::uint64_t tiebreak_permutation() const { return tiebreak_seed_; }
+
   // ---- Low-level primitives for building synchronization objects ----------
   // (used by Event/Resource/BandwidthResource; not for application code)
 
@@ -188,6 +209,10 @@ class Engine {
   struct QueueItem {
     Time t;
     std::uint64_t seq;
+    // Tie-break key for same-time entries: equals seq (FIFO) unless a
+    // tie-break permutation is active, in which case it is a seeded
+    // bijection of seq — unique, so the order stays total and repeatable.
+    std::uint64_t tie;
     // Exactly one of the two below is set.
     Process* process = nullptr;
     std::uint64_t epoch = 0;  // valid when process != nullptr
@@ -196,9 +221,13 @@ class Engine {
   struct QueueCmp {
     bool operator()(const QueueItem& a, const QueueItem& b) const {
       if (a.t != b.t) return a.t > b.t;  // min-heap on time
-      return a.seq > b.seq;              // FIFO tie-break
+      if (a.tie != b.tie) return a.tie > b.tie;
+      return a.seq > b.seq;  // unreachable while tie is a bijection of seq
     }
   };
+  std::uint64_t tie_of(std::uint64_t seq) const {
+    return tiebreak_seed_ == 0 ? seq : splitmix64_mix(seq ^ tiebreak_seed_);
+  }
 
   // Transfers control to `p` and waits until it yields back.
   void resume(Process* p);
@@ -216,6 +245,9 @@ class Engine {
   std::binary_semaphore sched_sem_{0};
   std::exception_ptr first_error_;
   bool shutting_down_ = false;
+  bool digest_enabled_ = false;
+  ScheduleDigest digest_;
+  std::uint64_t tiebreak_seed_ = 0;
 };
 
 }  // namespace ntbshmem::sim

@@ -200,6 +200,44 @@ TEST(PipelineGolden, TracingOnKeepsAllOnWorkloadBGoldenTime) {
   EXPECT_GT(rt.obs().tracer.total_records(), 0u);
 }
 
+TEST(PipelineGolden, ScheduleDigestOnKeepsGoldenTimes) {
+  // The schedule auditor (sim/audit.hpp) is pure observation: folding every
+  // dispatch into the FNV digest must not move virtual time by a
+  // nanosecond, on either data path — and the digest it produces for a
+  // golden workload is itself stable across runs.
+  std::uint64_t first_digest = 0;
+  for (int rep = 0; rep < 2; ++rep) {
+    RuntimeOptions opts = pipe_options(3, CompletionMode::kFullDelivery,
+                                       TransportTuning::all_on(4));
+    opts.schedule_digest = true;
+    Runtime rt(opts);
+    const sim::Dur d = rt.run([&] {
+      shmem_init();
+      auto* buf = static_cast<std::byte*>(shmem_malloc(1 << 20));
+      std::vector<std::byte> local(256 * 1024, std::byte{0x5a});
+      shmem_barrier_all();
+      if (shmem_my_pe() == 0) {
+        shmem_putmem(buf, local.data(), local.size(), 1);
+        shmem_quiet();
+        shmem_putmem(buf, local.data(), local.size(), 2);
+        shmem_quiet();
+        std::vector<std::byte> sink(64 * 1024);
+        shmem_getmem(sink.data(), buf, sink.size(), 1);
+      }
+      shmem_barrier_all();
+      shmem_finalize();
+    });
+    EXPECT_EQ(static_cast<long long>(d), kGoldenAllOnWorkloadA_ns);
+    const std::uint64_t digest = rt.engine().schedule_digest().value();
+    EXPECT_NE(digest, 0u);
+    if (rep == 0) {
+      first_digest = digest;
+    } else {
+      EXPECT_EQ(digest, first_digest);
+    }
+  }
+}
+
 TEST(PipelineGolden, PaperModePerOpLatenciesUnchanged) {
   // 3 PEs, paper kLocalDma discipline (fig9-style): 64 KiB 1-hop latencies.
   Runtime rt(pipe_options(3, CompletionMode::kLocalDma));

@@ -1,0 +1,19 @@
+// Fixture: constants, static functions and static_cast/static_assert —
+// none are mutable state.
+#include <array>
+#include <cstdint>
+
+static constexpr int kLimit = 8;
+static const std::array<int, 3> kTable = {1, 2, 3};
+static_assert(kLimit > 0, "limit");
+
+struct Model {
+  static constexpr std::uint64_t kMagic = 0xabcdef;
+  static std::uint64_t pack(std::uint32_t hi, std::uint32_t lo);  // function
+  static Model make() { return Model{}; }                         // function
+  std::uint64_t value_ = 0;
+};
+
+static int helper(int x) { return static_cast<int>(x * 2); }  // function
+
+int use() { return helper(kLimit) + kTable[0]; }

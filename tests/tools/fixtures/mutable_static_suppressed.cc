@@ -1,0 +1,7 @@
+// Fixture: line-level suppression of the mutable-static rule.
+#include <cstdint>
+
+// detlint:allow(no-mutable-static): process-wide interner, engine-independent by design
+static std::uint64_t next_global_id = 1;
+
+std::uint64_t fresh_id() { return next_global_id++; }

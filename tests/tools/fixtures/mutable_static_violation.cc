@@ -1,0 +1,14 @@
+// Fixture: mutable static / thread_local / g_-prefixed global state.
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+static int counter = 0;                       // line 6
+thread_local std::uint64_t tls_scratch = 0;   // line 7
+std::mutex g_registry_mu;                     // line 8
+std::string g_last_error = "none";            // line 9
+
+int bump() {
+  static std::uint64_t calls = 0;  // line 12: function-local static
+  return static_cast<int>(++calls) + counter;
+}

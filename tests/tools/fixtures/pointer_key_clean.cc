@@ -1,0 +1,15 @@
+// Fixture: pointers in sequence containers or as mapped values are fine;
+// only pointer *keys* order/hash by address.
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+std::vector<Node*> order;                    // sequence: position is explicit
+std::deque<const Node*> waiters;             // FIFO by arrival, deterministic
+std::map<std::uint64_t, Node*> node_by_id;   // pointer as VALUE is fine
+std::map<std::uint64_t, int> rank_by_id;     // stable integer key

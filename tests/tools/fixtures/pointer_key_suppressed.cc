@@ -1,0 +1,9 @@
+// Fixture: a justified suppression silences the pointer-key rule.
+#include <map>
+
+struct Node {
+  int id = 0;
+};
+
+// detlint:allow(no-pointer-keys): diagnostics-only registry, never iterated in sim order
+std::map<Node*, int> debug_registry;

@@ -1,0 +1,13 @@
+// Fixture: pointer-valued keys and pointer hashing — all flagged.
+#include <map>
+#include <set>
+#include <unordered_map>
+
+struct Node {
+  int id = 0;
+};
+
+std::map<Node*, int> rank_by_node;                // line 10: ordered by address
+std::set<const Node*, std::less<>> visited;       // line 11
+std::unordered_map<Node*, int> index_by_node;     // line 12: hashed by address
+std::size_t h(Node* n) { return std::hash<Node*>{}(n); }  // line 13

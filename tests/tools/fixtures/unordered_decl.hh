@@ -1,0 +1,10 @@
+// Fixture header: the unordered member is declared here but iterated in
+// unordered_use.cc — the checker must connect the two across files.
+#pragma once
+#include <cstdint>
+#include <unordered_map>
+
+struct CrossFileModel {
+  std::unordered_map<std::uint32_t, std::uint64_t> pending_;
+  std::uint64_t total() const;
+};

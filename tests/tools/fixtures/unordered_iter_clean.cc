@@ -1,0 +1,31 @@
+// Fixture: the sanctioned patterns — lookups, wrapped sorted snapshots,
+// and iteration over *ordered* containers — none may fire.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+template <class Map>
+std::vector<std::uint64_t> sorted_keys(const Map& m);
+
+struct Model {
+  std::unordered_map<std::uint64_t, int> table_;
+  std::map<std::uint64_t, int> ordered_;
+
+  int lookup(std::uint64_t k) const {
+    auto it = table_.find(k);  // find/at/erase-by-key are order-free
+    return it == table_.end() ? 0 : it->second;
+  }
+  int sum_sorted() const {
+    int s = 0;
+    for (const auto k : sorted_keys(table_)) {  // wrapped snapshot: fine
+      s += lookup(k);
+    }
+    return s;
+  }
+  int sum_ordered() const {
+    int s = 0;
+    for (const auto& [k, v] : ordered_) s += v;  // std::map iterates sorted
+    return s;
+  }
+};

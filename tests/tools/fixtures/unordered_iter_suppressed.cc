@@ -1,0 +1,11 @@
+// Fixture: a justified suppression silences the iteration rule.
+#include <unordered_set>
+
+std::unordered_set<int> scratch;
+
+int count_all() {
+  int n = 0;
+  // detlint:allow(no-unordered-iteration): order-free aggregation in a fixture
+  for (int v : scratch) n += v;
+  return n;
+}

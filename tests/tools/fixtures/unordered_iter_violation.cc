@@ -1,0 +1,33 @@
+// Fixture: direct iteration over unordered containers — range-for,
+// explicit .begin(), and std::begin — all flagged.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Model {
+  std::unordered_map<std::uint64_t, int> table_;
+  std::unordered_set<int> members_;
+
+  int sum() const {
+    int s = 0;
+    for (const auto& [k, v] : table_) s += v;  // line 13: range-for
+    return s;
+  }
+  int first() const {
+    return *members_.begin();  // line 17: .begin()
+  }
+  int first_std() const {
+    return std::begin(members_) == std::end(members_) ? 0 : 1;  // line 20
+  }
+};
+
+// Multiline declaration: the identifier is still collected.
+std::unordered_map<std::uint64_t,
+                   std::unordered_map<std::uint64_t, int>>
+    nested_table;
+
+int drain() {
+  int n = 0;
+  for (auto& [k, inner] : nested_table) n++;  // line 31
+  return n;
+}

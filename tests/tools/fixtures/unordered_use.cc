@@ -1,0 +1,9 @@
+// Fixture: iterates a member whose unordered declaration lives in
+// unordered_decl.hh (scanned together).
+#include "unordered_decl.hh"
+
+std::uint64_t CrossFileModel::total() const {
+  std::uint64_t s = 0;
+  for (const auto& [k, v] : pending_) s += v;  // line 7
+  return s;
+}

@@ -1,0 +1,12 @@
+// Fixture: a suppression with no justification suppresses nothing and is
+// itself a diagnostic; an unknown rule id is a diagnostic too.
+#include <cstdlib>
+
+int no_justification() {
+  return rand();  // detlint:allow(no-wallclock-entropy)
+}
+
+int unknown_rule() {
+  // detlint:allow(no-such-rule): the rule id is bogus
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Fixture: identifiers that merely resemble the banned sources, plus the
+// banned names inside comments and string literals — none may fire.
+#include <cstdint>
+#include <string>
+
+struct Timing {
+  // system_clock and rand() in a comment are fine.
+  std::int64_t wait_time(int n) { return n * 10; }  // wait_time( is not time(
+  std::int64_t uptime(int n) { return n; }          // uptime( is not time(
+  std::int64_t hw_clock(int n) { return n; }        // hw_clock( is not clock(
+  std::uint64_t operand1 = 0;                       // not rand(
+};
+
+inline std::string banner() {
+  return "uses rand() and std::random_device";  // string literal, fine
+}
+
+// A deterministic seeded stream is allowed (it is not an entropy source).
+inline std::uint64_t splitmix(std::uint64_t& s) {
+  s += 0x9e3779b97f4a7c15ull;
+  return s ^ (s >> 31);
+}

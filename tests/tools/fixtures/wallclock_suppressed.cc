@@ -1,0 +1,11 @@
+// Fixture: both suppression placements silence the rule.
+#include <cstdlib>
+
+int same_line() {
+  return rand();  // detlint:allow(no-wallclock-entropy): fixture exercises same-line allow
+}
+
+int line_above() {
+  // detlint:allow(no-wallclock-entropy): fixture exercises line-above allow
+  return rand();
+}

@@ -1,0 +1,19 @@
+// Fixture: every banned wall-clock/entropy source, one per line.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long long f1() {
+  return std::chrono::system_clock::now().time_since_epoch().count();  // line 8
+}
+long long f2() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();  // line 11
+}
+long long f3() { return std::time(nullptr); }  // line 13
+int f4() { return rand(); }                    // line 14
+void f5() { srand(42); }                       // line 15
+unsigned f6() {
+  std::random_device rd;  // line 17
+  return rd();
+}

@@ -1,0 +1,82 @@
+// detlint — determinism lint for the ntbshmem source tree.
+//
+// A standalone, dependency-free checker that enforces the repo-specific
+// determinism rules of DESIGN.md §4d over the simulation-visible sources
+// (src/). It is deliberately textual — a pattern engine over
+// comment-stripped source, not a compiler plugin — so it runs anywhere the
+// repo builds, costs milliseconds, and its rules stay auditable in one
+// file. The flip side is that every rule is a heuristic; false positives
+// are expected occasionally and are silenced with an inline suppression
+// that *must* carry a justification:
+//
+//   // detlint:allow(rule-id): why this site is safe
+//
+// placed on the offending line or the line directly above. A whole file
+// opts out of one rule with `// detlint:allow-file(rule-id): why` anywhere
+// in the file. A suppression without a justification, or naming an unknown
+// rule, is itself a diagnostic — the suppression inventory stays honest.
+//
+// Rule catalogue (rationale lives in DESIGN.md §4d):
+//   no-wallclock-entropy    wall-clock/entropy sources (system_clock, time(),
+//                           rand(), std::random_device, ...) in sim code
+//   no-unordered-iteration  iterating std::unordered_{map,set} (hash order is
+//                           not deterministic across histories/libraries);
+//                           use common/sorted.hpp snapshots instead
+//   no-pointer-keys         pointer-keyed map/set or std::hash<T*> (ASLR
+//                           makes pointer order/hash run-dependent)
+//   no-mutable-static       mutable static / thread_local / g_-prefixed
+//                           global state in model code (state that survives
+//                           a run breaks run-to-run reproducibility)
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace detlint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;
+  int line = 0;  // 1-based
+  std::string message;
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string summary;
+};
+
+// The stable rule catalogue (checker rules only; the suppression
+// meta-diagnostics `suppression-missing-justification` and
+// `suppression-unknown-rule` are always on and not suppressible).
+const std::vector<RuleInfo>& rule_catalogue();
+
+// Runs every rule over `files` (paths are read from disk). Unordered-
+// container declarations are collected across ALL files first, so a member
+// declared in foo.hpp and iterated in foo.cpp is still caught. Diagnostics
+// are sorted by (file, line, rule). Throws std::runtime_error on unreadable
+// files.
+std::vector<Diagnostic> run_rules(const std::vector<std::string>& files);
+
+// Extracts the "file" entries from a CMake compile_commands.json. Minimal
+// parser: sufficient for CMake's output shape. Throws std::runtime_error on
+// unreadable/garbled input.
+std::vector<std::string> compdb_files(const std::string& compdb_path);
+
+// For every directory containing one of `files`, adds the *.h/*.hpp files
+// found there (non-recursive). Compile databases list only translation
+// units; this pulls in the sibling headers where member declarations live.
+std::vector<std::string> with_sibling_headers(std::vector<std::string> files);
+
+// Keeps only paths that contain one of `prefixes` as a path component run
+// (e.g. prefix "src" keeps "/repo/src/sim/engine.cpp"). Used to scope a
+// compile database down to the sim-visible tree.
+std::vector<std::string> filter_by_prefix(
+    const std::vector<std::string>& files,
+    const std::vector<std::string>& prefixes);
+
+std::string render_text(const std::vector<Diagnostic>& diags);
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        std::size_t files_scanned);
+
+}  // namespace detlint

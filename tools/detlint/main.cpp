@@ -1,0 +1,97 @@
+// detlint CLI. See detlint.hpp for the rule catalogue and suppression
+// syntax, DESIGN.md §4d for the rationale.
+//
+// Usage:
+//   detlint --compdb build/compile_commands.json [--include PREFIX]...
+//           [--no-headers] [--report out.json]
+//   detlint [--report out.json] FILE...
+//   detlint --list-rules
+//
+// With --compdb, the file list is the compile database's translation units
+// filtered to the sim-visible tree (default prefix: src), plus the sibling
+// headers of every kept TU (disable with --no-headers). Explicit FILE
+// arguments are scanned verbatim. Exit status: 0 clean, 1 diagnostics
+// found, 2 usage or I/O error.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "detlint.hpp"
+
+int main(int argc, char** argv) {
+  std::string compdb;
+  std::string report;
+  std::vector<std::string> includes;
+  std::vector<std::string> files;
+  bool headers = true;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "detlint: %s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--compdb") {
+      compdb = value();
+    } else if (arg == "--include") {
+      includes.push_back(value());
+    } else if (arg == "--report") {
+      report = value();
+    } else if (arg == "--no-headers") {
+      headers = false;
+    } else if (arg == "--list-rules") {
+      for (const auto& r : detlint::rule_catalogue()) {
+        std::printf("%-24s %s\n", r.id.c_str(), r.summary.c_str());
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: detlint --compdb compile_commands.json [--include PREFIX]\n"
+          "               [--no-headers] [--report out.json]\n"
+          "       detlint [--report out.json] FILE...\n"
+          "       detlint --list-rules\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "detlint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  try {
+    if (!compdb.empty()) {
+      if (includes.empty()) includes.push_back("src");
+      auto tus = detlint::filter_by_prefix(detlint::compdb_files(compdb),
+                                           includes);
+      if (headers) tus = detlint::with_sibling_headers(std::move(tus));
+      files.insert(files.end(), tus.begin(), tus.end());
+    }
+    if (files.empty()) {
+      std::fprintf(stderr,
+                   "detlint: nothing to scan (need --compdb or files)\n");
+      return 2;
+    }
+    const auto diags = detlint::run_rules(files);
+    std::fputs(detlint::render_text(diags).c_str(), stdout);
+    if (!report.empty()) {
+      std::ofstream out(report);
+      if (!out) {
+        std::fprintf(stderr, "detlint: cannot write %s\n", report.c_str());
+        return 2;
+      }
+      out << detlint::render_json(diags, files.size());
+    }
+    std::printf("detlint: %zu file(s), %zu diagnostic(s)\n", files.size(),
+                diags.size());
+    return diags.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "detlint: %s\n", e.what());
+    return 2;
+  }
+}
