@@ -95,32 +95,23 @@ Measurement measure(const TransportTuning& tuning, std::uint64_t bytes,
   return meas;
 }
 
-struct Sample {
-  std::string mode;
-  std::uint64_t bytes;
-  int hops;
-  long long ns;
-  double MBps;
-  RunCounters counters;
-};
-
-std::vector<Sample> sweep() {
-  std::vector<Sample> samples;
+std::vector<JsonSample> sweep() {
+  std::vector<JsonSample> samples;
   for (const Mode& m : modes()) {
     for (const std::uint64_t bytes : {64_KiB, 256_KiB, 1_MiB}) {
       for (int hops = 1; hops <= 3; ++hops) {
         const Measurement meas = measure(m.tuning, bytes, hops);
-        samples.push_back(Sample{m.name, bytes, hops,
-                                 static_cast<long long>(meas.put_quiet),
-                                 to_MBps(bytes, meas.put_quiet),
-                                 meas.counters});
+        samples.push_back(JsonSample{m.name, bytes, hops,
+                                     static_cast<long long>(meas.put_quiet),
+                                     to_MBps(bytes, meas.put_quiet),
+                                     meas.counters});
       }
     }
   }
   return samples;
 }
 
-void print_tables(const std::vector<Sample>& samples) {
+void print_tables(const std::vector<JsonSample>& samples) {
   for (const std::uint64_t bytes : {64_KiB, 256_KiB, 1_MiB}) {
     Table t("Ablation A6: pipelined data path, put+quiet MB/s at " +
                 std::to_string(bytes / 1024) + " KiB (5-host ring)",
@@ -128,7 +119,7 @@ void print_tables(const std::vector<Sample>& samples) {
     for (const Mode& m : modes()) {
       std::vector<double> row;
       for (int hops = 1; hops <= 3; ++hops) {
-        for (const Sample& s : samples) {
+        for (const JsonSample& s : samples) {
           if (s.mode == m.name && s.bytes == bytes && s.hops == hops) {
             row.push_back(s.MBps);
           }
@@ -139,26 +130,6 @@ void print_tables(const std::vector<Sample>& samples) {
     t.print(std::cout);
     std::cout << '\n';
   }
-}
-
-void write_json(const std::vector<Sample>& samples, const std::string& path) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"ablation_pipeline\",\n"
-      << "  \"workload\": \"put+quiet, 5-host right-only ring, full delivery\",\n"
-      << "  \"samples\": [\n";
-  for (std::size_t i = 0; i < samples.size(); ++i) {
-    const Sample& s = samples[i];
-    out << "    {\"mode\": \"" << s.mode << "\", \"bytes\": " << s.bytes
-        << ", \"hops\": " << s.hops << ", \"virtual_ns\": " << s.ns
-        << ", \"MBps\": " << s.MBps
-        << ", \"metrics\": {\"credit_stall_ns\": " << s.counters.credit_stall_ns
-        << ", \"retransmits\": " << s.counters.retransmits
-        << ", \"frames_sent\": " << s.counters.frames_sent
-        << ", \"dma_bytes\": " << s.counters.dma_bytes << "}}"
-        << (i + 1 < samples.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-  std::cout << "wrote " << path << "\n";
 }
 
 void BM_Pipeline3Hop1MiB(benchmark::State& state) {
@@ -191,7 +162,9 @@ int main(int argc, char** argv) {
   benchmark::Shutdown();
   const auto samples = ntbshmem::bench::sweep();
   ntbshmem::bench::print_tables(samples);
-  ntbshmem::bench::write_json(samples, "bench_ablation_pipeline.json");
+  ntbshmem::bench::write_bench_json(
+      "bench_ablation_pipeline.json", "ablation_pipeline",
+      "put+quiet, 5-host right-only ring, full delivery", samples);
   ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -29,9 +29,14 @@ fabric::FabricConfig config(int hosts) {
   return cfg;
 }
 
-// All hosts stream rightward simultaneously; returns {aggregate, min-link}
-// throughput in MB/s.
-std::pair<double, double> measure(int hosts) {
+struct RingSizeResult {
+  double aggregate_MBps = 0;
+  double min_link_MBps = 0;
+  sim::Dur longest_stream = 0;  // slowest host's streaming time
+};
+
+// All hosts stream rightward simultaneously.
+RingSizeResult measure(int hosts) {
   sim::Engine engine;
   obs::Hub hub;
   ObsCli::instance().apply(engine, hub);
@@ -54,24 +59,47 @@ std::pair<double, double> measure(int hosts) {
   }
   engine.run();
   ObsCli::instance().capture(hub);
-  double aggregate = 0;
-  double min_link = 1e18;
+  RingSizeResult res;
+  res.min_link_MBps = 1e18;
   for (int h = 0; h < hosts; ++h) {
-    const double mbps = to_MBps(kBlock * kReps,
-                                elapsed[static_cast<std::size_t>(h)]);
-    aggregate += mbps;
-    min_link = std::min(min_link, mbps);
+    const sim::Dur dur = elapsed[static_cast<std::size_t>(h)];
+    const double mbps = to_MBps(kBlock * kReps, dur);
+    res.aggregate_MBps += mbps;
+    res.min_link_MBps = std::min(res.min_link_MBps, mbps);
+    res.longest_stream = std::max(res.longest_stream, dur);
   }
-  return {aggregate, min_link};
+  return res;
 }
 
-void print_table() {
+std::vector<JsonSample> sweep() {
+  std::vector<JsonSample> samples;
+  for (int hosts = 2; hosts <= 8; ++hosts) {
+    const RingSizeResult res = measure(hosts);
+    // "hops" carries the host count; no shmem runtime here, so the
+    // transport counters stay zero.
+    JsonSample agg{"aggregate", kBlock, hosts,
+                   static_cast<long long>(res.longest_stream),
+                   res.aggregate_MBps, RunCounters{}};
+    JsonSample slow{"slowest-link", kBlock, hosts,
+                    static_cast<long long>(res.longest_stream),
+                    res.min_link_MBps, RunCounters{}};
+    samples.push_back(agg);
+    samples.push_back(slow);
+  }
+  return samples;
+}
+
+void print_table(const std::vector<JsonSample>& samples) {
   Table t("Ablation A1: network throughput vs ring size (256KB blocks, all "
           "hosts streaming rightward)",
           {"Hosts", "Aggregate MB/s", "Slowest link MB/s"});
   for (int hosts = 2; hosts <= 8; ++hosts) {
-    const auto [agg, min_link] = measure(hosts);
-    t.add_row(std::to_string(hosts), {agg, min_link});
+    double agg = 0, slow = 0;
+    for (const JsonSample& s : samples) {
+      if (s.hops != hosts) continue;
+      (s.mode == "aggregate" ? agg : slow) = s.MBps;
+    }
+    t.add_row(std::to_string(hosts), {agg, slow});
   }
   t.print(std::cout);
 }
@@ -116,7 +144,12 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  ntbshmem::bench::print_table();
+  const auto samples = ntbshmem::bench::sweep();
+  ntbshmem::bench::print_table(samples);
+  ntbshmem::bench::write_bench_json(
+      "bench_ablation_ringsize.json", "ablation_ringsize",
+      "all hosts streaming 256 KiB blocks rightward, bare ring fabric",
+      samples);
   ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -140,4 +140,43 @@ struct RunCounters {
   }
 };
 
+// One row of a bench's machine-readable output. The schema is shared by
+// every ablation bench that writes JSON (bench_ablation_pipeline.json set
+// the shape, plots and CI regression tracking consume it):
+//   {"bench", "workload", "samples": [{"mode", "bytes", "hops",
+//    "virtual_ns", "MBps", "metrics": {credit_stall_ns, retransmits,
+//    frames_sent, dma_bytes}}]}
+// Benches reuse the axes loosely — "hops" is the ring/tree distance for a
+// data-path bench and the host count for a scale sweep; "mode" names the
+// series (tuning knob, topology, ...).
+struct JsonSample {
+  std::string mode;
+  std::uint64_t bytes = 0;
+  int hops = 0;
+  long long virtual_ns = 0;
+  double MBps = 0.0;
+  RunCounters counters;
+};
+
+inline void write_bench_json(const std::string& path, std::string_view bench,
+                             std::string_view workload,
+                             const std::vector<JsonSample>& samples) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench << "\",\n"
+      << "  \"workload\": \"" << workload << "\",\n  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const JsonSample& s = samples[i];
+    out << "    {\"mode\": \"" << s.mode << "\", \"bytes\": " << s.bytes
+        << ", \"hops\": " << s.hops << ", \"virtual_ns\": " << s.virtual_ns
+        << ", \"MBps\": " << s.MBps
+        << ", \"metrics\": {\"credit_stall_ns\": " << s.counters.credit_stall_ns
+        << ", \"retransmits\": " << s.counters.retransmits
+        << ", \"frames_sent\": " << s.counters.frames_sent
+        << ", \"dma_bytes\": " << s.counters.dma_bytes << "}}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace ntbshmem::bench

@@ -1,0 +1,226 @@
+#include "fabric/topology.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ntbshmem::fabric {
+
+Topology::Topology(TopologySpec spec, int num_hosts)
+    : spec_(std::move(spec)), num_hosts_(num_hosts) {
+  if (num_hosts_ < 2) {
+    throw std::invalid_argument("Topology needs at least 2 hosts");
+  }
+  ports_.resize(static_cast<std::size_t>(num_hosts_));
+}
+
+std::size_t Topology::checked_host(int host) const {
+  if (host < 0 || host >= num_hosts_) {
+    throw std::out_of_range("Topology: host id out of range");
+  }
+  return static_cast<std::size_t>(host);
+}
+
+const PortSpec& Topology::port(int host, int index) const {
+  const auto& p = ports_.at(checked_host(host));
+  if (index < 0 || index >= static_cast<int>(p.size())) {
+    throw std::out_of_range("Topology: port index out of range");
+  }
+  return p[static_cast<std::size_t>(index)];
+}
+
+const LinkSpec& Topology::link(int index) const {
+  if (index < 0 || index >= num_links()) {
+    throw std::out_of_range("Topology: link index out of range");
+  }
+  return links_[static_cast<std::size_t>(index)];
+}
+
+int Topology::torus_row(int host) const {
+  if (spec_.kind != TopologyKind::kTorus2D) {
+    throw std::logic_error("torus_row: topology is not a 2-D torus");
+  }
+  return static_cast<int>(checked_host(host)) / spec_.cols;
+}
+
+int Topology::torus_col(int host) const {
+  if (spec_.kind != TopologyKind::kTorus2D) {
+    throw std::logic_error("torus_col: topology is not a 2-D torus");
+  }
+  return static_cast<int>(checked_host(host)) % spec_.cols;
+}
+
+void Topology::add_link(int host_a, int port_a, const std::string& name_a,
+                        int host_b, int port_b, const std::string& name_b,
+                        const std::string& link_name) {
+  auto place = [this](int host, int index, const std::string& name,
+                      int peer_host, int peer_port, int link) {
+    auto& slots = ports_[checked_host(host)];
+    if (index < 0) index = static_cast<int>(slots.size());
+    if (index >= static_cast<int>(slots.size())) {
+      slots.resize(static_cast<std::size_t>(index) + 1);
+    }
+    PortSpec& p = slots[static_cast<std::size_t>(index)];
+    if (p.host != -1) {
+      throw std::logic_error("Topology: port slot wired twice");
+    }
+    p.host = host;
+    p.index = index;
+    p.peer_host = peer_host;
+    p.peer_port = peer_port;
+    p.link = link;
+    p.name = name;
+    return index;
+  };
+  const int link = num_links();
+  // Resolve appended indices before placing: each end needs the other's
+  // final index for its cross-reference.
+  const int ia = port_a >= 0
+                     ? port_a
+                     : static_cast<int>(ports_[checked_host(host_a)].size());
+  const int ib = port_b >= 0
+                     ? port_b
+                     : static_cast<int>(ports_[checked_host(host_b)].size());
+  place(host_a, ia, name_a, host_b, ib, link);
+  place(host_b, ib, name_b, host_a, ia, link);
+  links_.push_back(LinkSpec{host_a, ia, host_b, ib, link_name});
+}
+
+void Topology::validate_wiring() const {
+  for (int h = 0; h < num_hosts_; ++h) {
+    const auto& slots = ports_[static_cast<std::size_t>(h)];
+    if (slots.empty()) {
+      throw std::logic_error("Topology: host has no ports");
+    }
+    for (const PortSpec& p : slots) {
+      if (p.host != h) throw std::logic_error("Topology: unwired port slot");
+      const PortSpec& q = port(p.peer_host, p.peer_port);
+      if (q.peer_host != h || q.peer_port != p.index || q.link != p.link) {
+        throw std::logic_error("Topology: inconsistent port cross-reference");
+      }
+    }
+  }
+}
+
+Topology Topology::ring(int n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kRing;
+  Topology t(spec, n);
+  // Cable i joins host i's right adapter (port 0) to host i+1's left
+  // adapter (port 1) — the exact wiring and ordering of the paper ring.
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    t.add_link(i, 0, "right", j, 1, "left",
+               "link" + std::to_string(i) + "-" + std::to_string(j));
+  }
+  t.validate_wiring();
+  return t;
+}
+
+Topology Topology::chordal(int n, const std::vector<int>& skips) {
+  if (n < 4) {
+    throw std::invalid_argument("chordal ring needs at least 4 hosts");
+  }
+  std::vector<int> strides = skips;
+  std::sort(strides.begin(), strides.end());
+  strides.erase(std::unique(strides.begin(), strides.end()), strides.end());
+  if (strides.empty()) {
+    throw std::invalid_argument("chordal ring needs at least one skip stride");
+  }
+  for (int s : strides) {
+    if (s < 2 || s > n - 2) {
+      throw std::invalid_argument(
+          "chordal skip stride must be in [2, num_hosts-2]");
+    }
+  }
+  TopologySpec spec;
+  spec.kind = TopologyKind::kChordal;
+  spec.skips = strides;
+  Topology t(spec, n);
+  for (int i = 0; i < n; ++i) {
+    const int j = (i + 1) % n;
+    t.add_link(i, 0, "right", j, 1, "left",
+               "link" + std::to_string(i) + "-" + std::to_string(j));
+  }
+  for (int s : strides) {
+    // A stride of exactly n/2 pairs hosts symmetrically: enumerate each
+    // chord once instead of twice.
+    const int count = (2 * s == n) ? n / 2 : n;
+    for (int i = 0; i < count; ++i) {
+      const int j = (i + s) % n;
+      t.add_link(i, -1, "skip" + std::to_string(s) + "p", j, -1,
+                 "skip" + std::to_string(s) + "m",
+                 "skip" + std::to_string(s) + "." + std::to_string(i) + "-" +
+                     std::to_string(j));
+    }
+  }
+  t.validate_wiring();
+  return t;
+}
+
+Topology Topology::torus2d(int rows, int cols) {
+  if (rows < 2 || cols < 2) {
+    throw std::invalid_argument("torus2d needs rows >= 2 and cols >= 2");
+  }
+  TopologySpec spec;
+  spec.kind = TopologyKind::kTorus2D;
+  spec.rows = rows;
+  spec.cols = cols;
+  Topology t(spec, rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  // Port layout per host: 0 = px (+x, towards col+1), 1 = mx (-x),
+  // 2 = py (+y, towards row+1), 3 = my (-y). With cols == 2 (or rows == 2)
+  // the +x and -x cables are two distinct parallel links to the same
+  // neighbour, exactly like a 2-host ring.
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.add_link(id(r, c), 0, "px", id(r, (c + 1) % cols), 1, "mx",
+                 "xlink" + std::to_string(r) + "-" + std::to_string(c));
+    }
+  }
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      t.add_link(id(r, c), 2, "py", id((r + 1) % rows, c), 3, "my",
+                 "ylink" + std::to_string(r) + "-" + std::to_string(c));
+    }
+  }
+  t.validate_wiring();
+  return t;
+}
+
+Topology Topology::full_mesh(int n) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kFullMesh;
+  Topology t(spec, n);
+  // Host h's port towards peer j has index j (for j < h) or j-1 (j > h),
+  // so port order enumerates peers in increasing host id.
+  auto port_towards = [](int h, int j) { return j < h ? j : j - 1; };
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      t.add_link(i, port_towards(i, j), "to" + std::to_string(j), j,
+                 port_towards(j, i), "to" + std::to_string(i),
+                 "link" + std::to_string(i) + "-" + std::to_string(j));
+    }
+  }
+  t.validate_wiring();
+  return t;
+}
+
+Topology Topology::make(const TopologySpec& spec, int num_hosts) {
+  switch (spec.kind) {
+    case TopologyKind::kRing:
+      return ring(num_hosts);
+    case TopologyKind::kChordal:
+      return chordal(num_hosts, spec.skips);
+    case TopologyKind::kTorus2D:
+      if (spec.rows * spec.cols != num_hosts) {
+        throw std::invalid_argument(
+            "torus2d rows*cols must equal the host count");
+      }
+      return torus2d(spec.rows, spec.cols);
+    case TopologyKind::kFullMesh:
+      return full_mesh(num_hosts);
+  }
+  throw std::logic_error("unknown topology kind");
+}
+
+}  // namespace ntbshmem::fabric

@@ -9,7 +9,7 @@ Host::Host(sim::Engine& engine, HostId id, const HostConfig& config)
       memory_(config.memory_bytes, name_ + ".ram"),
       bus_(engine, name_ + ".bus", config.bus_Bps),
       interrupts_(engine, name_ + ".irq", config.isr_latency,
-                  config.isr_dispatch) {}
+                  config.isr_dispatch, config.num_vectors) {}
 
 HostConfig host_config_from(const TimingParams& params,
                             std::uint64_t memory_bytes) {

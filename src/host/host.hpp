@@ -25,6 +25,10 @@ struct HostConfig {
   double bus_Bps = 5.2e9;                    // TimingParams::host_bus_Bps
   sim::Dur isr_latency = 15'000;             // TimingParams::intr_delivery
   sim::Dur isr_dispatch = 5'000;             // TimingParams::isr_handling
+  // Interrupt vectors the controller exposes: 16 per NTB adapter. The
+  // default covers the paper's two-adapter ring host; the fabric raises
+  // it for higher-degree topologies (torus, mesh).
+  int num_vectors = InterruptController::kNumVectors;
 };
 
 class Host {

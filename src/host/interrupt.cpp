@@ -8,12 +8,18 @@ namespace ntbshmem::host {
 
 InterruptController::InterruptController(sim::Engine& engine, std::string name,
                                          sim::Dur isr_latency,
-                                         sim::Dur dispatch_cost)
+                                         sim::Dur dispatch_cost,
+                                         int num_vectors)
     : engine_(engine),
       name_(std::move(name)),
       isr_latency_(isr_latency),
-      dispatch_cost_(dispatch_cost),
-      handlers_(kNumVectors) {
+      dispatch_cost_(dispatch_cost) {
+  if (num_vectors < 1) {
+    throw std::invalid_argument(name_ + ": need at least one vector");
+  }
+  handlers_.resize(static_cast<std::size_t>(num_vectors));
+  mask_flags_.assign(static_cast<std::size_t>(num_vectors), 0);
+  pending_flags_.assign(static_cast<std::size_t>(num_vectors), 0);
   if (obs::Hub* hub = engine.obs()) {
     obs::MetricsRegistry& reg = hub->metrics;
     obs_raised_ = reg.counter(name_ + ".raised");
@@ -23,7 +29,7 @@ InterruptController::InterruptController(sim::Engine& engine, std::string name,
 }
 
 void InterruptController::check_vector(int vector) const {
-  if (vector < 0 || vector >= kNumVectors) {
+  if (vector < 0 || vector >= num_vectors()) {
     throw std::out_of_range(name_ + ": interrupt vector out of range");
   }
 }
@@ -36,9 +42,8 @@ void InterruptController::register_handler(int vector, Handler handler) {
 void InterruptController::raise(int vector) {
   check_vector(vector);
   obs_raised_->inc();
-  const std::uint32_t bit = 1u << vector;
-  if ((mask_bits_ & bit) != 0) {
-    pending_bits_ |= bit;
+  if (mask_flags_[static_cast<std::size_t>(vector)] != 0) {
+    pending_flags_[static_cast<std::size_t>(vector)] = 1;
     obs_masked_latched_->inc();
     return;
   }
@@ -63,27 +68,26 @@ void InterruptController::deliver(int vector) {
 
 void InterruptController::mask(int vector) {
   check_vector(vector);
-  mask_bits_ |= 1u << vector;
+  mask_flags_[static_cast<std::size_t>(vector)] = 1;
 }
 
 void InterruptController::unmask(int vector) {
   check_vector(vector);
-  const std::uint32_t bit = 1u << vector;
-  mask_bits_ &= ~bit;
-  if ((pending_bits_ & bit) != 0) {
-    pending_bits_ &= ~bit;
+  mask_flags_[static_cast<std::size_t>(vector)] = 0;
+  if (pending_flags_[static_cast<std::size_t>(vector)] != 0) {
+    pending_flags_[static_cast<std::size_t>(vector)] = 0;
     deliver(vector);
   }
 }
 
 bool InterruptController::masked(int vector) const {
   check_vector(vector);
-  return (mask_bits_ & (1u << vector)) != 0;
+  return mask_flags_[static_cast<std::size_t>(vector)] != 0;
 }
 
 bool InterruptController::pending(int vector) const {
   check_vector(vector);
-  return (pending_bits_ & (1u << vector)) != 0;
+  return pending_flags_[static_cast<std::size_t>(vector)] != 0;
 }
 
 }  // namespace ntbshmem::host

@@ -18,13 +18,19 @@ namespace ntbshmem::host {
 
 class InterruptController {
  public:
+  // Default vector count: two NTB adapters x 16 doorbell vectors, the
+  // paper's ring host. Hosts carrying more adapters (torus, mesh) size
+  // the controller up via `num_vectors`.
   static constexpr int kNumVectors = 32;
 
   // `isr_latency` models doorbell-write -> MSI -> kernel ISR entry;
   // `dispatch_cost` models the fixed ISR bookkeeping before the handler
   // body (which typically just notifies a service thread) runs.
   InterruptController(sim::Engine& engine, std::string name,
-                      sim::Dur isr_latency, sim::Dur dispatch_cost);
+                      sim::Dur isr_latency, sim::Dur dispatch_cost,
+                      int num_vectors = kNumVectors);
+
+  int num_vectors() const { return static_cast<int>(handlers_.size()); }
 
   using Handler = std::function<void(int vector)>;
 
@@ -53,8 +59,10 @@ class InterruptController {
   sim::Dur isr_latency_;
   sim::Dur dispatch_cost_;
   std::vector<Handler> handlers_;
-  std::uint32_t mask_bits_ = 0;
-  std::uint32_t pending_bits_ = 0;
+  // Per-vector flags (not a 32-bit mask: a mesh host can carry hundreds
+  // of doorbell vectors).
+  std::vector<std::uint8_t> mask_flags_;
+  std::vector<std::uint8_t> pending_flags_;
   std::uint64_t delivered_ = 0;
 
   // Observability (null instruments without an attached hub).

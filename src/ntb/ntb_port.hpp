@@ -61,8 +61,9 @@ struct PortConfig {
   sim::Dur dma_setup = 3'000;      // descriptor program + completion poll
   sim::Dur reg_write = 400;        // posted 32-bit register write
   sim::Dur reg_read = 800;         // non-posted 32-bit register read
-  // First interrupt vector on the local host used by this port's doorbells
-  // (a host has two ports; the fabric assigns bases 0 and 16).
+  // First interrupt vector on the local host used by this port's doorbells.
+  // The fabric assigns base 16 * port_index — a ring host's two adapters
+  // get 0 and 16; higher-degree topologies continue at 32, 48, ...
   int vector_base = 0;
   // Resilience: when true, operations that find the link administratively
   // down wait for retraining (polling every retry_interval) instead of

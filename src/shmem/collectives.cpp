@@ -1,5 +1,6 @@
 #include "shmem/collectives.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
 #include <vector>
@@ -39,6 +40,63 @@ void put_bytes(Context& ctx, std::uint64_t heap_off, const void* src,
       heap_off,
       std::span<const std::byte>(static_cast<const std::byte*>(src), n), pe,
       ctx.pe(), ctx.default_domain());
+}
+
+// ---- Topology-aware relay trees ---------------------------------------------
+//
+// Gated exactly like the transport's tree barrier: opt-in via
+// TransportTuning::topology_collectives on ring-like fabrics (default off
+// keeps the paper's linear root-to-member loops bit-identical), always on
+// elsewhere — the hop-ordered tree is the point of a richer topology.
+bool use_tree_collectives(Context& ctx) {
+  Runtime& rt = ctx.runtime();
+  return rt.options().tuning.topology_collectives ||
+         !rt.fabric().topology().ring_like();
+}
+
+// Set indices ordered root-first, then by (routing hops from the root's
+// host, set index). The binary-heap rule over this order — parent of
+// order[p] is order[(p - 1) / 2] — yields a relay tree whose depth follows
+// routing distance, so hosts near the root forward to hosts further out.
+// Pure data: identical on every member because it depends only on the
+// static routing table and the set.
+std::vector<int> tree_order(Context& ctx, const ActiveSet& set,
+                            int root_idx) {
+  Runtime& rt = ctx.runtime();
+  const fabric::RoutingTable& routes =
+      rt.fabric().routing(rt.options().routing);
+  const int per_host = rt.options().pes_per_host;
+  const int root_host = set.member(root_idx) / per_host;
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(set.size));
+  order.push_back(root_idx);
+  for (int i = 0; i < set.size; ++i) {
+    if (i != root_idx) order.push_back(i);
+  }
+  std::sort(order.begin() + 1, order.end(), [&](int a, int b) {
+    const int ha = routes.hops(root_host, set.member(a) / per_host);
+    const int hb = routes.hops(root_host, set.member(b) / per_host);
+    return ha != hb ? ha < hb : a < b;
+  });
+  return order;
+}
+
+int tree_pos(const std::vector<int>& order, int idx) {
+  for (std::size_t p = 0; p < order.size(); ++p) {
+    if (order[p] == idx) return static_cast<int>(p);
+  }
+  throw std::logic_error("tree_order lost a set member");
+}
+
+// Set indices of the (up to two) children of position `pos`.
+std::vector<int> tree_children(const std::vector<int>& order, int pos) {
+  std::vector<int> kids;
+  for (int c = 2 * pos + 1; c <= 2 * pos + 2; ++c) {
+    if (c < static_cast<int>(order.size())) {
+      kids.push_back(order[static_cast<std::size_t>(c)]);
+    }
+  }
+  return kids;
 }
 
 }  // namespace
@@ -119,6 +177,39 @@ void barrier_all(Context& ctx, BarrierAlgorithm alg) {
 
 // ---- Broadcast -----------------------------------------------------------------
 
+namespace {
+
+// Hop-ordered relay tree: the root puts to its (at most two) children; each
+// member relays out of its own target buffer once the payload arrived.
+// O(log n) rounds instead of the linear root loop, and every tree edge
+// points outward in routing distance.
+void broadcast_tree(Context& ctx, void* target, const void* source,
+                    std::size_t nbytes, int root_idx, const ActiveSet& set) {
+  const int idx = set.index_of(ctx.pe());
+  const std::vector<int> order = tree_order(ctx, set, root_idx);
+  const int pos = tree_pos(order, idx);
+  const std::uint64_t target_off = ctx.symmetric_offset(target);
+  const void* relay = source;
+  if (pos != 0) {
+    wait_tokens(ctx, CollectiveScratch::kBcastFlag, 1);
+    consume_tokens(ctx, CollectiveScratch::kBcastFlag, 1);
+    relay = target;  // payload just landed here; forward from it
+  }
+  const std::vector<int> kids = tree_children(order, pos);
+  if (!kids.empty()) {
+    for (const int k : kids) {
+      put_bytes(ctx, target_off, relay, nbytes, set.member(k));
+    }
+    ctx.quiet();  // data delivered before the flags
+    for (const int k : kids) {
+      add_token(ctx, set.member(k), CollectiveScratch::kBcastFlag);
+    }
+  }
+  barrier_set(ctx, set);
+}
+
+}  // namespace
+
 void broadcast(Context& ctx, void* target, const void* source,
                std::size_t nbytes, int root_idx, const ActiveSet& set) {
   set.validate(ctx.npes());
@@ -130,6 +221,10 @@ void broadcast(Context& ctx, void* target, const void* source,
     throw std::invalid_argument("broadcast: calling PE not in active set");
   }
   if (set.size == 1) return;
+  if (use_tree_collectives(ctx)) {
+    broadcast_tree(ctx, target, source, nbytes, root_idx, set);
+    return;
+  }
   if (idx == root_idx) {
     const std::uint64_t target_off = ctx.symmetric_offset(target);
     for (int i = 0; i < set.size; ++i) {
@@ -153,6 +248,82 @@ void broadcast(Context& ctx, void* target, const void* source,
 
 // ---- Reduction -----------------------------------------------------------------
 
+namespace {
+
+// Tree reduction over the same hop-ordered relay tree as broadcast_tree:
+// partials fold leaf-to-root, the result relays root-to-leaf into every
+// member's target. Each member owns a single kReduceBuf, so sibling
+// subtrees are serialized by explicit turn grants — a child writes its
+// parent's buffer only after the parent deposited a kReduceAck token for
+// it — which also provides the back-pressure the chain pipeline got from
+// its per-send ack. Chunked at kReduceBufBytes like the chain version; the
+// scratch block layout is unchanged.
+void reduce_tree(
+    Context& ctx, void* target, const void* source, std::size_t count,
+    std::size_t elem_size, const ActiveSet& set,
+    const std::function<void(void*, const void*, std::size_t)>& combine) {
+  const int idx = set.index_of(ctx.pe());
+  const std::vector<int> order = tree_order(ctx, set, /*root_idx=*/0);
+  const int pos = tree_pos(order, idx);
+  const int parent = pos == 0 ? -1 : order[static_cast<std::size_t>((pos - 1) / 2)];
+  const std::vector<int> kids = tree_children(order, pos);
+  auto* src_bytes = static_cast<const std::byte*>(source);
+  const std::size_t elems_per_chunk =
+      CollectiveScratch::kReduceBufBytes / elem_size;
+  const std::uint64_t target_off = ctx.symmetric_offset(target);
+  std::vector<std::byte> acc, in;
+
+  for (std::size_t base = 0; base < count; base += elems_per_chunk) {
+    const std::size_t n = std::min(elems_per_chunk, count - base);
+    const std::size_t bytes = n * elem_size;
+    const std::size_t byte_off = base * elem_size;
+    acc.assign(src_bytes + byte_off, src_bytes + byte_off + bytes);
+
+    // Fold the subtrees in child order: grant the turn, await the partial.
+    for (const int k : kids) {
+      add_token(ctx, set.member(k), CollectiveScratch::kReduceAck);
+      wait_tokens(ctx, CollectiveScratch::kReduceFlag, 1);
+      consume_tokens(ctx, CollectiveScratch::kReduceFlag, 1);
+      in.resize(bytes);
+      ctx.heap().read(CollectiveScratch::kReduceBuf,
+                      std::span<std::byte>(in.data(), bytes));
+      combine(acc.data(), in.data(), n);
+    }
+
+    if (parent >= 0) {
+      // Await our turn, deliver the subtree partial upward.
+      wait_tokens(ctx, CollectiveScratch::kReduceAck, 1);
+      consume_tokens(ctx, CollectiveScratch::kReduceAck, 1);
+      put_bytes(ctx, CollectiveScratch::kReduceBuf, acc.data(), bytes,
+                set.member(parent));
+      ctx.quiet();
+      add_token(ctx, set.member(parent), CollectiveScratch::kReduceFlag);
+      // The result relays down into target.
+      wait_tokens(ctx, CollectiveScratch::kBcastFlag, 1);
+      consume_tokens(ctx, CollectiveScratch::kBcastFlag, 1);
+    } else {
+      ctx.heap().write(target_off + byte_off,
+                       std::span<const std::byte>(acc.data(), bytes));
+    }
+    const std::byte* result =
+        parent >= 0 ? static_cast<const std::byte*>(target) + byte_off
+                    : acc.data();
+    if (!kids.empty()) {
+      for (const int k : kids) {
+        put_bytes(ctx, target_off + byte_off, result, bytes, set.member(k));
+      }
+      ctx.quiet();
+      for (const int k : kids) {
+        add_token(ctx, set.member(k), CollectiveScratch::kBcastFlag);
+      }
+    }
+  }
+  // Exit barrier: see broadcast().
+  barrier_set(ctx, set);
+}
+
+}  // namespace
+
 void reduce(Context& ctx, void* target, const void* source, std::size_t count,
             std::size_t elem_size, const ActiveSet& set,
             const std::function<void(void*, const void*, std::size_t)>& combine) {
@@ -168,6 +339,10 @@ void reduce(Context& ctx, void* target, const void* source, std::size_t count,
   auto* dst_bytes = static_cast<std::byte*>(target);
   if (set.size == 1) {
     std::memmove(dst_bytes, src_bytes, count * elem_size);
+    return;
+  }
+  if (use_tree_collectives(ctx)) {
+    reduce_tree(ctx, target, source, count, elem_size, set, combine);
     return;
   }
   const int m = set.size;

@@ -103,6 +103,7 @@ enum class MsgOp : std::uint8_t {
   kAtomicRequest = 3,   // execute atomic on target's heap word
   kAtomicResponse = 4,  // old value back to the requester (op_id)
   kDeliveryAck = 5,     // end-to-end ack of op_id back to the origin
+  kBarrierToken = 6,    // tree-barrier token (operand1: 0 = up, 1 = down)
 };
 
 // Bit flags carried by MessageHeader::flags.

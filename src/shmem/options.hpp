@@ -73,6 +73,14 @@ struct TransportTuning {
   // whole message at every hop.
   bool cut_through_forwarding = false;
 
+  // Topology-aware collectives: barrier runs as a token tree over the
+  // routing graph instead of the paper's doorbell ring-walk, and
+  // broadcast/reduce relay through a hop-ordered tree instead of linear
+  // root-to-member loops. Opt-in on ring-like topologies (the default off
+  // keeps the paper's protocol bit-identical); non-ring topologies always
+  // use the tree barrier because the doorbell circulation assumes a ring.
+  bool topology_collectives = false;
+
   // Retry/retransmit layer; orthogonal to the pipelining knobs (it is a
   // robustness feature, not a performance one, so all_on() leaves it off —
   // fault workloads opt in explicitly via reliable()).
@@ -117,6 +125,11 @@ struct RuntimeOptions {
   // communicate through a local shared-memory path.
   int pes_per_host = 1;
   TimingParams timing;
+  // Fabric wiring diagram (default: the paper's ring). Non-ring topologies
+  // require a compatible routing mode — kShortest works everywhere,
+  // kDimensionOrder only on kTorus2D, kRightOnly only on ring-like
+  // fabrics (validated at Runtime construction).
+  fabric::TopologySpec topology;
   fabric::RoutingMode routing = fabric::RoutingMode::kRightOnly;
   DataPath data_path = DataPath::kDma;
   CompletionMode completion = CompletionMode::kFullDelivery;
@@ -164,6 +177,11 @@ struct RuntimeOptions {
   bool schedule_digest = false;
   std::uint64_t schedule_tiebreak_seed = 0;
 
+  // Routing-table tie-break seed (see fabric::RoutingTable::build): 0
+  // keeps the legacy lowest-port preference; any other value perturbs
+  // which of several equally short egress ports wins, deterministically.
+  std::uint64_t route_tiebreak_seed = 0;
+
   int num_hosts() const {
     return pes_per_host > 0 ? npes / pes_per_host : 0;
   }
@@ -171,10 +189,12 @@ struct RuntimeOptions {
   fabric::FabricConfig fabric_config() const {
     fabric::FabricConfig cfg;
     cfg.num_hosts = num_hosts();
+    cfg.topology = topology;
     cfg.timing = timing;
     cfg.host_memory_bytes = host_memory_bytes;
     cfg.link_dma_rates_Bps = link_dma_rates_Bps;
     cfg.resilient_links = resilient_links;
+    cfg.route_tiebreak_seed = route_tiebreak_seed;
     return cfg;
   }
 };

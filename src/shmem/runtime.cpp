@@ -228,7 +228,7 @@ void Context::quiet() {
 void Context::fence() { transport_->fence(); }
 void Context::barrier_all() {
   quiet();
-  transport_->barrier_ring(pe_);
+  transport_->barrier(pe_);
 }
 void Context::wait_heap_change() { transport_->wait_heap_change(); }
 
@@ -246,7 +246,7 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
         "npes must be a positive multiple of pes_per_host (>= 2)");
   }
   if (options_.num_hosts() < 2) {
-    throw std::invalid_argument("the switchless ring needs >= 2 hosts");
+    throw std::invalid_argument("the switchless fabric needs >= 2 hosts");
   }
   if (options_.npes > 255) {
     throw std::invalid_argument("PE ids must fit in the 8-bit wire format");
@@ -289,6 +289,29 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
   }
   fabric_ = std::make_unique<fabric::RingFabric>(engine_,
                                                  options_.fabric_config());
+  // Routing/topology compatibility: the legacy right-only circulation is
+  // only defined where port 0 walks a ring, and dimension-order needs torus
+  // coordinates. Checked here rather than deep in RoutingTable::build so
+  // the error names the RuntimeOptions fields to change.
+  {
+    const fabric::Topology& topo = fabric_->topology();
+    if (options_.routing == fabric::RoutingMode::kRightOnly &&
+        !topo.ring_like()) {
+      throw std::invalid_argument(
+          "RoutingMode::kRightOnly requires a ring-like topology; use "
+          "kShortest (or kDimensionOrder on a 2-D torus)");
+    }
+    if (options_.routing == fabric::RoutingMode::kDimensionOrder &&
+        topo.kind() != fabric::TopologyKind::kTorus2D) {
+      throw std::invalid_argument(
+          "RoutingMode::kDimensionOrder is only defined on kTorus2D "
+          "topologies");
+    }
+    // Build the table eagerly so a misconfigured fabric fails at Runtime
+    // construction instead of at the first multi-hop operation. Pure
+    // computation: no simulated time passes, no events are queued.
+    fabric_->routing(options_.routing);
+  }
   for (const sim::LinkFlap& flap : fault_plan_->spec().link_flaps) {
     if (flap.up_at < flap.down_at || flap.down_at < 0) {
       throw std::invalid_argument("LinkFlap: need 0 <= down_at <= up_at");

@@ -48,7 +48,7 @@ Transport::Transport(Runtime& runtime, int host_id)
     : runtime_(runtime), host_id_(host_id) {
   sim::Engine& engine = runtime_.engine();
   const std::string prefix = "host" + std::to_string(host_id_);
-  host::MemoryArena& arena = ring().host(host_id_).memory();
+  host::MemoryArena& arena = fabric().host(host_id_).memory();
   const std::uint64_t staging_bytes =
       runtime_.options().timing.bypass_buffer_bytes;
   const TransportTuning& tune = runtime_.options().tuning;
@@ -65,12 +65,21 @@ Transport::Transport(Runtime& runtime, int host_id)
         "bypass_buffer_bytes / tx_credits leaves staging slots smaller than "
         "a bypass chunk");
   }
-  staging_from_left_ = arena.allocate(staging_bytes, 4096);
-  staging_from_right_ = arena.allocate(staging_bytes, 4096);
-  tx_left_ = std::make_unique<TxChannel>(engine, prefix + ".tx_left",
-                                         tune.tx_credits, slot_bytes);
-  tx_right_ = std::make_unique<TxChannel>(engine, prefix + ".tx_right",
-                                          tune.tx_credits, slot_bytes);
+  const fabric::Topology& topo = fabric().topology();
+  const int deg = topo.degree(host_id_);
+  staging_in_.reserve(static_cast<std::size_t>(deg));
+  tx_.reserve(static_cast<std::size_t>(deg));
+  // One staging buffer and one TX channel per adapter, in port order (the
+  // allocations are pure address bookkeeping; no engine interaction).
+  for (int p = 0; p < deg; ++p) {
+    staging_in_.push_back(arena.allocate(staging_bytes, 4096));
+  }
+  for (int p = 0; p < deg; ++p) {
+    tx_.push_back(std::make_unique<TxChannel>(
+        engine, prefix + ".tx_" + topo.port(host_id_, p).name,
+        tune.tx_credits, slot_bytes));
+  }
+  rx_expected_seq_.assign(static_cast<std::size_t>(deg), 0);
   rx_event_ = std::make_unique<sim::Event>(engine, prefix + ".rx");
   tx_event_ = std::make_unique<sim::Event>(engine, prefix + ".tx");
   rel_event_ = std::make_unique<sim::Event>(engine, prefix + ".rel");
@@ -87,16 +96,19 @@ void Transport::init_obs() {
   obs::Hub* hub = runtime_.engine().obs();
   if (hub == nullptr) return;
   tracer_ = &hub->tracer;
-  const std::string host_name = ring().host(host_id_).name();
+  const std::string host_name = fabric().host(host_id_).name();
   for (int i = 0; i < pes_per_host(); ++i) {
     pe_tracks_.push_back(
         tracer_->track(host_name, "pe" + std::to_string(leader_pe() + i)));
   }
   rx_track_ = tracer_->track(host_name, "rx_service");
-  frames_track_[static_cast<std::size_t>(fabric::Direction::kRight)] =
-      tracer_->track(host_name, "frames_right");
-  frames_track_[static_cast<std::size_t>(fabric::Direction::kLeft)] =
-      tracer_->track(host_name, "frames_left");
+  // Interned in port order — a ring host gets "frames_right" (port 0) then
+  // "frames_left" (port 1), the historical track layout.
+  const fabric::Topology& topo = fabric().topology();
+  for (int p = 0; p < degree(); ++p) {
+    frames_track_.push_back(
+        tracer_->track(host_name, "frames_" + topo.port(host_id_, p).name));
+  }
   cat_op_ = tracer_->category("op");
   cat_frame_ = tracer_->category("frame");
   cat_barrier_ = tracer_->category("barrier");
@@ -130,6 +142,7 @@ void Transport::init_obs() {
   probe("bytes_forwarded", &stats_.bytes_forwarded);
   probe("delivery_acks_sent", &stats_.delivery_acks_sent);
   probe("barriers_completed", &stats_.barriers_completed);
+  probe("barrier_tokens_sent", &stats_.barrier_tokens_sent);
   probe("retransmits", &stats_.retransmits);
   probe("ack_timeouts", &stats_.ack_timeouts);
   probe("naks_sent", &stats_.naks_sent);
@@ -141,10 +154,9 @@ void Transport::init_obs() {
   probe("dma_retries", &stats_.dma_retries);
 }
 
-void Transport::end_frame_span(fabric::Direction d,
-                               const TxChannel::InFlight& rec) {
+void Transport::end_frame_span(int p, const TxChannel::InFlight& rec) {
   if (tracer_ != nullptr && rec.obs_span != 0) {
-    tracer_->async_end(frames_track_[static_cast<std::size_t>(d)], cat_frame_,
+    tracer_->async_end(frames_track_[static_cast<std::size_t>(p)], cat_frame_,
                        ev_frame_, runtime_.engine().now(), rec.obs_span);
   }
 }
@@ -153,36 +165,44 @@ int Transport::pes_per_host() const {
   return runtime_.options().pes_per_host;
 }
 
-fabric::RingFabric& Transport::ring() const { return runtime_.fabric(); }
+fabric::Fabric& Transport::fabric() const { return runtime_.fabric(); }
 
-ntb::NtbPort& Transport::out_port(fabric::Direction d) const {
-  return ring().port(host_id_, d);
+int Transport::degree() const { return static_cast<int>(tx_.size()); }
+
+ntb::NtbPort& Transport::port(int p) const { return fabric().port(host_id_, p); }
+
+int Transport::peer_host(int p) const {
+  return fabric().topology().peer_host(host_id_, p);
 }
 
-ntb::NtbPort& Transport::in_port(fabric::Direction d) const {
-  // Frames arriving "from the left" come in through our left adapter.
-  return ring().port(host_id_, d);
+int Transport::peer_port(int p) const {
+  return fabric().topology().peer_port(host_id_, p);
 }
 
-int Transport::neighbor(fabric::Direction d) const {
-  return d == fabric::Direction::kRight ? ring().right_neighbor(host_id_)
-                                        : ring().left_neighbor(host_id_);
+const fabric::RoutingTable& Transport::routes() const {
+  return fabric().routing(runtime_.options().routing);
 }
 
-fabric::Route Transport::route_to(int target_pe) const {
-  return ring().route(host_id_, host_of(target_pe),
-                      runtime_.options().routing);
+fabric::PortRoute Transport::route_to(int target) const {
+  const fabric::RoutingTable& rt = routes();
+  const int dst = host_of(target);
+  return fabric::PortRoute{rt.next_port(host_id_, dst),
+                           rt.hops(host_id_, dst)};
 }
 
-fabric::Route Transport::response_route_to(int origin) const {
+fabric::PortRoute Transport::response_route_to(int origin) const {
   // Responses travel against the request direction so that hop counts stay
-  // symmetric (a 1-hop Get is one hop out and one hop back).
-  if (runtime_.options().routing == fabric::RoutingMode::kRightOnly) {
-    return fabric::Route{fabric::Direction::kLeft,
-                         ring().left_distance(host_id_, host_of(origin))};
-  }
-  return ring().route(host_id_, host_of(origin),
-                      fabric::RoutingMode::kShortest);
+  // symmetric (a 1-hop Get is one hop out and one hop back); on kRightOnly
+  // rings the response table is the leftward walk, in the other modes the
+  // same shortest/dimension-order path serves both directions.
+  const fabric::RoutingTable& rt = routes();
+  const int dst = host_of(origin);
+  return fabric::PortRoute{rt.response_port(host_id_, dst),
+                           rt.response_hops(host_id_, dst)};
+}
+
+int Transport::forward_port(int target_pe, int in) const {
+  return routes().forward_port(host_id_, host_of(target_pe), in);
 }
 
 const TimingParams& Transport::timing() const {
@@ -211,9 +231,9 @@ void Transport::charge_service_wake() {
 
 void Transport::start_services() {
   const std::string prefix = "host" + std::to_string(host_id_);
-  for (fabric::Direction d :
-       {fabric::Direction::kLeft, fabric::Direction::kRight}) {
-    ntb::NtbPort& port = in_port(d);
+  host::InterruptController& irq = fabric().host(host_id_).interrupts();
+  for (int p = 0; p < degree(); ++p) {
+    ntb::NtbPort& in = port(p);
     // Latch the header bank per data doorbell at arrival time (the
     // double-buffered-ScratchPad half of frame pipelining; identical to a
     // live read when only one frame can be in flight). Under reliability the
@@ -222,35 +242,50 @@ void Transport::start_services() {
     std::uint16_t latch =
         static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet));
     if (reliability_on()) latch |= static_cast<std::uint16_t>(1u << kDbAck);
-    port.set_latch_bits(latch);
-    const int base = port.config().vector_base;
-    host::InterruptController& irq = ring().host(host_id_).interrupts();
-    irq.register_handler(base + kDbDmaPut, [this, d](int) {
-      on_rx_token(d, RxTokenKind::kFrame);
+    in.set_latch_bits(latch);
+    const int base = in.config().vector_base;
+    irq.register_handler(base + kDbDmaPut, [this, p](int) {
+      on_rx_token(p, RxTokenKind::kFrame);
     });
-    irq.register_handler(base + kDbDmaGet, [this, d](int) {
-      on_rx_token(d, RxTokenKind::kFrame);
+    irq.register_handler(base + kDbDmaGet, [this, p](int) {
+      on_rx_token(p, RxTokenKind::kFrame);
     });
-    irq.register_handler(base + kDbAck, [this, d](int) { on_ack(d); });
+    irq.register_handler(base + kDbAck, [this, p](int) { on_ack(p); });
     if (reliability_on()) {
-      irq.register_handler(base + kDbNak, [this, d](int) { on_nak(d); });
+      irq.register_handler(base + kDbNak, [this, p](int) { on_nak(p); });
     }
   }
-  // Barrier signals circulate rightward and therefore arrive on the left
-  // adapter (Fig. 6). Like the data doorbells, they are handled by the
-  // service thread (the Fig. 5 design), so barrier latency couples to
-  // whatever receive work is in flight — visible as the mild put-size
-  // dependence of Fig. 10.
-  {
-    ntb::NtbPort& left = in_port(fabric::Direction::kLeft);
-    const int base = left.config().vector_base;
-    host::InterruptController& irq = ring().host(host_id_).interrupts();
-    irq.register_handler(base + kDbBarrierStart, [this](int) {
-      on_rx_token(fabric::Direction::kLeft, RxTokenKind::kBarrierStart);
+  if (!use_tree_barrier()) {
+    // Ring protocol: barrier signals circulate rightward and therefore
+    // arrive on the left adapter (Fig. 6). Like the data doorbells, they
+    // are handled by the service thread (the Fig. 5 design), so barrier
+    // latency couples to whatever receive work is in flight — visible as
+    // the mild put-size dependence of Fig. 10.
+    const int left = static_cast<int>(fabric::Direction::kLeft);
+    const int base = port(left).config().vector_base;
+    irq.register_handler(base + kDbBarrierStart, [this, left](int) {
+      on_rx_token(left, RxTokenKind::kBarrierStart);
     });
-    irq.register_handler(base + kDbBarrierEnd, [this](int) {
-      on_rx_token(fabric::Direction::kLeft, RxTokenKind::kBarrierEnd);
+    irq.register_handler(base + kDbBarrierEnd, [this, left](int) {
+      on_rx_token(left, RxTokenKind::kBarrierEnd);
     });
+  } else {
+    // Tree protocol: derive the barrier tree from the routing table once.
+    // The parent is the peer on the next hop toward host 0 (the root); our
+    // children are the hosts whose own next hop toward the root lands on
+    // us, in increasing host order. Pure computation — no engine
+    // interaction, so arming the tree is schedule-neutral.
+    const fabric::RoutingTable& rt = routes();
+    const fabric::Topology& topo = fabric().topology();
+    if (host_id_ != 0) {
+      barrier_parent_ = topo.peer_host(host_id_, rt.next_port(host_id_, 0));
+    }
+    for (int h = 0; h < fabric().size(); ++h) {
+      if (h == host_id_ || h == 0) continue;
+      if (topo.peer_host(h, rt.next_port(h, 0)) == host_id_) {
+        barrier_children_.push_back(h);
+      }
+    }
   }
   runtime_.engine().spawn(prefix + ".rx_service", [this] { rx_service_body(); },
                           /*daemon=*/true);
@@ -266,28 +301,28 @@ void Transport::start_services() {
   }
 }
 
-void Transport::on_rx_token(fabric::Direction from, RxTokenKind kind) {
+void Transport::on_rx_token(int from, RxTokenKind kind) {
   RxToken token{from, kind, {}};
   if (kind == RxTokenKind::kFrame) {
     // ISR context: consume the oldest *data* snapshot the adapter latched
     // (free; the service thread charges the reads). The accept mask keeps a
     // delay-reordered ack ISR from stealing a data snapshot and vice versa.
-    token.regs = in_port(from).pop_latched_frame(
+    token.regs = port(from).pop_latched_frame(
         static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
   }
   rx_queue_.push_back(token);
   rx_event_->notify_all();
 }
 
-void Transport::on_ack(fabric::Direction d) {
-  TxChannel& ch = channel(d);
+void Transport::on_ack(int p) {
+  TxChannel& ch = channel(p);
   if (!reliability_on()) {
     if (ch.inflight.empty()) {
       throw std::logic_error("ACK doorbell with no in-flight frame");
     }
     const TxChannel::InFlight rec = ch.inflight.front();
     ch.inflight.pop_front();
-    end_frame_span(d, rec);
+    end_frame_span(p, rec);
     // Return the staging slot before the credit so a woken sender always
     // finds a free slot to pair with its credit.
     ch.free_slots.push_back(rec.stage_slot);
@@ -298,7 +333,7 @@ void Transport::on_ack(fabric::Direction d) {
   // Reliability: the adapter latched our bank when the ack doorbell rang;
   // reg 7 of the snapshot carries the redundantly encoded cumulative
   // sequence number.
-  const auto regs = in_port(d).pop_latched_frame(
+  const auto regs = port(p).pop_latched_frame(
       static_cast<std::uint16_t>(1u << kDbAck));
   std::uint8_t acked = 0;
   if (!unpack_ack_word(regs[kAckReg], &acked)) {
@@ -309,11 +344,11 @@ void Transport::on_ack(fabric::Direction d) {
                        " invalid ack word dropped");
     return;
   }
-  retire_acked(d, acked);
+  retire_acked(p, acked);
 }
 
-void Transport::retire_acked(fabric::Direction d, std::uint8_t acked) {
-  TxChannel& ch = channel(d);
+void Transport::retire_acked(int p, std::uint8_t acked) {
+  TxChannel& ch = channel(p);
   const sim::Time now = runtime_.engine().now();
   bool any = false;
   // Cumulative: everything at or before `acked` (signed 8-bit distance; the
@@ -322,7 +357,7 @@ void Transport::retire_acked(fabric::Direction d, std::uint8_t acked) {
          static_cast<std::int8_t>(ch.inflight.front().seq - acked) <= 0) {
     TxChannel::InFlight rec = ch.inflight.front();
     ch.inflight.pop_front();
-    end_frame_span(d, rec);
+    end_frame_span(p, rec);
     rec.retx_timer.cancel();
     ch.rel.ack_latency_ns.add(static_cast<double>(now - rec.emitted_at));
     ++ch.rel.acks_matched;
@@ -360,8 +395,8 @@ void Transport::note_delivery_completed_op(std::uint32_t op_id) {
 
 // ---- send-side primitives ----------------------------------------------------
 
-int Transport::acquire_send_credit(fabric::Direction d) {
-  TxChannel& ch = channel(d);
+int Transport::acquire_send_credit(int p) {
+  TxChannel& ch = channel(p);
   const sim::Time t0 = runtime_.engine().now();
   ch.slot.acquire();
   const sim::Dur stalled = runtime_.engine().now() - t0;
@@ -377,13 +412,13 @@ int Transport::acquire_send_credit(fabric::Direction d) {
   return slot;
 }
 
-void Transport::emit_frame_inflight(fabric::Direction d,
-                                    const FrameHeader& hdr, int doorbell,
-                                    int slot, bool counts_as_delivery,
+void Transport::emit_frame_inflight(int p, const FrameHeader& hdr,
+                                    int doorbell, int slot,
+                                    bool counts_as_delivery,
                                     int delivery_domain) {
-  TxChannel& ch = channel(d);
+  TxChannel& ch = channel(p);
   // Serialize header staging between concurrent credit holders (the PE
-  // thread and the TX service can emit on the same direction); the record
+  // thread and the TX service can emit on the same channel); the record
   // is pushed in emission order, which is the order ACKs come back in.
   ch.emit_serial.acquire();
   TxChannel::InFlight rec{};
@@ -400,44 +435,43 @@ void Transport::emit_frame_inflight(fabric::Direction d,
     rec.hdr = h;
   }
   if (tracer_ != nullptr && tracer_->enabled()) {
-    // Frame lifetime span (emission -> retiring ack) on the direction's
+    // Frame lifetime span (emission -> retiring ack) on the channel's
     // frame track; async because credits allow overlapping lifetimes.
     rec.obs_span = tracer_->next_async_id();
-    tracer_->async_begin(frames_track_[static_cast<std::size_t>(d)],
+    tracer_->async_begin(frames_track_[static_cast<std::size_t>(p)],
                          cat_frame_, ev_frame_, runtime_.engine().now(),
                          rec.obs_span);
   }
   ch.inflight.push_back(rec);
-  emit_frame(d, h, doorbell);
+  emit_frame(p, h, doorbell);
   if (reliability_on()) {
     // Re-find by seq: acks for earlier frames may have popped the deque
     // while emit_frame blocked on register writes.
     if (TxChannel::InFlight* r = find_inflight(ch, rec.seq)) {
       r->emitted_at = runtime_.engine().now();
-      arm_retx_timer(d, *r);
+      arm_retx_timer(p, *r);
     }
   }
   ch.emit_serial.release();
 }
 
-void Transport::write_frame_regs(fabric::Direction d, const FrameHeader& hdr) {
-  ntb::NtbPort& port = out_port(d);
+void Transport::write_frame_regs(int p, const FrameHeader& hdr) {
+  ntb::NtbPort& out = port(p);
   const auto regs = hdr.pack();
   for (int i = 0; i < kFrameRegs; ++i) {
-    port.write_scratchpad(i, regs[static_cast<std::size_t>(i)]);
+    out.write_scratchpad(i, regs[static_cast<std::size_t>(i)]);
   }
   if (reliability_on()) {
     // One extra posted write: the header checksum in the receiver bank's
     // reg 7. Computed over the intended values — a corrupted register
     // lands with an unchanged checksum and fails verification.
-    port.write_scratchpad(kAckReg, frame_checksum(regs));
+    out.write_scratchpad(kAckReg, frame_checksum(regs));
   }
 }
 
-void Transport::emit_frame(fabric::Direction d, const FrameHeader& hdr,
-                           int doorbell) {
-  write_frame_regs(d, hdr);
-  out_port(d).ring_doorbell(doorbell);
+void Transport::emit_frame(int p, const FrameHeader& hdr, int doorbell) {
+  write_frame_regs(p, hdr);
+  port(p).ring_doorbell(doorbell);
   ++stats_.frames_sent;
   trace("frame.tx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(hdr.kind)) +
                         " origin=" + std::to_string(hdr.origin_pe) +
@@ -453,38 +487,38 @@ Transport::TxChannel::InFlight* Transport::find_inflight(TxChannel& ch,
   return nullptr;
 }
 
-void Transport::arm_retx_timer(fabric::Direction d, TxChannel::InFlight& rec) {
+void Transport::arm_retx_timer(int p, TxChannel::InFlight& rec) {
   const ReliabilityParams& rp = tuning().reliability;
   double timeout = static_cast<double>(rp.ack_timeout);
   for (int i = 0; i < rec.retries; ++i) timeout *= rp.backoff;
   const std::uint8_t seq = rec.seq;
   rec.retx_timer = runtime_.engine().call_after(
-      static_cast<sim::Dur>(timeout), [this, d, seq] { on_ack_timeout(d, seq); });
+      static_cast<sim::Dur>(timeout), [this, p, seq] { on_ack_timeout(p, seq); });
 }
 
-void Transport::on_ack_timeout(fabric::Direction d, std::uint8_t seq) {
+void Transport::on_ack_timeout(int p, std::uint8_t seq) {
   // Scheduler context: no blocking. Hand the work to the rel service.
-  TxChannel& ch = channel(d);
+  TxChannel& ch = channel(p);
   if (find_inflight(ch, seq) == nullptr) return;  // ack won the race
   ++ch.rel.ack_timeouts;
   ++stats_.ack_timeouts;
   trace("retry", "host" + std::to_string(host_id_) + " ack timeout seq=" +
                      std::to_string(seq));
-  retx_queue_.push_back(RetxRequest{d, seq});
+  retx_queue_.push_back(RetxRequest{p, seq});
   rel_event_->notify_all();
 }
 
-void Transport::on_nak(fabric::Direction d) {
+void Transport::on_nak(int p) {
   // The receiver rejected a frame (checksum or order); go-back-N resends
   // from the oldest unacknowledged frame.
-  TxChannel& ch = channel(d);
+  TxChannel& ch = channel(p);
   ++ch.rel.naks_received;
   ++stats_.naks_received;
   if (ch.inflight.empty()) return;  // everything already acked: stale NAK
   const std::uint8_t seq = ch.inflight.front().seq;
   trace("retry", "host" + std::to_string(host_id_) + " nak -> retransmit seq=" +
                      std::to_string(seq));
-  retx_queue_.push_back(RetxRequest{d, seq});
+  retx_queue_.push_back(RetxRequest{p, seq});
   rel_event_->notify_all();
 }
 
@@ -497,13 +531,13 @@ void Transport::rel_service_body() {
     while (!retx_queue_.empty()) {
       const RetxRequest req = retx_queue_.front();
       retx_queue_.pop_front();
-      retransmit(req.dir, req.seq);
+      retransmit(req.port, req.seq);
     }
   }
 }
 
-void Transport::retransmit(fabric::Direction d, std::uint8_t seq) {
-  TxChannel& ch = channel(d);
+void Transport::retransmit(int p, std::uint8_t seq) {
+  TxChannel& ch = channel(p);
   TxChannel::InFlight* rec = find_inflight(ch, seq);
   if (rec == nullptr) return;  // acked while the request sat in the queue
   const ReliabilityParams& rp = tuning().reliability;
@@ -527,20 +561,19 @@ void Transport::retransmit(fabric::Direction d, std::uint8_t seq) {
   const FrameHeader hdr = rec->hdr;
   const int doorbell = rec->doorbell;
   ch.emit_serial.acquire();
-  write_frame_regs(d, hdr);
-  out_port(d).ring_doorbell(doorbell);
+  write_frame_regs(p, hdr);
+  port(p).ring_doorbell(doorbell);
   ch.emit_serial.release();
   if (TxChannel::InFlight* still = find_inflight(ch, seq)) {
-    arm_retx_timer(d, *still);
+    arm_retx_timer(p, *still);
   }
 }
 
-void Transport::window_write(fabric::Direction d, int window,
-                             host::Region region, std::uint64_t off,
-                             std::span<const std::byte> src,
+void Transport::window_write(int p, int window, host::Region region,
+                             std::uint64_t off, std::span<const std::byte> src,
                              bool app_context) {
   sim::Engine& engine = runtime_.engine();
-  ntb::NtbPort& port = out_port(d);
+  ntb::NtbPort& out = port(p);
   const std::uint64_t seg = timing().lut_segment_bytes;
   const bool overlap = app_context && tuning().overlap_segment_setup;
   const bool use_dma = runtime_.options().data_path == DataPath::kDma;
@@ -573,39 +606,39 @@ void Transport::window_write(fabric::Direction d, int window,
       const sim::Time driver_free = std::max(setup_ready, engine.now());
       setup_ready = driver_free + timing().segment_setup;
     }
-    port.program_window(window, region);
+    out.program_window(window, region);
     const auto piece = src.subspan(done, n);
     if (use_dma) {
-      bool ok = port.dma_write(window, off + done, piece,
-                               /*descriptor_prefetched=*/overlap && !first);
+      bool ok = out.dma_write(window, off + done, piece,
+                              /*descriptor_prefetched=*/overlap && !first);
       if (!ok) {
         const ReliabilityParams& rp = tuning().reliability;
         if (!rp.enabled) {
           // Fail-fast contract (ntb_port.hpp): without the retry layer a
           // descriptor error is a hard, diagnosable failure, not a hang.
           throw std::runtime_error(
-              port.name() +
+              out.name() +
               ": DMA descriptor error (reliability disabled; fail-fast)");
         }
         int attempts = 0;
         while (!ok) {
           if (attempts++ >= rp.dma_retries) {
             throw std::runtime_error(
-                port.name() + ": DMA descriptor error persisted after " +
+                out.name() + ": DMA descriptor error persisted after " +
                 std::to_string(rp.dma_retries) + " retries");
           }
           ++stats_.dma_retries;
           trace("retry", "host" + std::to_string(host_id_) +
                              " dma descriptor error, retry " +
                              std::to_string(attempts));
-          port.clear_dma_error();
+          out.clear_dma_error();
           // Re-program the descriptor from scratch (pays dma_setup again).
-          ok = port.dma_write(window, off + done, piece,
-                              /*descriptor_prefetched=*/false);
+          ok = out.dma_write(window, off + done, piece,
+                             /*descriptor_prefetched=*/false);
         }
       }
     } else {
-      port.pio_write(window, off + done, piece);
+      out.pio_write(window, off + done, piece);
     }
     done += n;
     first = false;
@@ -623,17 +656,17 @@ std::vector<std::byte> Transport::build_message(
   return msg;
 }
 
-void Transport::send_message_staged(fabric::Direction d,
-                                    std::span<const std::byte> message) {
-  const int next = neighbor(d);
-  // The receiver's staging buffer for traffic from our side.
+void Transport::send_message_staged(int p, std::span<const std::byte> message) {
+  const int next = peer_host(p);
+  // The receiver's staging buffer for traffic arriving through its end of
+  // this link.
   const host::Region staging =
-      runtime_.host_transport(next).staging_region(fabric::opposite(d));
-  TxChannel& ch = channel(d);
+      runtime_.host_transport(next).staging_in(peer_port(p));
+  TxChannel& ch = channel(p);
   if (message.size() > ch.slot_bytes) {
     throw std::logic_error("staged message exceeds bypass staging slot");
   }
-  const int slot = acquire_send_credit(d);
+  const int slot = acquire_send_credit(p);
   const std::uint64_t slot_off =
       static_cast<std::uint64_t>(slot) * ch.slot_bytes;
   // The 64-byte message header goes through the head of the pre-mapped
@@ -641,12 +674,12 @@ void Transport::send_message_staged(fabric::Direction d,
   // per-segment driver cost. This keeps a multi-hop Put's local latency in
   // line with a direct Put of the same size (Fig. 9a: 1 hop ~ 2 hops).
   {
-    ntb::NtbPort& port = out_port(d);
-    port.program_window(ntb::kBypassWindow, staging);
-    port.pio_write(ntb::kBypassWindow, slot_off,
-                   message.subspan(0, kMessageHeaderBytes));
+    ntb::NtbPort& out = port(p);
+    out.program_window(ntb::kBypassWindow, staging);
+    out.pio_write(ntb::kBypassWindow, slot_off,
+                  message.subspan(0, kMessageHeaderBytes));
   }
-  window_write(d, ntb::kBypassWindow, staging, slot_off + kMessageHeaderBytes,
+  window_write(p, ntb::kBypassWindow, staging, slot_off + kMessageHeaderBytes,
                message.subspan(kMessageHeaderBytes), /*app_context=*/true);
   const MessageHeader mh = read_message_header(message);
   FrameHeader f;
@@ -656,27 +689,26 @@ void Transport::send_message_staged(fabric::Direction d,
   f.id = next_msg_id_++;
   f.c = static_cast<std::uint32_t>(message.size());
   f.d = static_cast<std::uint32_t>(slot_off);  // staging slot offset
-  emit_frame_inflight(d, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
+  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
   // The credit is released by the receiver's ACK doorbell; the call is
   // locally complete once the doorbell is rung (one-sided Put semantics).
 }
 
-void Transport::send_chunk(fabric::Direction d,
-                           std::span<const std::byte> payload,
+void Transport::send_chunk(int p, std::span<const std::byte> payload,
                            std::uint32_t msg_id, std::uint64_t off,
                            std::uint32_t total) {
-  const int next = neighbor(d);
+  const int next = peer_host(p);
   const host::Region staging =
-      runtime_.host_transport(next).staging_region(fabric::opposite(d));
-  TxChannel& ch = channel(d);
+      runtime_.host_transport(next).staging_in(peer_port(p));
+  TxChannel& ch = channel(p);
   // One ScratchPad+Doorbell handshake per chunk: acquire a credit, deposit
   // the chunk in the credit's staging slot, notify. The ACK returns the
   // credit; with tx_credits > 1 the next chunk's staging overlaps this
   // chunk's in-flight ACK instead of ping-ponging with it.
-  const int slot = acquire_send_credit(d);
+  const int slot = acquire_send_credit(p);
   const std::uint64_t slot_off =
       static_cast<std::uint64_t>(slot) * ch.slot_bytes;
-  window_write(d, ntb::kBypassWindow, staging, slot_off, payload,
+  window_write(p, ntb::kBypassWindow, staging, slot_off, payload,
                /*app_context=*/false);
   FrameHeader f;
   f.kind = FrameKind::kChunk;
@@ -686,10 +718,10 @@ void Transport::send_chunk(fabric::Direction d,
   f.b = static_cast<std::uint32_t>(payload.size());  // chunk size
   f.c = total;                                    // total message size
   f.d = static_cast<std::uint32_t>(slot_off);     // staging slot offset
-  emit_frame_inflight(d, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
+  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
 }
 
-void Transport::send_message_chunked(fabric::Direction d,
+void Transport::send_message_chunked(int p,
                                      std::span<const std::byte> message) {
   const std::uint64_t chunk = timing().bypass_chunk_bytes;
   const std::uint32_t msg_id = next_msg_id_++;
@@ -697,7 +729,7 @@ void Transport::send_message_chunked(fabric::Direction d,
   std::uint64_t off = 0;
   while (off < message.size()) {
     const std::uint64_t n = std::min<std::uint64_t>(chunk, message.size() - off);
-    send_chunk(d, message.subspan(off, n), msg_id, off, total);
+    send_chunk(p, message.subspan(off, n), msg_id, off, total);
     off += n;
   }
 }
@@ -727,7 +759,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     return;
   }
 
-  const fabric::Route r = route_to(target_pe);
+  const fabric::PortRoute r = route_to(target_pe);
   const bool full = runtime_.options().completion == CompletionMode::kFullDelivery;
 
   if (r.hops == 1) {
@@ -736,11 +768,11 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     std::uint64_t done = 0;
     for (const SymmetricHeap::Piece& piece :
          target_heap.pieces(heap_offset, src.size())) {
-      window_write(r.dir, ntb::kShmemWindow, piece.region, piece.region_off,
+      window_write(r.port, ntb::kShmemWindow, piece.region, piece.region_off,
                    src.subspan(done, piece.len), /*app_context=*/true);
       done += piece.len;
     }
-    const int slot = acquire_send_credit(r.dir);
+    const int slot = acquire_send_credit(r.port);
     if (full) ++outstanding_by_domain_[domain];
     FrameHeader f;
     f.kind = FrameKind::kDirectPut;
@@ -749,7 +781,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     f.id = next_op_id_++;
     f.a = heap_offset;
     f.b = static_cast<std::uint32_t>(src.size());
-    emit_frame_inflight(r.dir, f, kDbDmaPut, slot,
+    emit_frame_inflight(r.port, f, kDbDmaPut, slot,
                         /*counts_as_delivery=*/full, domain);
     return;
   }
@@ -761,7 +793,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
   // sub-message is capped at one slot (and successive sub-messages overlap
   // in flight instead of serializing on one ACK).
   const std::uint64_t staging_cap =
-      channel(r.dir).slot_bytes - kMessageHeaderBytes;
+      channel(r.port).slot_bytes - kMessageHeaderBytes;
   std::uint64_t off = 0;
   while (off < src.size()) {
     const std::uint64_t n =
@@ -775,7 +807,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     mh.payload_len = static_cast<std::uint32_t>(n);
     const auto msg = build_message(mh, src.subspan(off, n));
     if (full) track_delivery(domain, mh.op_id);
-    send_message_staged(r.dir, msg);
+    send_message_staged(r.port, msg);
     off += n;
   }
 }
@@ -794,8 +826,8 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
   pending_gets_[op_id] = PendingGet{dst.data(),
                                     static_cast<std::uint32_t>(dst.size()),
                                     false, domain};
-  const fabric::Route r = route_to(source_pe);
-  const int slot = acquire_send_credit(r.dir);
+  const fabric::PortRoute r = route_to(source_pe);
+  const int slot = acquire_send_credit(r.port);
   FrameHeader f;
   f.kind = FrameKind::kGetRequest;
   f.origin_pe = static_cast<std::uint8_t>(origin_pe);
@@ -803,7 +835,7 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
   f.id = op_id;
   f.a = heap_offset;
   f.b = static_cast<std::uint32_t>(dst.size());
-  emit_frame_inflight(r.dir, f, kDbDmaGet, slot, /*counts_as_delivery=*/false,
+  emit_frame_inflight(r.port, f, kDbDmaGet, slot, /*counts_as_delivery=*/false,
                       0);
   ++stats_.gets_issued;
   return op_id;
@@ -863,8 +895,8 @@ std::uint64_t Transport::atomic(AtomicOp op, std::uint64_t heap_offset,
   mh.operand1 = operand1;
   mh.operand2 = operand2;
   const auto msg = build_message(mh, {});
-  const fabric::Route r = route_to(target_pe);
-  send_message_chunked(r.dir, msg);  // single 64-byte control chunk
+  const fabric::PortRoute r = route_to(target_pe);
+  send_message_chunked(r.port, msg);  // single 64-byte control chunk
   bool waited = false;
   while (!pending_atomics_.at(op_id).done) {
     op_event_->wait();
@@ -908,7 +940,7 @@ void Transport::atomic_post(AtomicOp op, std::uint64_t heap_offset,
   mh.operand1 = operand1;
   const auto msg = build_message(mh, {});
   if (full) track_delivery(domain, mh.op_id);
-  send_message_chunked(route_to(target_pe).dir, msg);
+  send_message_chunked(route_to(target_pe).port, msg);
 }
 
 void Transport::put_signal(std::uint64_t heap_offset,
@@ -917,8 +949,9 @@ void Transport::put_signal(std::uint64_t heap_offset,
                            std::uint64_t signal_value, AtomicOp signal_op,
                            int target_pe, int origin_pe, int domain) {
   put(heap_offset, src, target_pe, origin_pe, domain);
-  // The signal update travels the same path as the data (per-link FIFO and
-  // in-order forwarding), so the target observes data before signal.
+  // The signal update travels the same path as the data (deterministic
+  // single-path routing, per-link FIFO and in-order forwarding), so the
+  // target observes data before signal.
   atomic_post(signal_op, signal_offset, target_pe, 8, signal_value, origin_pe,
               domain);
 }
@@ -970,7 +1003,16 @@ void Transport::fence() {
 
 void Transport::wait_heap_change() { heap_event_->wait(); }
 
-void Transport::barrier_ring(int origin_pe) {
+// ---- barrier ------------------------------------------------------------------
+
+bool Transport::use_tree_barrier() const {
+  // The doorbell circulation is only defined on a ring-like fabric (the
+  // rightward walk from host 0 must visit everyone and return); non-ring
+  // fabrics always run the token tree, ring fabrics may opt in.
+  return tuning().topology_collectives || !fabric().topology().ring_like();
+}
+
+void Transport::barrier(int origin_pe) {
   // The caller's quiet() semantics are per-PE; PE-level code (Context)
   // drains its own domains before calling. Here we only run the
   // synchronization protocol.
@@ -1000,6 +1042,19 @@ void Transport::barrier_ring(int origin_pe) {
   while (local_barrier_arrived_ < k) local_barrier_event_->wait();
   local_barrier_arrived_ -= k;
 
+  if (use_tree_barrier()) {
+    barrier_leader_tree();
+  } else {
+    barrier_leader_ring();
+  }
+  ++stats_.barriers_completed;
+  obs_barrier_hist_->record(static_cast<std::uint64_t>(engine.now() - barrier_t0));
+  // Release the residents.
+  ++local_barrier_round_;
+  local_barrier_event_->notify_all();
+}
+
+void Transport::barrier_leader_ring() {
   auto consume = [&](std::uint64_t& tokens) {
     bool waited = false;
     while (tokens == 0) {
@@ -1009,7 +1064,7 @@ void Transport::barrier_ring(int origin_pe) {
     if (waited) charge_service_wake();  // blocked PE thread reschedule
     --tokens;
   };
-  ntb::NtbPort& right = out_port(fabric::Direction::kRight);
+  ntb::NtbPort& right = port(static_cast<int>(fabric::Direction::kRight));
   if (host_id_ == 0) {
     // Host 0 initiates the start round, closes it, then initiates the end
     // round and waits for it to circulate fully (Fig. 6 steps 1 and 3).
@@ -1023,11 +1078,51 @@ void Transport::barrier_ring(int origin_pe) {
     consume(barrier_end_tokens_);
     right.ring_doorbell(kDbBarrierEnd);
   }
-  ++stats_.barriers_completed;
-  obs_barrier_hist_->record(static_cast<std::uint64_t>(engine.now() - barrier_t0));
-  // Release the residents.
-  ++local_barrier_round_;
-  local_barrier_event_->notify_all();
+}
+
+void Transport::barrier_leader_tree() {
+  // Two-phase tree rooted at host 0: every leader consumes one up-token per
+  // child, non-roots then report up and wait for the release; the root's
+  // down-tokens release the tree top-down, each host relaying to its
+  // children. Tokens are ordinary kBarrierToken messages on the data path,
+  // so barrier latency couples to in-flight receive work exactly as the
+  // ring protocol's doorbells do (the Fig. 10 effect survives the topology
+  // change).
+  auto consume = [&](std::uint64_t& tokens, std::uint64_t need) {
+    bool waited = false;
+    while (tokens < need) {
+      barrier_event_->wait();
+      waited = true;
+    }
+    if (waited) charge_service_wake();  // blocked PE thread reschedule
+    tokens -= need;
+  };
+  consume(barrier_up_tokens_, barrier_children_.size());
+  if (barrier_parent_ >= 0) {
+    send_barrier_token(barrier_parent_, /*phase=*/0);
+    consume(barrier_down_tokens_, 1);
+  }
+  for (const int child : barrier_children_) {
+    send_barrier_token(child, /*phase=*/1);
+  }
+}
+
+void Transport::send_barrier_token(int dst_host, int phase) {
+  MessageHeader mh;
+  mh.op = MsgOp::kBarrierToken;
+  mh.origin_pe = static_cast<std::uint8_t>(leader_pe());
+  mh.target_pe = static_cast<std::uint8_t>(dst_host * pes_per_host());
+  mh.op_id = next_op_id_++;
+  mh.payload_len = 0;
+  mh.operand1 = static_cast<std::uint64_t>(phase);
+  const auto msg = build_message(mh, {});
+  // Parent and children are routing-graph neighbours, so this is one hop
+  // (one 64-byte control chunk).
+  send_message_chunked(routes().next_port(host_id_, dst_host), msg);
+  ++stats_.barrier_tokens_sent;
+  trace("barrier", "host" + std::to_string(host_id_) + " token " +
+                       (phase == 0 ? "up" : "down") + " -> host" +
+                       std::to_string(dst_host));
 }
 
 // ---- receive side -------------------------------------------------------------
@@ -1071,17 +1166,17 @@ void Transport::tx_service_body() {
       tx_queue_.pop_front();
       switch (item.kind) {
         case OutboundItem::Kind::kRawFrame: {
-          const int slot = acquire_send_credit(item.dir);
-          emit_frame_inflight(item.dir, item.raw_frame, kDbDmaGet, slot,
+          const int slot = acquire_send_credit(item.port);
+          emit_frame_inflight(item.port, item.raw_frame, kDbDmaGet, slot,
                               /*counts_as_delivery=*/false, 0);
           break;
         }
         case OutboundItem::Kind::kMessage:
-          send_message_chunked(item.dir, item.message);
+          send_message_chunked(item.port, item.message);
           break;
         case OutboundItem::Kind::kChunk:
           // Cut-through: one chunk of a message still arriving behind us.
-          send_chunk(item.dir, item.message, item.chunk_msg_id,
+          send_chunk(item.port, item.message, item.chunk_msg_id,
                      item.chunk_off, item.chunk_total);
           break;
       }
@@ -1089,31 +1184,31 @@ void Transport::tx_service_body() {
   }
 }
 
-void Transport::ack_frame(fabric::Direction from) {
-  ntb::NtbPort& port = in_port(from);
+void Transport::ack_frame(int from) {
+  ntb::NtbPort& in = port(from);
   if (!reliability_on()) {
-    port.write_scratchpad(kAckReg, 1);
-    port.ring_doorbell(kDbAck);
+    in.write_scratchpad(kAckReg, 1);
+    in.ring_doorbell(kDbAck);
     return;
   }
   // The cumulative ack word lands in the *peer* bank's reg 7 — the same
   // register our own data-frame checksums travel in (reverse direction), so
-  // the write+ring must hold that direction's emit serial. Only taken when
+  // the write+ring must hold that channel's emit serial. Only taken when
   // reliability is on: the paper path keeps its lock-free ack.
   TxChannel& ch = channel(from);
   const auto acked = static_cast<std::uint8_t>(
       rx_expected_seq_[static_cast<std::size_t>(from)] - 1);
   ch.emit_serial.acquire();
-  port.write_scratchpad(kAckReg, pack_ack_word(acked));
-  port.ring_doorbell(kDbAck);
+  in.write_scratchpad(kAckReg, pack_ack_word(acked));
+  in.ring_doorbell(kDbAck);
   ch.emit_serial.release();
 }
 
-void Transport::nak_frame(fabric::Direction from) {
+void Transport::nak_frame(int from) {
   // Payload-free reject signal; the doorbell register is not the ScratchPad
   // bank, so no emit serialization is needed.
   ++stats_.naks_sent;
-  in_port(from).ring_doorbell(kDbNak);
+  port(from).ring_doorbell(kDbNak);
 }
 
 bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
@@ -1144,21 +1239,21 @@ bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
 }
 
 void Transport::process_frame(const RxToken& token) {
-  const fabric::Direction from = token.from;
-  ntb::NtbPort& port = in_port(from);
+  const int from = token.from;
+  ntb::NtbPort& in = port(from);
   ObsSpan span(tracer_, runtime_.engine(), rx_track_, cat_frame_,
                ev_process_frame_);
   // The header registers were latched at doorbell arrival; reading the
   // latched bank costs the same non-posted register reads as the live one.
   std::array<std::uint32_t, 7> regs{};
   for (int i = 0; i < kFrameRegs; ++i) {
-    runtime_.engine().wait_for(port.config().reg_read);
+    runtime_.engine().wait_for(in.config().reg_read);
     regs[static_cast<std::size_t>(i)] = token.regs[static_cast<std::size_t>(i)];
   }
   const FrameHeader f = FrameHeader::unpack(regs);
   if (reliability_on()) {
     // One more register read: the checksum the sender wrote into reg 7.
-    runtime_.engine().wait_for(port.config().reg_read);
+    runtime_.engine().wait_for(in.config().reg_read);
     if (token.regs[kAckReg] != frame_checksum(regs)) {
       ++stats_.frames_corrupt_dropped;
       trace("retry", "host" + std::to_string(host_id_) +
@@ -1189,16 +1284,16 @@ void Transport::process_frame(const RxToken& token) {
       } else {
         OutboundItem item;
         item.kind = OutboundItem::Kind::kRawFrame;
-        item.dir = fabric::opposite(from);  // keep travelling
+        item.port = forward_port(f.target_pe, from);  // keep travelling
         item.raw_frame = f;
         enqueue_outbound(std::move(item));
       }
       return;
     }
     case FrameKind::kStaged: {
-      const host::Region staging = staging_region(from);
+      const host::Region staging = staging_in(from);
       std::vector<std::byte> msg(f.c);
-      auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.c);
+      auto src = fabric().host(host_id_).memory().bytes(staging, f.d, f.c);
       std::memcpy(msg.data(), src.data(), f.c);
       charge_local_copy(f.c);
       ack_frame(from);
@@ -1210,8 +1305,8 @@ void Transport::process_frame(const RxToken& token) {
       const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
       Reassembly& re = reassembly_[key];
       if (re.data.empty()) re.data.resize(f.c);
-      const host::Region staging = staging_region(from);
-      auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.b);
+      const host::Region staging = staging_in(from);
+      auto src = fabric().host(host_id_).memory().bytes(staging, f.d, f.b);
       std::memcpy(re.data.data() + f.a, src.data(), f.b);
       charge_local_copy(f.b);
       re.received += f.b;
@@ -1227,7 +1322,7 @@ void Transport::process_frame(const RxToken& token) {
   throw std::runtime_error("unknown frame kind received");
 }
 
-bool Transport::try_cut_through(const FrameHeader& f, fabric::Direction from) {
+bool Transport::try_cut_through(const FrameHeader& f, int from) {
   const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
   auto it = cut_through_.find(key);
   if (it == cut_through_.end()) {
@@ -1235,13 +1330,18 @@ bool Transport::try_cut_through(const FrameHeader& f, fabric::Direction from) {
     // and only if it carries the whole network header (chunks arrive in
     // order on a FIFO link, so f.a == 0 comes first).
     if (f.a != 0 || f.b < kMessageHeaderBytes || f.b >= f.c) return false;
-    const host::Region staging = staging_region(from);
-    auto head = ring().host(host_id_).memory().bytes(staging, f.d,
-                                                     kMessageHeaderBytes);
+    const host::Region head_staging = staging_in(from);
+    auto head = fabric().host(host_id_).memory().bytes(head_staging, f.d,
+                                                       kMessageHeaderBytes);
     const MessageHeader mh = read_message_header(
         std::span<const std::byte>(head.data(), kMessageHeaderBytes));
     if (is_resident(mh.target_pe)) return false;  // terminal hop: reassemble
-    it = cut_through_.emplace(key, CutThrough{next_msg_id_++, 0}).first;
+    // The first chunk's header fixes the egress port for the whole message
+    // (later chunks are header-less and must follow the same port).
+    it = cut_through_
+             .emplace(key, CutThrough{next_msg_id_++, 0,
+                                      forward_port(mh.target_pe, from)})
+             .first;
     ++stats_.messages_forwarded;
     trace("cut_through", "host" + std::to_string(host_id_) + " msg " +
                              std::to_string(f.id) + " -> out msg " +
@@ -1250,11 +1350,11 @@ bool Transport::try_cut_through(const FrameHeader& f, fabric::Direction from) {
   CutThrough& ct = it->second;
   // Copy the chunk out of the staging slot and put it on the forward queue
   // immediately — the tail of the message is still hops behind us.
-  const host::Region staging = staging_region(from);
-  auto src = ring().host(host_id_).memory().bytes(staging, f.d, f.b);
+  const host::Region staging = staging_in(from);
+  auto src = fabric().host(host_id_).memory().bytes(staging, f.d, f.b);
   OutboundItem item;
   item.kind = OutboundItem::Kind::kChunk;
-  item.dir = fabric::opposite(from);
+  item.port = ct.out_port;
   item.message.assign(src.begin(), src.end());
   item.chunk_msg_id = ct.out_msg_id;
   item.chunk_off = f.a;
@@ -1269,14 +1369,13 @@ bool Transport::try_cut_through(const FrameHeader& f, fabric::Direction from) {
   return true;
 }
 
-void Transport::dispatch_message(std::vector<std::byte> message,
-                                 fabric::Direction from) {
+void Transport::dispatch_message(std::vector<std::byte> message, int from) {
   const MessageHeader mh = read_message_header(message);
   if (!is_resident(mh.target_pe)) {
     ++stats_.messages_forwarded;
     stats_.bytes_forwarded += message.size();
     OutboundItem item;
-    item.dir = fabric::opposite(from);
+    item.port = forward_port(mh.target_pe, from);
     item.message = std::move(message);
     enqueue_outbound(std::move(item));
     return;
@@ -1298,6 +1397,17 @@ void Transport::dispatch_message(std::vector<std::byte> message,
       return;
     case MsgOp::kDeliveryAck:
       note_delivery_completed_op(mh.op_id);
+      return;
+    case MsgOp::kBarrierToken:
+      // Tree barrier: count the token for the leader and wake it.
+      if (mh.operand1 == 0) {
+        ++barrier_up_tokens_;
+      } else {
+        ++barrier_down_tokens_;
+      }
+      trace("barrier", "host" + std::to_string(host_id_) + " rx token " +
+                           (mh.operand1 == 0 ? "up" : "down"));
+      barrier_event_->notify_all();
       return;
   }
   throw std::runtime_error("unknown message op received");
@@ -1343,7 +1453,7 @@ void Transport::serve_get_request(const FrameHeader& f) {
   mh.op_id = f.id;
   mh.payload_len = static_cast<std::uint32_t>(data.size());
   OutboundItem item;
-  item.dir = response_route_to(f.origin_pe).dir;
+  item.port = response_route_to(f.origin_pe).port;
   item.message = build_message(mh, data);
   enqueue_outbound(std::move(item));
 }
@@ -1427,7 +1537,7 @@ void Transport::execute_atomic_request(const MessageHeader& h) {
   resp.payload_len = 0;
   resp.operand2 = old;
   OutboundItem item;
-  item.dir = response_route_to(h.origin_pe).dir;
+  item.port = response_route_to(h.origin_pe).port;
   item.message = build_message(resp, {});
   enqueue_outbound(std::move(item));
 }
@@ -1450,7 +1560,7 @@ void Transport::send_delivery_ack(std::uint8_t origin, std::uint32_t op_id) {
   mh.op_id = op_id;
   mh.payload_len = 0;
   OutboundItem item;
-  item.dir = response_route_to(origin).dir;
+  item.port = response_route_to(origin).port;
   item.message = build_message(mh, {});
   enqueue_outbound(std::move(item));
   ++stats_.delivery_acks_sent;

@@ -1,9 +1,10 @@
 // NTB transport: the data-sharing machinery of the paper's §III.
 //
 // Per host there are:
-//   * two TX channels (left/right): each serializes the link's ScratchPad
-//     bank — a frame holds the channel from ScratchPad write until the
-//     receiver's ACK doorbell ("Release Interrupt" in Fig. 5) frees it;
+//   * one TX channel per NTB adapter (a ring host has two, left/right; a
+//     torus host four): each serializes the link's ScratchPad bank — a
+//     frame holds the channel from ScratchPad write until the receiver's
+//     ACK doorbell ("Release Interrupt" in Fig. 5) frees it;
 //   * an RX service process: the interrupt-service thread of Fig. 5. It
 //     reads the ScratchPad header, copies staged payloads out of the bypass
 //     buffer, acknowledges the frame, reassembles chunked messages, and
@@ -15,6 +16,13 @@
 //     cannot use the fast segmented path the application context uses —
 //     this asymmetry is what makes Get and multi-hop forwarding an order of
 //     magnitude slower than neighbour Put, as in the paper's Fig. 9.)
+//
+// Routing: every hop decision consults the fabric's precomputed
+// fabric::RoutingTable (RuntimeOptions::routing selects the mode). On the
+// paper's ring with the default kRightOnly mode the table reproduces the
+// legacy always-right circulation bit-for-bit; kShortest and
+// kDimensionOrder generalize the same transport to chordal rings, 2-D tori
+// and full meshes without touching the data path.
 //
 // Application-context operations:
 //   * put(): neighbour targets get the direct path — data DMA'd segment by
@@ -29,11 +37,15 @@
 //     path; the caller blocks until the payload lands in its buffer.
 //   * atomics: request/response messages executed by the owner's service
 //     thread (single-threaded per host -> linearizable per target word).
-//   * barrier_ring(): the Fig. 6 two-round start/end doorbell circulation.
+//   * barrier(): the Fig. 6 two-round start/end doorbell circulation on
+//     ring-like fabrics, or — when TransportTuning::topology_collectives is
+//     on, and always on non-ring fabrics, whose doorbell walk would not
+//     terminate — a token tree over the routing graph rooted at host 0
+//     (children send kBarrierToken up, the root releases down the tree).
 //
 // Pipelined data path (opt-in via RuntimeOptions::tuning; the default is
 // the paper-faithful serial protocol above):
-//   * tx_credits > 1: N frames in flight per direction. The receiving
+//   * tx_credits > 1: N frames in flight per channel. The receiving
 //     adapter latches the ScratchPad bank per doorbell (NtbPort frame
 //     latch) and the bypass staging buffer is partitioned into N slots, one
 //     per credit, carried in FrameHeader::d.
@@ -60,7 +72,7 @@
 #include <vector>
 
 #include "common/stats.hpp"
-#include "fabric/ring.hpp"
+#include "fabric/fabric.hpp"
 #include "obs/hub.hpp"
 #include "shmem/message.hpp"
 #include "shmem/options.hpp"
@@ -82,6 +94,7 @@ struct TransportStats {
   std::uint64_t bytes_forwarded = 0;
   std::uint64_t delivery_acks_sent = 0;
   std::uint64_t barriers_completed = 0;
+  std::uint64_t barrier_tokens_sent = 0;  // tree barrier: up+down tokens
   // Reliability-layer accounting (all zero when reliability is off).
   std::uint64_t retransmits = 0;        // frames re-emitted (timeout or NAK)
   std::uint64_t ack_timeouts = 0;       // retransmit timers that fired
@@ -154,11 +167,16 @@ class Transport {
   // Put ordering to each PE is FIFO by construction; fence is bookkeeping
   // only (documented in DESIGN.md).
   void fence();
-  // The paper's Fig. 6 ring barrier (collective across all PEs). With
-  // multiple PEs per host the barrier is hierarchical: residents gather
-  // locally, each host's lowest PE runs the doorbell circulation, then
-  // releases its residents.
-  void barrier_ring(int origin_pe);
+  // Collective barrier across all PEs. With multiple PEs per host the
+  // barrier is hierarchical: residents gather locally, each host's lowest
+  // PE runs the inter-host protocol, then releases its residents. The
+  // inter-host protocol is the paper's Fig. 6 doorbell circulation on
+  // ring-like fabrics and the kBarrierToken tree otherwise (or when
+  // TransportTuning::topology_collectives opts the ring in).
+  void barrier(int origin_pe);
+  // Backwards-compatible alias for barrier() (the historical name; the ring
+  // protocol is selected automatically on ring-like fabrics).
+  void barrier_ring(int origin_pe) { barrier(origin_pe); }
   // Blocks until the RX service signals a local symmetric-heap update
   // (building block of shmem_wait_until).
   void wait_heap_change();
@@ -176,28 +194,38 @@ class Transport {
     std::uint64_t stale_acks = 0;    // cumulative acks that retired nothing
     RunningStats ack_latency_ns;  // emission -> retiring ack
   };
-  const ChannelReliability& channel_reliability(fabric::Direction d) const {
-    return d == fabric::Direction::kRight ? tx_right_->rel : tx_left_->rel;
+  // By adapter/port index (port p talks to topology().port(host, p).peer).
+  const ChannelReliability& channel_reliability(int port) const {
+    return tx_.at(static_cast<std::size_t>(port))->rel;
   }
-  // Staging buffer for frames arriving from the given side (the bypass
-  // buffer of paper Fig. 4; written by that side's neighbour host).
+  // Ring-surface shim: Direction doubles as the port index (kRight == port
+  // 0, kLeft == port 1), matching fabric::Fabric's ring accessors.
+  const ChannelReliability& channel_reliability(fabric::Direction d) const {
+    return channel_reliability(static_cast<int>(d));
+  }
+  // Staging buffer for frames arriving through adapter `in_port` (the
+  // bypass buffer of paper Fig. 4; written by that port's peer host).
+  host::Region staging_in(int in_port) const {
+    return staging_in_.at(static_cast<std::size_t>(in_port));
+  }
+  // Ring-surface shim: frames "from the left" arrive through the left
+  // adapter (port 1), frames "from the right" through port 0.
   host::Region staging_region(fabric::Direction from) const {
-    return from == fabric::Direction::kLeft ? staging_from_left_
-                                            : staging_from_right_;
+    return staging_in(static_cast<int>(from));
   }
   // Allocates a fresh completion-domain id (per-PE contexts draw from the
   // host transport so ids never collide between co-resident PEs).
   int allocate_domain() { return next_domain_++; }
 
  private:
-  // One TX direction of the host's NTB pair. `credits` is the number of
-  // frames that may be in flight before the sender must wait for an ACK
-  // doorbell: 1 is the paper's handshake; N>1 is the pipelined mode, where
-  // the receiver's adapter latches the ScratchPad bank per doorbell and the
-  // bypass staging buffer is partitioned into N slots so in-flight payloads
-  // never collide. ACKs arrive in emission order (the link and the
-  // receiver's service loop are both FIFO), so in-flight bookkeeping is a
-  // queue popped by the ACK handler.
+  // One TX adapter of the host. `credits` is the number of frames that may
+  // be in flight before the sender must wait for an ACK doorbell: 1 is the
+  // paper's handshake; N>1 is the pipelined mode, where the receiver's
+  // adapter latches the ScratchPad bank per doorbell and the bypass staging
+  // buffer is partitioned into N slots so in-flight payloads never collide.
+  // ACKs arrive in emission order (the link and the receiver's service loop
+  // are both FIFO), so in-flight bookkeeping is a queue popped by the ACK
+  // handler.
   struct TxChannel {
     TxChannel(sim::Engine& engine, const std::string& name, int credits,
               std::uint64_t stage_slot_bytes)
@@ -234,12 +262,12 @@ class Transport {
 
   enum class RxTokenKind : std::uint8_t {
     kFrame,         // ScratchPad frame notify (DMAPUT / DMAGET doorbells)
-    kBarrierStart,  // DOORBELL_BARRIER_START
-    kBarrierEnd,    // DOORBELL_BARRIER_END
+    kBarrierStart,  // DOORBELL_BARRIER_START (ring protocol only)
+    kBarrierEnd,    // DOORBELL_BARRIER_END (ring protocol only)
   };
 
   struct RxToken {
-    fabric::Direction from;  // side the signal arrived from
+    int from = 0;  // adapter/port index the signal arrived through
     RxTokenKind kind = RxTokenKind::kFrame;
     // Header bank latched by the adapter at doorbell-arrival time (valid
     // for kFrame tokens). Reading it is charged at process_frame time.
@@ -253,7 +281,7 @@ class Transport {
       kChunk,     // cut-through: one chunk of a partially arrived message
     };
     Kind kind = Kind::kMessage;
-    fabric::Direction dir;            // direction to send
+    int port = 0;                     // egress adapter to send through
     std::vector<std::byte> message;   // message bytes, or one chunk's payload
     FrameHeader raw_frame;            // get-request forwarding
     // Cut-through chunk coordinates (kind == kChunk).
@@ -273,6 +301,10 @@ class Transport {
   struct CutThrough {
     std::uint32_t out_msg_id = 0;
     std::uint64_t forwarded = 0;  // bytes forwarded so far
+    // Egress port resolved from the first chunk's network header; later
+    // chunks are header-less and must follow the same port (the routing
+    // table is static per run, so the path cannot change mid-message).
+    int out_port = 0;
   };
 
   struct PendingGet {
@@ -292,50 +324,57 @@ class Transport {
   int host_of(int pe) const { return pe / pes_per_host(); }
   bool is_resident(int pe) const { return host_of(pe) == host_id_; }
   int leader_pe() const { return host_id_ * pes_per_host(); }
-  fabric::RingFabric& ring() const;
-  ntb::NtbPort& out_port(fabric::Direction d) const;
-  ntb::NtbPort& in_port(fabric::Direction d) const;
-  TxChannel& channel(fabric::Direction d) {
-    return d == fabric::Direction::kRight ? *tx_right_ : *tx_left_;
-  }
-  int neighbor(fabric::Direction d) const;
-  fabric::Route route_to(int target) const;
-  fabric::Route response_route_to(int origin) const;
+  fabric::Fabric& fabric() const;
+  int degree() const;
+  ntb::NtbPort& port(int p) const;
+  TxChannel& channel(int p) { return *tx_[static_cast<std::size_t>(p)]; }
+  // Host on the far end of adapter `p` (and the adapter index it arrives
+  // through over there — whose staging buffer receives our staged frames).
+  int peer_host(int p) const;
+  int peer_port(int p) const;
+  // Precomputed routing table for the configured RoutingMode.
+  const fabric::RoutingTable& routes() const;
+  // First-hop egress port and total hop count toward `target` (a PE).
+  fabric::PortRoute route_to(int target) const;
+  // Egress port/hops for a response travelling back to `origin` (a PE); on
+  // kRightOnly rings responses travel leftward so hop counts stay symmetric.
+  fabric::PortRoute response_route_to(int origin) const;
+  // Egress port for forwarding a transit message toward `target_pe` that
+  // arrived through `in`.
+  int forward_port(int target_pe, int in) const;
   const TimingParams& timing() const;
   const TransportTuning& tuning() const;
 
   // ---- send-side primitives ----
   // Blocks until a frame credit is free and returns the staging slot index
   // owned by that credit until the matching ACK doorbell.
-  int acquire_send_credit(fabric::Direction d);
+  int acquire_send_credit(int p);
   // Writes the 7 header registers (+ checksum reg under reliability).
-  void write_frame_regs(fabric::Direction d, const FrameHeader& hdr);
+  void write_frame_regs(int p, const FrameHeader& hdr);
   // write_frame_regs + doorbell; channel must be held.
-  void emit_frame(fabric::Direction d, const FrameHeader& hdr, int doorbell);
+  void emit_frame(int p, const FrameHeader& hdr, int doorbell);
   // emit_frame plus in-flight bookkeeping: serializes the ScratchPad
   // staging against other credit holders and registers the record the ACK
   // handler consumes. `slot` is the staging slot from acquire_send_credit.
-  void emit_frame_inflight(fabric::Direction d, const FrameHeader& hdr,
-                           int doorbell, int slot, bool counts_as_delivery,
+  void emit_frame_inflight(int p, const FrameHeader& hdr, int doorbell,
+                           int slot, bool counts_as_delivery,
                            int delivery_domain);
   // Data write through a window with the configured path; charges
   // segment_setup per LUT segment when `app_context` is true (serially, or
   // overlapped with the previous segment's DMA under the pipelined tuning).
-  void window_write(fabric::Direction d, int window, host::Region region,
-                    std::uint64_t off, std::span<const std::byte> src,
-                    bool app_context);
-  // Sends one message (header+payload) one hop in `d`, chunked through the
-  // bypass buffer with one handshake per chunk. Any process context.
-  void send_message_chunked(fabric::Direction d,
-                            std::span<const std::byte> message);
+  void window_write(int p, int window, host::Region region, std::uint64_t off,
+                    std::span<const std::byte> src, bool app_context);
+  // Sends one message (header+payload) one hop through adapter `p`,
+  // chunked through the bypass buffer with one handshake per chunk. Any
+  // process context.
+  void send_message_chunked(int p, std::span<const std::byte> message);
   // Sends one chunk of the logical message `msg_id` (`total` bytes overall)
-  // one hop in `d`; the chunk's payload starts at message offset `off`.
-  void send_chunk(fabric::Direction d, std::span<const std::byte> payload,
+  // one hop through `p`; the chunk's payload starts at message offset `off`.
+  void send_chunk(int p, std::span<const std::byte> payload,
                   std::uint32_t msg_id, std::uint64_t off,
                   std::uint32_t total);
   // Application fast path: stage the whole message in one handshake.
-  void send_message_staged(fabric::Direction d,
-                           std::span<const std::byte> message);
+  void send_message_staged(int p, std::span<const std::byte> message);
   std::vector<std::byte> build_message(const MessageHeader& header,
                                        std::span<const std::byte> payload);
   void enqueue_outbound(OutboundItem item);
@@ -344,32 +383,32 @@ class Transport {
   bool reliability_on() const { return tuning().reliability.enabled; }
   TxChannel::InFlight* find_inflight(TxChannel& ch, std::uint8_t seq);
   // Arms the per-frame retransmit timer (timeout grows with rec.retries).
-  void arm_retx_timer(fabric::Direction d, TxChannel::InFlight& rec);
+  void arm_retx_timer(int p, TxChannel::InFlight& rec);
   // Scheduler context: queue a retransmit and wake the rel service.
-  void on_ack_timeout(fabric::Direction d, std::uint8_t seq);
-  void on_nak(fabric::Direction d);
+  void on_ack_timeout(int p, std::uint8_t seq);
+  void on_nak(int p);
   // Retires in-flight records up to (and including) `seq` — cumulative ack.
-  void retire_acked(fabric::Direction d, std::uint8_t seq);
+  void retire_acked(int p, std::uint8_t seq);
   // Re-emits the header of in-flight frame `seq` (payload still staged);
   // throws after ReliabilityParams::max_retries.
-  void retransmit(fabric::Direction d, std::uint8_t seq);
+  void retransmit(int p, std::uint8_t seq);
   void rel_service_body();
   // Receiver side: signal a checksum/order reject to the sender.
-  void nak_frame(fabric::Direction from);
+  void nak_frame(int from);
   // Accept gate for a frame's sequence number; true => process it.
   bool accept_frame_seq(const RxToken& token, const FrameHeader& f);
 
   // ---- receive side ----
-  void on_rx_token(fabric::Direction from, RxTokenKind kind);
-  void on_ack(fabric::Direction d);
+  void on_rx_token(int from, RxTokenKind kind);
+  void on_ack(int p);
   void rx_service_body();
   void tx_service_body();
   void process_frame(const RxToken& token);
   // Cut-through fast path for a kChunk frame; returns true when the chunk
   // was forwarded (consumed) instead of entering reassembly.
-  bool try_cut_through(const FrameHeader& f, fabric::Direction from);
-  void ack_frame(fabric::Direction from);
-  void dispatch_message(std::vector<std::byte> message, fabric::Direction from);
+  bool try_cut_through(const FrameHeader& f, int from);
+  void ack_frame(int from);
+  void dispatch_message(std::vector<std::byte> message, int from);
   // Local delivery between co-resident PEs (shared-memory path).
   void local_put(std::uint64_t heap_offset, std::span<const std::byte> src,
                  int target_pe);
@@ -389,6 +428,17 @@ class Transport {
   // Completion of an op id tracked via track_delivery (DeliveryAck path).
   void note_delivery_completed_op(std::uint32_t op_id);
 
+  // ---- barrier protocols ----
+  // Tree barrier is mandatory off-ring (the doorbell circulation assumes a
+  // ring) and opt-in on ring-like fabrics via topology_collectives.
+  bool use_tree_barrier() const;
+  // Inter-host half of the barrier, run by the host leader PE only.
+  void barrier_leader_ring();   // Fig. 6 doorbell circulation
+  void barrier_leader_tree();   // kBarrierToken tree rooted at host 0
+  // Sends one barrier token (phase 0 = up, 1 = down) to an adjacent host's
+  // leader through the normal message path.
+  void send_barrier_token(int dst_host, int phase);
+
   // Appends a protocol-trace record when tracing is enabled.
   void trace(const char* category, const std::string& message);
   // ---- observability ----
@@ -403,7 +453,7 @@ class Transport {
                : pe_tracks_[static_cast<std::size_t>(origin_pe - leader_pe())];
   }
   // Closes a retired frame's lifetime span (ACK time).
-  void end_frame_span(fabric::Direction d, const TxChannel::InFlight& rec);
+  void end_frame_span(int p, const TxChannel::InFlight& rec);
   // Charges the CPU cost of a local DRAM-to-DRAM copy.
   void charge_local_copy(std::uint64_t bytes);
   // Models the service thread's scheduling latency after an idle wake.
@@ -412,12 +462,12 @@ class Transport {
   Runtime& runtime_;
   int host_id_;
 
-  // Incoming bypass/staging buffers (per arrival side).
-  host::Region staging_from_left_;
-  host::Region staging_from_right_;
+  // Incoming bypass/staging buffers, one per adapter (indexed by the port
+  // the traffic arrives through; a ring host's port 0 faces right).
+  std::vector<host::Region> staging_in_;
 
-  std::unique_ptr<TxChannel> tx_left_;
-  std::unique_ptr<TxChannel> tx_right_;
+  // TX channels, one per adapter (same port indexing).
+  std::vector<std::unique_ptr<TxChannel>> tx_;
 
   // RX service state. (Hot-path lookups are unordered_map: nothing relies
   // on key order, and the stress/bench workloads hit these per frame.)
@@ -434,14 +484,13 @@ class Transport {
   // (scheduler context cannot block on register writes) and drained by the
   // rel service daemon, which is spawned only when reliability is enabled.
   struct RetxRequest {
-    fabric::Direction dir;
+    int port = 0;
     std::uint8_t seq = 0;
   };
   std::deque<RetxRequest> retx_queue_;
   std::unique_ptr<sim::Event> rel_event_;
-  // Go-back-N receive state: next expected sequence per arrival side
-  // (indexed by fabric::Direction).
-  std::array<std::uint8_t, 2> rx_expected_seq_{};
+  // Go-back-N receive state: next expected sequence per arrival port.
+  std::vector<std::uint8_t> rx_expected_seq_;
 
   // Pending application operations.
   std::unordered_map<std::uint32_t, PendingGet> pending_gets_;
@@ -455,9 +504,17 @@ class Transport {
   std::unordered_map<std::uint32_t, int> delivery_domain_of_op_;
   std::unique_ptr<sim::Event> quiet_event_;
 
-  // Barrier token counters (signals arrive on the left port, Fig. 6).
+  // Ring-barrier token counters (signals arrive on the left port, Fig. 6).
   std::uint64_t barrier_start_tokens_ = 0;
   std::uint64_t barrier_end_tokens_ = 0;
+  // Tree-barrier token counters (kBarrierToken messages).
+  std::uint64_t barrier_up_tokens_ = 0;
+  std::uint64_t barrier_down_tokens_ = 0;
+  // Tree shape (computed once in start_services when the tree barrier is
+  // active): the next hop toward host 0 is the parent; hosts whose parent
+  // is this host are the children, in increasing host order.
+  int barrier_parent_ = -1;
+  std::vector<int> barrier_children_;
   std::unique_ptr<sim::Event> barrier_event_;
   // Hierarchical barrier state for co-resident PEs.
   int local_barrier_arrived_ = 0;
@@ -478,7 +535,7 @@ class Transport {
   obs::Tracer* tracer_ = nullptr;
   std::vector<obs::TrackId> pe_tracks_;       // one per resident PE
   obs::TrackId rx_track_ = 0;                 // RX service thread
-  std::array<obs::TrackId, 2> frames_track_{};  // per direction
+  std::vector<obs::TrackId> frames_track_;    // per adapter/port
   obs::CategoryId cat_op_ = 0;
   obs::CategoryId cat_frame_ = 0;
   obs::CategoryId cat_barrier_ = 0;

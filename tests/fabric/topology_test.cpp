@@ -1,0 +1,139 @@
+// Topology generators: wiring shape, cross-references, spec resolution.
+#include "fabric/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace ntbshmem::fabric {
+namespace {
+
+TEST(TopologyTest, DirectionOppositeFlips) {
+  EXPECT_EQ(opposite(Direction::kRight), Direction::kLeft);
+  EXPECT_EQ(opposite(Direction::kLeft), Direction::kRight);
+}
+
+TEST(TopologyTest, RingMatchesPaperWiring) {
+  const Topology t = Topology::ring(5);
+  EXPECT_EQ(t.kind(), TopologyKind::kRing);
+  EXPECT_TRUE(t.ring_like());
+  EXPECT_EQ(t.num_hosts(), 5);
+  EXPECT_EQ(t.num_links(), 5);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(t.degree(i), 2);
+    // Port 0 = right adapter towards host i+1; port 1 = left adapter.
+    EXPECT_EQ(t.port(i, 0).name, "right");
+    EXPECT_EQ(t.port(i, 1).name, "left");
+    EXPECT_EQ(t.peer_host(i, 0), (i + 1) % 5);
+    EXPECT_EQ(t.peer_port(i, 0), 1);
+    EXPECT_EQ(t.peer_host(i, 1), (i + 4) % 5);
+    EXPECT_EQ(t.peer_port(i, 1), 0);
+  }
+  // Cable i joins host i's right to host i+1's left, in host order.
+  EXPECT_EQ(t.link(0).host_a, 0);
+  EXPECT_EQ(t.link(0).port_a, 0);
+  EXPECT_EQ(t.link(0).host_b, 1);
+  EXPECT_EQ(t.link(0).port_b, 1);
+}
+
+TEST(TopologyTest, CrossReferencesAreSymmetric) {
+  for (const Topology& t :
+       {Topology::ring(4), Topology::chordal(6, {2}),
+        Topology::torus2d(2, 3), Topology::full_mesh(5)}) {
+    for (int h = 0; h < t.num_hosts(); ++h) {
+      for (const PortSpec& p : t.ports(h)) {
+        const PortSpec& q = t.port(p.peer_host, p.peer_port);
+        EXPECT_EQ(q.peer_host, h);
+        EXPECT_EQ(q.peer_port, p.index);
+        EXPECT_EQ(q.link, p.link);
+      }
+    }
+  }
+}
+
+TEST(TopologyTest, ChordalAddsSkipPortsAboveTheRing) {
+  const Topology t = Topology::chordal(6, {2});
+  EXPECT_TRUE(t.ring_like());
+  EXPECT_EQ(t.num_links(), 6 + 6);  // base ring + one stride-2 chord per host
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_EQ(t.degree(i), 4);
+    // The ring subgraph stays on ports 0/1 (the barrier protocol needs it).
+    EXPECT_EQ(t.port(i, 0).name, "right");
+    EXPECT_EQ(t.port(i, 1).name, "left");
+    EXPECT_EQ(t.peer_host(i, 0), (i + 1) % 6);
+  }
+}
+
+TEST(TopologyTest, ChordalHalfStrideEnumeratesChordsOnce) {
+  // Stride n/2 pairs hosts symmetrically: 3 chords, degree 3.
+  const Topology t = Topology::chordal(6, {3});
+  EXPECT_EQ(t.num_links(), 6 + 3);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(t.degree(i), 3);
+}
+
+TEST(TopologyTest, ChordalRejectsBadStrides) {
+  EXPECT_THROW(Topology::chordal(6, {}), std::invalid_argument);
+  EXPECT_THROW(Topology::chordal(6, {1}), std::invalid_argument);
+  EXPECT_THROW(Topology::chordal(6, {5}), std::invalid_argument);
+  EXPECT_THROW(Topology::chordal(3, {2}), std::invalid_argument);
+}
+
+TEST(TopologyTest, Torus2dCoordinatesAndPorts) {
+  const Topology t = Topology::torus2d(2, 3);
+  EXPECT_FALSE(t.ring_like());
+  EXPECT_EQ(t.num_hosts(), 6);
+  EXPECT_EQ(t.num_links(), 12);  // one x and one y cable per host
+  for (int h = 0; h < 6; ++h) {
+    EXPECT_EQ(t.degree(h), 4);
+    EXPECT_EQ(t.port(h, 0).name, "px");
+    EXPECT_EQ(t.port(h, 1).name, "mx");
+    EXPECT_EQ(t.port(h, 2).name, "py");
+    EXPECT_EQ(t.port(h, 3).name, "my");
+  }
+  EXPECT_EQ(t.torus_row(4), 1);
+  EXPECT_EQ(t.torus_col(4), 1);
+  // +x from (0,2) wraps to (0,0); +y from (1,0) wraps to (0,0).
+  EXPECT_EQ(t.peer_host(2, 0), 0);
+  EXPECT_EQ(t.peer_host(3, 2), 0);
+}
+
+TEST(TopologyTest, TorusCoordinateHelpersRequireTorus) {
+  const Topology t = Topology::ring(4);
+  EXPECT_THROW(t.torus_row(0), std::logic_error);
+  EXPECT_THROW(Topology::torus2d(1, 4), std::invalid_argument);
+}
+
+TEST(TopologyTest, FullMeshEnumeratesPeersInHostOrder) {
+  const Topology t = Topology::full_mesh(4);
+  EXPECT_FALSE(t.ring_like());
+  EXPECT_EQ(t.num_links(), 6);
+  for (int h = 0; h < 4; ++h) {
+    EXPECT_EQ(t.degree(h), 3);
+    int expect_peer = 0;
+    for (const PortSpec& p : t.ports(h)) {
+      if (expect_peer == h) ++expect_peer;
+      EXPECT_EQ(p.peer_host, expect_peer);
+      ++expect_peer;
+    }
+  }
+}
+
+TEST(TopologyTest, MakeResolvesSpecAgainstHostCount) {
+  TopologySpec spec;
+  spec.kind = TopologyKind::kTorus2D;
+  spec.rows = 2;
+  spec.cols = 4;
+  const Topology t = Topology::make(spec, 8);
+  EXPECT_EQ(t.kind(), TopologyKind::kTorus2D);
+  EXPECT_EQ(t.num_hosts(), 8);
+  // rows * cols must match the PE-derived host count.
+  EXPECT_THROW(Topology::make(spec, 6), std::invalid_argument);
+}
+
+TEST(TopologyTest, RejectsDegenerateHostCounts) {
+  EXPECT_THROW(Topology::ring(1), std::invalid_argument);
+  EXPECT_THROW(Topology::full_mesh(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntbshmem::fabric

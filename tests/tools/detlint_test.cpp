@@ -143,6 +143,24 @@ TEST(DetlintMutableStatic, FileLevelAllowCoversWholeFile) {
   EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
 }
 
+// ---- routing-table fixtures (fabric subsystem shapes) ------------------------
+
+TEST(DetlintRoutingTable, CatchesAddressKeyedAndSeedFromClock) {
+  const auto diags = lint({"routing_table_violation.cc"});
+  EXPECT_EQ(lines_of(diags, "no-pointer-keys"), (std::vector<int>{13}));
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{16}));
+  EXPECT_EQ(lines_of(diags, "no-unordered-iteration"),
+            (std::vector<int>{20}));
+  EXPECT_EQ(diags.size(), 3u) << detlint::render_text(diags);
+}
+
+TEST(DetlintRoutingTable, SilentOnFlatTablesAndSeededMix) {
+  // The shape src/fabric/router.cpp actually uses: flat vectors, a
+  // configuration-provided tie-break seed, table-order digests.
+  const auto diags = lint({"routing_table_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
+}
+
 // ---- compile database driver -------------------------------------------------
 
 TEST(DetlintCompdb, ParsesCMakeShapeAndResolvesRelativePaths) {

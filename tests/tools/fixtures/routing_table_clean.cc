@@ -1,0 +1,36 @@
+// Fixture: the sanctioned routing-table shape — flat vectors indexed by
+// (src, dst), a caller-provided tie-break seed mixed with a deterministic
+// hash, digests folded in table order. Mirrors src/fabric/router.cpp;
+// detlint must stay silent.
+#include <cstdint>
+#include <vector>
+
+struct CleanRoutingTable {
+  int num_hosts = 0;
+  std::vector<int> next_port;  // flat [src * num_hosts + dst]
+  std::vector<int> hops;
+
+  int at(int src, int dst) const {
+    return next_port[static_cast<std::size_t>(src * num_hosts + dst)];
+  }
+
+  // Seeded but deterministic: the seed comes from configuration, and the
+  // mix is a pure function of it.
+  static std::uint64_t port_key(std::uint64_t seed, int port) {
+    if (seed == 0) return static_cast<std::uint64_t>(port);
+    std::uint64_t z = seed ^ static_cast<std::uint64_t>(port + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 27);
+  }
+
+  std::uint64_t digest() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const int v : next_port) {  // vector: iteration order is storage order
+      h = (h ^ static_cast<std::uint64_t>(v)) * 0x100000001b3ull;
+    }
+    for (const int v : hops) {
+      h = (h ^ static_cast<std::uint64_t>(v)) * 0x100000001b3ull;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,23 @@
+// Fixture: a routing-table builder with the determinism hazards detlint
+// exists to keep out of the fabric subsystem (src/fabric/router.cpp).
+#include <chrono>
+#include <map>
+#include <unordered_map>
+
+struct Port {
+  int index = 0;
+};
+
+struct BadRoutingTable {
+  std::unordered_map<int, int> next_port_;
+  std::map<const Port*, int> preference_;  // line 13: routes keyed by address
+
+  long long tiebreak_seed() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // 16
+  }
+  int digest() const {
+    int h = 0;
+    for (const auto& [dst, port] : next_port_) h ^= dst ^ port;  // line 20
+    return h;
+  }
+};
