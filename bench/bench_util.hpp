@@ -179,4 +179,42 @@ inline void write_bench_json(const std::string& path, std::string_view bench,
   std::cout << "wrote " << path << "\n";
 }
 
+// One row of an engine-scale sweep (bench_sim_engine). Unlike JsonSample,
+// the interesting axis is wall-clock, not modelled bandwidth: the sweep
+// measures the simulator itself, so each sample carries real elapsed time,
+// dispatch throughput and the allocator counters that explain it.
+struct ScaleSample {
+  std::string mode;  // "<backend>-<topology>" or "<backend>-stack<KiB>"
+  int hosts = 0;
+  int rounds = 0;
+  long long virtual_ns = 0;
+  double wall_ms = 0.0;
+  std::uint64_t dispatches = 0;
+  double events_per_sec = 0.0;
+  std::uint64_t callback_slots_created = 0;
+  std::uint64_t callbacks_scheduled = 0;
+  std::uint64_t fiber_stack_kib = 0;  // 0 for the thread backend
+};
+
+inline void write_scale_json(const std::string& path, std::string_view bench,
+                             std::string_view workload,
+                             const std::vector<ScaleSample>& samples) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"" << bench << "\",\n"
+      << "  \"workload\": \"" << workload << "\",\n  \"samples\": [\n";
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const ScaleSample& s = samples[i];
+    out << "    {\"mode\": \"" << s.mode << "\", \"hosts\": " << s.hosts
+        << ", \"rounds\": " << s.rounds << ", \"virtual_ns\": " << s.virtual_ns
+        << ", \"wall_ms\": " << s.wall_ms << ", \"dispatches\": " << s.dispatches
+        << ", \"events_per_sec\": " << s.events_per_sec
+        << ", \"callback_slots_created\": " << s.callback_slots_created
+        << ", \"callbacks_scheduled\": " << s.callbacks_scheduled
+        << ", \"fiber_stack_kib\": " << s.fiber_stack_kib << "}"
+        << (i + 1 < samples.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "wrote " << path << "\n";
+}
+
 }  // namespace ntbshmem::bench

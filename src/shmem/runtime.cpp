@@ -7,20 +7,30 @@
 
 namespace ntbshmem::shmem {
 
-namespace {
-// detlint:allow(no-mutable-static): per-OS-thread PE-context binding (the shmem_* API's TLS dispatch); rebound on every process switch, no cross-run state
-thread_local Context* t_current_context = nullptr;
-}  // namespace
-
 // ---- CurrentContextBinder ----------------------------------------------------
+//
+// The PE identity rides on the simulated *process*, not the OS thread:
+// under the fiber backend every PE shares one thread, so a thread_local
+// binding would be clobbered at each process switch (all PEs would answer
+// as whichever bound last). Process::user_binding() follows the process
+// across blocks under both backends.
 
 CurrentContextBinder::CurrentContextBinder(Context* ctx) {
-  t_current_context = ctx;
+  sim::Process* p = sim::current_process();
+  if (p == nullptr) {
+    throw std::logic_error("PE context bound outside a simulated process");
+  }
+  p->set_user_binding(ctx);
 }
 
-CurrentContextBinder::~CurrentContextBinder() { t_current_context = nullptr; }
+CurrentContextBinder::~CurrentContextBinder() {
+  if (sim::Process* p = sim::current_process()) p->set_user_binding(nullptr);
+}
 
-Context* Runtime::current() { return t_current_context; }
+Context* Runtime::current() {
+  sim::Process* p = sim::current_process();
+  return p == nullptr ? nullptr : static_cast<Context*>(p->user_binding());
+}
 
 // ---- Context -------------------------------------------------------------------
 

@@ -1,7 +1,9 @@
 #include "sim/engine.hpp"
 
 #include <cassert>
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
 #include <utility>
 
 #include "common/log.hpp"
@@ -10,44 +12,87 @@
 namespace ntbshmem::sim {
 
 namespace {
-// The process currently executing on this OS thread (one per Process).
+// The process currently executing on this OS thread (kThreads: one per
+// backing thread; kFibers: maintained across every switch on the single
+// engine thread, and doubles as the argument channel into a fresh fiber's
+// trampoline, which ucontext cannot pass parameters to).
 // detlint:allow(no-mutable-static): per-OS-thread identity binding for the serialized process model; set/cleared on every handoff, never carries state across runs
 thread_local Process* t_current_process = nullptr;
+
+EngineBackend backend_from_env() {
+  const char* env = std::getenv("NTBSHMEM_SIM_BACKEND");
+  if (env == nullptr || *env == '\0') return EngineBackend::kFibers;
+  const std::string_view v(env);
+  if (v == "fibers" || v == "fiber") return EngineBackend::kFibers;
+  if (v == "threads" || v == "thread") return EngineBackend::kThreads;
+  throw std::invalid_argument(
+      "NTBSHMEM_SIM_BACKEND must be 'fibers' or 'threads', got: " +
+      std::string(v));
+}
 }  // namespace
+
+Process* current_process() noexcept { return t_current_process; }
 
 // ---- Process ---------------------------------------------------------------
 
 Process::Process(Engine& engine, std::string name, std::function<void()> body,
                  bool daemon)
-    : engine_(engine), name_(std::move(name)), daemon_(daemon) {
-  start_thread(std::move(body));
+    : engine_(engine),
+      name_(std::move(name)),
+      body_(std::move(body)),
+      daemon_(daemon) {
+  // Fibers are created lazily at first resume; threads must exist up front
+  // so the scheduler has something to release.
+  if (engine_.backend_ == EngineBackend::kThreads) start_thread();
 }
 
 Process::~Process() {
   if (thread_.joinable()) thread_.join();
 }
 
-void Process::start_thread(std::function<void()> body) {
-  thread_ = std::thread([this, body = std::move(body)]() {
-    resume_.acquire();  // wait for the scheduler to start us
-    if (!killed_) {
-      t_current_process = this;
-      try {
-        body();
-      } catch (const ProcessKilled&) {
-        // Normal shutdown path: unwound cleanly.
-      } catch (...) {
-        if (!engine_.first_error_) engine_.first_error_ = std::current_exception();
+void Process::run_body_and_finish() {
+  if (!killed_) {
+    try {
+      body_();
+    } catch (const ProcessKilled&) {
+      // Normal shutdown path: unwound cleanly.
+    } catch (...) {
+      if (!engine_.first_error_) {
+        engine_.first_error_ = std::current_exception();
       }
-      t_current_process = nullptr;
     }
-    finished_ = true;
-    if (!daemon_) {
-      assert(engine_.live_nondaemon_ > 0);
-      engine_.live_nondaemon_--;
-    }
+  }
+  mark_finished();
+}
+
+void Process::mark_finished() {
+  finished_ = true;
+  body_ = nullptr;  // release captures promptly — engines run many processes
+  if (!daemon_) {
+    assert(engine_.live_nondaemon_ > 0);
+    engine_.live_nondaemon_--;
+  }
+  assert(engine_.live_count_ > 0);
+  engine_.live_count_--;
+}
+
+void Process::start_thread() {
+  thread_ = std::thread([this]() {
+    resume_.acquire();  // wait for the scheduler to start us
+    t_current_process = this;
+    run_body_and_finish();
+    t_current_process = nullptr;
     engine_.sched_sem_.release();  // hand control back for good
   });
+}
+
+void Process::fiber_trampoline() {
+  Process* p = t_current_process;  // stashed by Engine::resume pre-switch
+  Fiber::on_entry(*p->fiber_);
+  p->run_body_and_finish();
+  p->fiber_->set_exiting();
+  Fiber::switch_to(*p->fiber_, p->engine_.sched_fiber_);
+  std::abort();  // a dead fiber can never be resumed
 }
 
 void Process::block() {
@@ -58,8 +103,12 @@ void Process::block() {
     if (std::uncaught_exceptions() == 0) throw ProcessKilled{};
     return;
   }
-  engine_.sched_sem_.release();
-  resume_.acquire();
+  if (engine_.backend_ == EngineBackend::kThreads) {
+    engine_.sched_sem_.release();
+    resume_.acquire();
+  } else {
+    Fiber::switch_to(*fiber_, engine_.sched_fiber_);
+  }
   epoch_++;  // consume: any still-queued wake-up for the old epoch is stale
   if (killed_ && std::uncaught_exceptions() == 0) throw ProcessKilled{};
 }
@@ -67,12 +116,15 @@ void Process::block() {
 // ---- CallbackHandle --------------------------------------------------------
 
 void CallbackHandle::cancel() {
-  if (state_) state_->cancelled = true;
+  if (engine_ != nullptr) engine_->cancel_callback(slot_, gen_);
 }
 
 // ---- Engine ----------------------------------------------------------------
 
-Engine::Engine() {
+Engine::Engine() : Engine(backend_from_env()) {}
+
+Engine::Engine(EngineBackend backend)
+    : backend_(backend), fiber_stack_bytes_(Fiber::default_stack_bytes()) {
   // Log lines carry the virtual clock while this engine exists, so printf
   // debugging correlates with trace/metric timestamps. The owner token keeps
   // a dying engine from clobbering a newer one's registration.
@@ -91,20 +143,51 @@ Process& Engine::spawn(std::string name, std::function<void()> body,
   Process* p = proc.get();
   processes_.push_back(std::move(proc));
   if (!daemon) live_nondaemon_++;
+  live_count_++;
   // First resume happens through the normal queue so spawn order == start
   // order at equal times.
   const std::uint64_t seq = next_seq_++;
-  queue_.push(QueueItem{now_, seq, tie_of(seq), p, p->epoch_, nullptr});
+  queue_.push(QueueItem{now_, seq, tie_of(seq), p, p->epoch_, 0});
   return *p;
+}
+
+std::uint32_t Engine::acquire_slot() {
+  if (!cb_free_.empty()) {
+    const std::uint32_t slot = cb_free_.back();
+    cb_free_.pop_back();
+    return slot;
+  }
+  const std::uint32_t slot = static_cast<std::uint32_t>(cb_slots_.size());
+  cb_slots_.emplace_back();
+  alloc_stats_.callback_slots_created++;
+  return slot;
+}
+
+void Engine::retire_slot(std::uint32_t slot) {
+  CallbackSlot& s = cb_slots_[slot];
+  s.fn = nullptr;
+  s.cancelled = false;
+  s.gen++;  // any outstanding handle or queue entry is now stale
+  cb_free_.push_back(slot);
+}
+
+void Engine::cancel_callback(std::uint32_t slot, std::uint64_t gen) {
+  if (slot >= cb_slots_.size()) return;
+  CallbackSlot& s = cb_slots_[slot];
+  if (s.gen != gen) return;  // already fired or recycled — idempotent no-op
+  s.cancelled = true;
 }
 
 CallbackHandle Engine::call_at(Time t, std::function<void()> fn) {
   if (t < now_) t = now_;
-  auto state = std::make_shared<CallbackHandle::State>();
-  state->fn = std::move(fn);
+  const std::uint32_t slot = acquire_slot();
+  CallbackSlot& s = cb_slots_[slot];
+  s.fn = std::move(fn);
+  s.cancelled = false;
+  alloc_stats_.callbacks_scheduled++;
   const std::uint64_t seq = next_seq_++;
-  queue_.push(QueueItem{t, seq, tie_of(seq), nullptr, 0, state});
-  return CallbackHandle(state);
+  queue_.push(QueueItem{t, seq, tie_of(seq), nullptr, s.gen, slot});
+  return CallbackHandle(this, slot, s.gen);
 }
 
 CallbackHandle Engine::call_after(Dur d, std::function<void()> fn) {
@@ -114,15 +197,29 @@ CallbackHandle Engine::call_after(Dur d, std::function<void()> fn) {
 void Engine::schedule_process(Time t, Process* p) {
   if (t < now_) t = now_;
   const std::uint64_t seq = next_seq_++;
-  queue_.push(QueueItem{t, seq, tie_of(seq), p, p->epoch_, nullptr});
+  queue_.push(QueueItem{t, seq, tie_of(seq), p, p->epoch_, 0});
 }
 
 void Engine::resume(Process* p) {
   Process* prev = current_;
   current_ = p;
-  p->started_ = true;
-  p->resume_.release();
-  sched_sem_.acquire();
+  if (backend_ == EngineBackend::kThreads) {
+    p->started_ = true;
+    p->resume_.release();
+    sched_sem_.acquire();
+  } else {
+    t_current_process = p;
+    if (!p->started_) {
+      p->started_ = true;
+      p->fiber_ = std::make_unique<Fiber>(&Process::fiber_trampoline,
+                                          fiber_stack_bytes_);
+    }
+    Fiber::switch_to(sched_fiber_, *p->fiber_);
+    t_current_process = nullptr;
+    // Release the stack (and TSan handle) as soon as a process ends, not
+    // at engine teardown — scale runs retire thousands of processes.
+    if (p->finished_ && p->fiber_) p->fiber_->release_dead();
+  }
   current_ = prev;
 }
 
@@ -132,20 +229,29 @@ void Engine::run() {
   }
   while (live_nondaemon_ > 0) {
     if (queue_.empty()) throw_deadlock();
-    QueueItem item = queue_.top();
-    queue_.pop();
+    QueueItem item = queue_.pop_min();
     assert(item.t >= now_);
-    if (item.callback) {
-      if (item.callback->cancelled || item.callback->fired) continue;
+    if (item.process == nullptr) {
+      CallbackSlot& s = cb_slots_[item.cb_slot];
+      if (s.gen != item.epoch_or_gen) continue;  // slot already recycled
+      if (s.cancelled) {
+        retire_slot(item.cb_slot);
+        continue;
+      }
       now_ = item.t;
+      dispatch_count_++;
       if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kCallback);
-      item.callback->fired = true;
-      item.callback->fn();
+      // Move out and retire before invoking: the callback may itself
+      // schedule (and thus reuse) slots.
+      std::function<void()> fn = std::move(s.fn);
+      retire_slot(item.cb_slot);
+      fn();
       continue;
     }
     Process* p = item.process;
-    if (p->finished() || item.epoch != p->epoch_) continue;  // stale wake-up
+    if (p->finished() || item.epoch_or_gen != p->epoch_) continue;  // stale
     now_ = item.t;
+    dispatch_count_++;
     if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kProcess);
     resume(p);
     if (first_error_) {
@@ -192,26 +298,25 @@ Process* Engine::require_current(const char* op) const {
   return p;
 }
 
-std::size_t Engine::live_processes() const {
-  std::size_t n = 0;
-  for (const auto& p : processes_) {
-    if (!p->finished()) ++n;
-  }
-  return n;
-}
-
 void Engine::shutdown() {
   shutting_down_ = true;
-  // Kill every unfinished process: mark, resume, wait for it to exit its
-  // thread function (it releases sched_sem_ exactly once when finishing).
+  // Kill every unfinished process: mark, resume, let ProcessKilled unwind
+  // its stack so RAII cleanup runs; the process finishes for good.
   for (auto& p : processes_) {
     if (p->finished()) continue;
     p->killed_ = true;
-    p->resume_.release();
-    sched_sem_.acquire();
+    if (backend_ == EngineBackend::kThreads) {
+      p->resume_.release();
+      sched_sem_.acquire();
+    } else if (!p->started_) {
+      // Never entered its fiber — nothing to unwind, no stack was built.
+      p->mark_finished();
+    } else {
+      resume(p.get());
+    }
     assert(p->finished());
   }
-  // Threads are joined by ~Process.
+  // Threads are joined by ~Process; fiber stacks were released on finish.
 }
 
 }  // namespace ntbshmem::sim

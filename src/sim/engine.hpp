@@ -1,23 +1,41 @@
-// Cooperative discrete-event engine with thread-backed processes.
+// Cooperative discrete-event engine with fiber-backed processes.
 //
 // Each simulated actor (an OpenSHMEM PE, an NTB service thread, a DMA
-// engine) is a `Process`: a real OS thread whose execution is serialized by
-// the engine so that exactly one process runs at a time and the virtual
+// engine) is a `Process`: a cooperative execution context the engine
+// serializes so that exactly one process runs at a time and the virtual
 // clock only advances between process steps. This gives us:
 //
 //   * blocking APIs with the same shape as the real OpenSHMEM library
 //     (shmem_getmem blocks its calling PE),
-//   * deterministic execution: the run queue is ordered by (time, sequence),
-//     so identical workloads produce identical schedules, and
+//   * deterministic execution: the run queue dispatches in (time, sequence)
+//     order, so identical workloads produce identical schedules, and
 //   * zero wall-clock dependence: the virtual clock is driven purely by the
 //     timing model.
 //
-// The engine also supports inline callbacks (`call_at`/`call_after`) that
-// run in the scheduler context without a thread switch — used for interrupt
-// delivery, DMA completion and bandwidth-resource bookkeeping.
+// Two backends implement the process mechanics behind the same API:
 //
-// Thread-safety: none needed. All processes are serialized by construction;
-// engine state is only ever touched by the single active thread.
+//   * kFibers (default): stackful ucontext fibers with guard-paged stacks
+//     (sim/fiber.hpp). A process switch is one user-space context swap, so
+//     the engine scales to thousands of processes — 1024-host fabric
+//     sweeps run where the thread backend thrashes (bench_sim_engine).
+//   * kThreads: the original OS-thread-per-process backend, serialized by
+//     semaphore handoffs. Kept as the before/after ablation baseline and
+//     selectable with NTBSHMEM_SIM_BACKEND=threads.
+//
+// Both produce bit-identical schedules (same dispatch order, same schedule
+// digests); only wall-clock cost differs. The run queue is a calendar
+// queue (sim/calendar_queue.hpp) whose dispatch order is provably the same
+// (time, tie, seq) total order a binary heap yields.
+//
+// The engine also supports inline callbacks (`call_at`/`call_after`) that
+// run in scheduler context without a context switch — used for interrupt
+// delivery, DMA completion and bandwidth-resource bookkeeping. Callback
+// state is pooled: the hot path (a DMA completion timer re-armed per
+// segment) recycles a slot instead of heap-allocating per callback.
+//
+// Thread-safety: none needed. All processes are serialized by
+// construction; engine state is only ever touched by the single active
+// context.
 #pragma once
 
 #include <cstdint>
@@ -25,7 +43,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <semaphore>
 #include <stdexcept>
 #include <string>
@@ -33,6 +50,8 @@
 #include <vector>
 
 #include "sim/audit.hpp"
+#include "sim/calendar_queue.hpp"
+#include "sim/fiber.hpp"
 #include "sim/time.hpp"
 
 namespace ntbshmem::obs {
@@ -59,6 +78,9 @@ class SimDeadlock : public std::runtime_error {
 
 enum class WakeReason : std::uint8_t { kNone, kNotified, kTimeout };
 
+// How Process execution contexts are implemented; see the header comment.
+enum class EngineBackend : std::uint8_t { kFibers, kThreads };
+
 class Process {
  public:
   Process(const Process&) = delete;
@@ -70,6 +92,13 @@ class Process {
   bool daemon() const { return daemon_; }
   Engine& engine() const { return engine_; }
 
+  // Opaque process-local binding slot for upper layers (the SHMEM runtime
+  // parks its per-PE Context here). Process-local, NOT thread-local: under
+  // the fiber backend every process shares one OS thread, so identity that
+  // must follow a process across blocks has to live on the Process itself.
+  void set_user_binding(void* b) { user_binding_ = b; }
+  void* user_binding() const { return user_binding_; }
+
  private:
   friend class Engine;
   friend class Event;
@@ -77,12 +106,20 @@ class Process {
   Process(Engine& engine, std::string name, std::function<void()> body,
           bool daemon);
 
-  void start_thread(std::function<void()> body);
+  void start_thread();  // kThreads: launch the backing OS thread
   // Yields control back to the scheduler; returns when rescheduled.
   void block();
+  // Runs the body with the shared exception protocol, then does the
+  // finished-process accounting. Both backends funnel through here.
+  void run_body_and_finish();
+  void mark_finished();
+  // Fiber entry point; reads the process to start from the engine's
+  // current-process binding (set by Engine::resume before the switch).
+  static void fiber_trampoline();
 
   Engine& engine_;
   std::string name_;
+  std::function<void()> body_;  // consumed on start; empty afterwards
   bool daemon_;
   bool finished_ = false;
   bool started_ = false;
@@ -93,37 +130,53 @@ class Process {
   std::uint64_t epoch_ = 0;
   WakeReason wake_reason_ = WakeReason::kNone;
   Event* waiting_on_ = nullptr;  // diagnostics + timeout cleanup
+  // kFibers: created lazily on first resume (a process killed before it
+  // ever ran needs no stack); stack released eagerly on finish.
+  std::unique_ptr<Fiber> fiber_;
+  // kThreads only.
   std::binary_semaphore resume_{0};
   std::thread thread_;
+  void* user_binding_ = nullptr;  // see set_user_binding()
 };
 
+// The process currently executing on the calling OS thread, or nullptr in
+// scheduler/callback context. Identical semantics under both backends: the
+// binding is set just before a process runs and cleared when it yields.
+Process* current_process() noexcept;
+
 // Handle for a scheduled inline callback; cancel() is idempotent and safe
-// after the callback has fired.
+// after the callback has fired. The handle indexes the engine's pooled
+// slot table with a generation tag, so it must not outlive the engine
+// (every current holder — bandwidth timers, transport retransmit timers —
+// already lives inside the engine's lifetime).
 class CallbackHandle {
  public:
   CallbackHandle() = default;
   void cancel();
-  bool valid() const { return state_ != nullptr; }
+  bool valid() const { return engine_ != nullptr; }
 
  private:
   friend class Engine;
-  struct State {
-    std::function<void()> fn;
-    bool cancelled = false;
-    bool fired = false;
-  };
-  explicit CallbackHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  CallbackHandle(Engine* engine, std::uint32_t slot, std::uint64_t gen)
+      : engine_(engine), slot_(slot), gen_(gen) {}
+  Engine* engine_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Engine {
  public:
+  // Default backend: NTBSHMEM_SIM_BACKEND ("fibers" | "threads"), fibers
+  // when unset. The explicit-backend overload pins it programmatically
+  // (used by bench_sim_engine's ablation and the backend-parity tests).
   Engine();
+  explicit Engine(EngineBackend backend);
   ~Engine();
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
   Time now() const { return now_; }
+  EngineBackend backend() const { return backend_; }
 
   // Creates a process; it is scheduled to start at the current time.
   // Daemon processes (service threads) do not keep run() alive.
@@ -150,8 +203,30 @@ class Engine {
   // context / outside the simulation).
   Process* current() const { return current_; }
 
-  // Number of processes that have been spawned but not finished.
-  std::size_t live_processes() const;
+  // Number of processes that have been spawned but not finished. O(1):
+  // maintained at spawn/finish, consulted by deadlock diagnostics and
+  // tests.
+  std::size_t live_processes() const { return live_count_; }
+
+  // Total queue items actually dispatched (processes resumed + callbacks
+  // fired; stale wake-ups and cancelled callbacks excluded — the same
+  // stream the schedule digest folds). Drives events/sec in
+  // bench_sim_engine.
+  std::uint64_t dispatch_count() const { return dispatch_count_; }
+
+  // Usable stack size for this engine's fibers (NTBSHMEM_FIBER_STACK_KiB,
+  // read once at construction).
+  std::size_t fiber_stack_bytes() const { return fiber_stack_bytes_; }
+
+  // ---- Allocation accounting ------------------------------------------------
+  // The callback pool's whole point: slots_created stays O(peak
+  // concurrency) while callbacks_scheduled grows with the workload. The
+  // old implementation heap-allocated once per scheduled callback.
+  struct AllocStats {
+    std::uint64_t callback_slots_created = 0;
+    std::uint64_t callbacks_scheduled = 0;
+  };
+  const AllocStats& alloc_stats() const { return alloc_stats_; }
 
   // ---- Fault injection ------------------------------------------------------
   // Attaches a fault plan that hardware models consult at their injection
@@ -189,6 +264,11 @@ class Engine {
   void set_tiebreak_permutation(std::uint64_t seed) { tiebreak_seed_ = seed; }
   std::uint64_t tiebreak_permutation() const { return tiebreak_seed_; }
 
+  // Kills every unfinished process (ProcessKilled unwinds each stack so
+  // RAII cleanup runs). Idempotent; invoked by the destructor, public so
+  // owners can tear processes down while their captured state still lives.
+  void shutdown();
+
   // ---- Low-level primitives for building synchronization objects ----------
   // (used by Event/Resource/BandwidthResource; not for application code)
 
@@ -205,6 +285,7 @@ class Engine {
  private:
   friend class Process;
   friend class Event;
+  friend class CallbackHandle;
 
   struct QueueItem {
     Time t;
@@ -213,14 +294,16 @@ class Engine {
     // tie-break permutation is active, in which case it is a seeded
     // bijection of seq — unique, so the order stays total and repeatable.
     std::uint64_t tie;
-    // Exactly one of the two below is set.
+    // nullptr means the entry is a pooled callback (cb_slot below).
     Process* process = nullptr;
-    std::uint64_t epoch = 0;  // valid when process != nullptr
-    std::shared_ptr<CallbackHandle::State> callback;
+    // Process epoch when process != nullptr; callback slot generation
+    // otherwise — either way, a staleness tag checked at dispatch.
+    std::uint64_t epoch_or_gen = 0;
+    std::uint32_t cb_slot = 0;
   };
   struct QueueCmp {
     bool operator()(const QueueItem& a, const QueueItem& b) const {
-      if (a.t != b.t) return a.t > b.t;  // min-heap on time
+      if (a.t != b.t) return a.t > b.t;  // min-queue on time
       if (a.tie != b.tie) return a.tie > b.tie;
       return a.seq > b.seq;  // unreachable while tie is a bijection of seq
     }
@@ -229,20 +312,41 @@ class Engine {
     return tiebreak_seed_ == 0 ? seq : splitmix64_mix(seq ^ tiebreak_seed_);
   }
 
+  // Pooled storage behind call_at; see CallbackHandle. `gen` bumps when the
+  // slot is recycled, so stale handles and queue entries are no-ops.
+  struct CallbackSlot {
+    std::function<void()> fn;
+    std::uint64_t gen = 0;
+    bool cancelled = false;
+  };
+  std::uint32_t acquire_slot();
+  void retire_slot(std::uint32_t slot);
+  void cancel_callback(std::uint32_t slot, std::uint64_t gen);
+
   // Transfers control to `p` and waits until it yields back.
   void resume(Process* p);
-  void shutdown();
   [[noreturn]] void throw_deadlock();
 
+  EngineBackend backend_;
+  std::size_t fiber_stack_bytes_;
+  // The scheduler side of every fiber switch: the engine thread's own
+  // context. Unused (but inert) under kThreads.
+  Fiber sched_fiber_;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
-  std::priority_queue<QueueItem, std::vector<QueueItem>, QueueCmp> queue_;
+  std::uint64_t dispatch_count_ = 0;
+  CalendarQueue<QueueItem, QueueCmp> queue_;
   std::vector<std::unique_ptr<Process>> processes_;
   std::size_t live_nondaemon_ = 0;
+  std::size_t live_count_ = 0;
+  // std::deque: references stay valid while slots are appended mid-run.
+  std::deque<CallbackSlot> cb_slots_;
+  std::vector<std::uint32_t> cb_free_;
+  AllocStats alloc_stats_;
   Process* current_ = nullptr;
   FaultPlan* faults_ = nullptr;
   obs::Hub* obs_ = nullptr;
-  std::binary_semaphore sched_sem_{0};
+  std::binary_semaphore sched_sem_{0};  // kThreads handoff
   std::exception_ptr first_error_;
   bool shutting_down_ = false;
   bool digest_enabled_ = false;

@@ -161,6 +161,24 @@ TEST(DetlintRoutingTable, SilentOnFlatTablesAndSeededMix) {
   EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
 }
 
+// ---- fiber/scheduler fixtures (simulator-core shapes) ------------------------
+
+TEST(DetlintFiberSched, CatchesPoolGlobalsTlsAndWallclockSeeds) {
+  const auto diags = lint({"fiber_sched_violation.cc"});
+  EXPECT_EQ(lines_of(diags, "no-mutable-static"), (std::vector<int>{11, 12}));
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"),
+            (std::vector<int>{16, 18}));
+  EXPECT_EQ(diags.size(), 4u) << detlint::render_text(diags);
+}
+
+TEST(DetlintFiberSched, SilentOnInstancePoolsAndSpanFedWidths) {
+  // The shape src/sim/engine.cpp and calendar_queue.hpp actually use:
+  // pool + wheel state as engine members, bucket width from event-time
+  // spread, the current-process TLS carrying its justification.
+  const auto diags = lint({"fiber_sched_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
+}
+
 // ---- compile database driver -------------------------------------------------
 
 TEST(DetlintCompdb, ParsesCMakeShapeAndResolvesRelativePaths) {

@@ -1,0 +1,38 @@
+// Fixture: the shapes src/sim actually uses — pool state as instance
+// members, width policy fed by event-time spread, the one sanctioned
+// thread_local carrying its justification.
+#include <cstdint>
+#include <vector>
+
+struct Fiber {
+  void* sp = nullptr;
+};
+
+class Scheduler {
+ public:
+  // Bucket width from the poured rung's virtual-time span, not wall time.
+  int fit_width_shift(std::int64_t min_t, std::int64_t max_t) {
+    int shift = 4;
+    std::uint64_t span = static_cast<std::uint64_t>(max_t - min_t) >> 9;
+    while (span != 0 && shift < 40) {
+      span >>= 1;
+      ++shift;
+    }
+    width_shift_ = shift;
+    return shift;
+  }
+
+  Fiber* acquire() {
+    if (free_.empty()) return nullptr;
+    Fiber* f = free_.back();
+    free_.pop_back();
+    return f;
+  }
+
+ private:
+  int width_shift_ = 12;
+  std::vector<Fiber*> free_;  // instance state, dies with the scheduler
+};
+
+// detlint:allow(no-mutable-static): per-OS-thread identity binding, rebound on every handoff
+thread_local Fiber* t_current_fiber = nullptr;

@@ -1,0 +1,19 @@
+// Fixture: fiber-pool / scheduler shapes with the determinism hazards
+// detlint keeps out of the simulator core (src/sim/engine.cpp, fiber.cpp).
+#include <chrono>
+#include <cstdlib>
+#include <vector>
+
+struct Fiber {
+  void* sp = nullptr;
+};
+
+static std::vector<Fiber*> g_free_fibers;        // line 11: global pool
+thread_local Fiber* t_running_fiber = nullptr;   // line 12: unjustified TLS
+
+struct BadScheduler {
+  long long bucket_width_seed() const {
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // 16
+  }
+  int stack_colour() const { return rand() % 4096; }  // line 18
+};
