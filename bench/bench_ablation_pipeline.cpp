@@ -164,7 +164,10 @@ int main(int argc, char** argv) {
   ntbshmem::bench::print_tables(samples);
   ntbshmem::bench::write_bench_json(
       "bench_ablation_pipeline.json", "ablation_pipeline",
-      "put+quiet, 5-host right-only ring, full delivery", samples);
+      "put+quiet, 5-host right-only ring, full delivery",
+      {ntbshmem::bench::default_backend_name(), "ring",
+       ntbshmem::shmem::RuntimeOptions{}.fault_seed},
+      samples);
   ntbshmem::bench::ObsCli::instance().report();
   return 0;
 }

@@ -149,6 +149,8 @@ int main(int argc, char** argv) {
   ntbshmem::bench::write_bench_json(
       "bench_ablation_ringsize.json", "ablation_ringsize",
       "all hosts streaming 256 KiB blocks rightward, bare ring fabric",
+      {ntbshmem::bench::default_backend_name(), "ring",
+       ntbshmem::shmem::RuntimeOptions{}.fault_seed},
       samples);
   ntbshmem::bench::ObsCli::instance().report();
   return 0;

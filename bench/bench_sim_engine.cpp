@@ -281,6 +281,7 @@ int main(int argc, char** argv) {
       "bench_sim_engine.json", "sim_engine_scale",
       "per-host neighbour exchange + tree barrier + pooled timer churn; "
       "ring and torus at 16..1024 hosts, fiber vs thread backends",
+      {"fibers+threads", "ring+torus2d", 0},
       samples);
   ntbshmem::bench::ObsCli::instance().report();
   return 0;

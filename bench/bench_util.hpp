@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -117,6 +118,27 @@ class ObsCli {
   bool captured_metrics_ = false;
 };
 
+// Self-describing artifact metadata stamped into every bench JSON file:
+// which simulator backend produced the numbers, on what fabric, and from
+// what seed — so an artifact alone (no CI log context) is reproducible.
+// Sweeps that cover several backends/topologies name the swept set
+// ("fibers+threads", "ring+torus2d"); per-sample `mode` strings carry the
+// specific point.
+struct RunMeta {
+  std::string backend;
+  std::string topology;
+  std::uint64_t seed = 0;
+};
+
+// The backend a default-constructed sim::Engine picks: NTBSHMEM_SIM_BACKEND
+// ("fibers" | "threads"), fibers when unset — mirrored here so benches can
+// stamp artifacts without building an engine first.
+inline std::string default_backend_name() {
+  const char* env = std::getenv("NTBSHMEM_SIM_BACKEND");
+  return env != nullptr && std::string_view(env) == "threads" ? "threads"
+                                                              : "fibers";
+}
+
 // Counter context for a bench's JSON output: sums the named per-host
 // transport metrics of one finished run so throughput samples carry the
 // protocol accounting (stall time, retransmits) that explains them.
@@ -159,11 +181,14 @@ struct JsonSample {
 };
 
 inline void write_bench_json(const std::string& path, std::string_view bench,
-                             std::string_view workload,
+                             std::string_view workload, const RunMeta& meta,
                              const std::vector<JsonSample>& samples) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"" << bench << "\",\n"
-      << "  \"workload\": \"" << workload << "\",\n  \"samples\": [\n";
+      << "  \"workload\": \"" << workload << "\",\n"
+      << "  \"backend\": \"" << obs::json_escape(meta.backend) << "\",\n"
+      << "  \"topology\": \"" << obs::json_escape(meta.topology) << "\",\n"
+      << "  \"seed\": " << meta.seed << ",\n  \"samples\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const JsonSample& s = samples[i];
     out << "    {\"mode\": \"" << s.mode << "\", \"bytes\": " << s.bytes
@@ -197,11 +222,14 @@ struct ScaleSample {
 };
 
 inline void write_scale_json(const std::string& path, std::string_view bench,
-                             std::string_view workload,
+                             std::string_view workload, const RunMeta& meta,
                              const std::vector<ScaleSample>& samples) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"" << bench << "\",\n"
-      << "  \"workload\": \"" << workload << "\",\n  \"samples\": [\n";
+      << "  \"workload\": \"" << workload << "\",\n"
+      << "  \"backend\": \"" << obs::json_escape(meta.backend) << "\",\n"
+      << "  \"topology\": \"" << obs::json_escape(meta.topology) << "\",\n"
+      << "  \"seed\": " << meta.seed << ",\n  \"samples\": [\n";
   for (std::size_t i = 0; i < samples.size(); ++i) {
     const ScaleSample& s = samples[i];
     out << "    {\"mode\": \"" << s.mode << "\", \"hosts\": " << s.hosts

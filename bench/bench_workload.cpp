@@ -1,0 +1,305 @@
+// SLO workload driver: runs the src/workload scenarios (sharded KV serving,
+// 2-D halo-exchange stencil, hierarchical-allreduce training step) on the
+// simulated NTB fabric and writes one "ntbshmem-slo-v1" JSON artifact per
+// run — percentile latencies out of the log2 histograms, goodput, per-link
+// utilization, and the schedule digest that pins the run bit-for-bit.
+//
+// Flags (stripped before google-benchmark sees argv):
+//   --scenario=kv|stencil|allreduce|all   what to run (default all)
+//   --hosts=N                             PE/host count (default 16)
+//   --seed=S                              workload seed (default 42)
+//   --requests=N                          KV requests per PE (default 16384)
+//   --iterations=N                        stencil iterations (default 32)
+//   --steps=N                             allreduce steps (default 16)
+//   --arrival=closed|fixed|poisson        KV arrival process (default closed)
+//   --rate=HZ                             open-loop per-PE rate (default 20000)
+//   --topology=ring|chordal|torus|fullmesh  fabric (default ring)
+//   --tuning=paper|pipelined              transport tuning (default pipelined)
+//   --fault-plan=none|drop|flaky          fault injection (default none)
+//   --out-prefix=PATH                     artifact prefix (default
+//                                         bench_workload); files are named
+//                                         <prefix>.<scenario>.json
+//   --sweep                               run the topology x tuning x
+//                                         fault-plan grid at reduced size
+//                                         instead of the single config
+//
+// A fault plan other than `none` switches the transport's reliable-delivery
+// layer on and makes links resilient — the composition the PR 6 fault tests
+// pin; the KV report must still show zero verify errors and full request
+// conservation.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/table.hpp"
+#include "shmem/runtime.hpp"
+#include "workload/scenarios.hpp"
+#include "workload/slo.hpp"
+
+namespace ntbshmem::bench {
+namespace {
+
+struct Cli {
+  std::string scenario = "all";
+  int hosts = 16;
+  std::uint64_t seed = 42;
+  std::uint64_t requests = 16384;
+  int iterations = 32;
+  int steps = 16;
+  std::string arrival = "closed";
+  double rate = 20'000.0;
+  std::string topology = "ring";
+  std::string tuning = "pipelined";
+  std::string fault_plan = "none";
+  std::string out_prefix = "bench_workload";
+  bool sweep = false;
+};
+
+Cli g_cli;
+
+void parse_cli(int* argc, char** argv) {
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto val = [&](std::string_view flag) -> std::string_view {
+      return arg.substr(flag.size());
+    };
+    if (arg.rfind("--scenario=", 0) == 0) {
+      g_cli.scenario = std::string(val("--scenario="));
+    } else if (arg.rfind("--hosts=", 0) == 0) {
+      g_cli.hosts = std::stoi(std::string(val("--hosts=")));
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      g_cli.seed = std::stoull(std::string(val("--seed=")));
+    } else if (arg.rfind("--requests=", 0) == 0) {
+      g_cli.requests = std::stoull(std::string(val("--requests=")));
+    } else if (arg.rfind("--iterations=", 0) == 0) {
+      g_cli.iterations = std::stoi(std::string(val("--iterations=")));
+    } else if (arg.rfind("--steps=", 0) == 0) {
+      g_cli.steps = std::stoi(std::string(val("--steps=")));
+    } else if (arg.rfind("--arrival=", 0) == 0) {
+      g_cli.arrival = std::string(val("--arrival="));
+    } else if (arg.rfind("--rate=", 0) == 0) {
+      g_cli.rate = std::stod(std::string(val("--rate=")));
+    } else if (arg.rfind("--topology=", 0) == 0) {
+      g_cli.topology = std::string(val("--topology="));
+    } else if (arg.rfind("--tuning=", 0) == 0) {
+      g_cli.tuning = std::string(val("--tuning="));
+    } else if (arg.rfind("--fault-plan=", 0) == 0) {
+      g_cli.fault_plan = std::string(val("--fault-plan="));
+    } else if (arg.rfind("--out-prefix=", 0) == 0) {
+      g_cli.out_prefix = std::string(val("--out-prefix="));
+    } else if (arg == "--sweep") {
+      g_cli.sweep = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+}
+
+// Widest rows x cols split of n (rows <= cols), for --topology=torus.
+void torus_shape(int n, int* rows, int* cols) {
+  int r = 1;
+  for (int d = 2; d * d <= n; ++d) {
+    if (n % d == 0) r = d;
+  }
+  *rows = r;
+  *cols = n / r;
+}
+
+shmem::RuntimeOptions make_options(int hosts, const std::string& topology,
+                                   const std::string& tuning,
+                                   const std::string& fault_plan) {
+  shmem::RuntimeOptions opts;
+  opts.npes = hosts;
+  opts.link_dma_rates_Bps.clear();  // uniform links for clean utilization
+  opts.schedule_digest = true;      // pin every artifact to its schedule
+
+  if (topology == "ring") {
+    opts.topology.kind = fabric::TopologyKind::kRing;
+    opts.routing = fabric::RoutingMode::kShortest;
+  } else if (topology == "chordal") {
+    opts.topology.kind = fabric::TopologyKind::kChordal;
+    opts.topology.skips = {hosts >= 8 ? hosts / 4 : 2};
+    opts.routing = fabric::RoutingMode::kShortest;
+  } else if (topology == "torus") {
+    opts.topology.kind = fabric::TopologyKind::kTorus2D;
+    torus_shape(hosts, &opts.topology.rows, &opts.topology.cols);
+    opts.routing = fabric::RoutingMode::kDimensionOrder;
+  } else if (topology == "fullmesh") {
+    opts.topology.kind = fabric::TopologyKind::kFullMesh;
+    opts.routing = fabric::RoutingMode::kShortest;
+  } else {
+    throw std::invalid_argument("unknown --topology=" + topology);
+  }
+
+  if (tuning == "paper") {
+    opts.tuning = shmem::TransportTuning::paper();
+  } else if (tuning == "pipelined") {
+    opts.tuning = shmem::TransportTuning::all_on();
+    opts.tuning.topology_collectives = topology != "ring";
+  } else {
+    throw std::invalid_argument("unknown --tuning=" + tuning);
+  }
+
+  if (fault_plan == "none") {
+    // nothing injected; tuning untouched
+  } else if (fault_plan == "drop") {
+    opts.faults.doorbell_drop = 0.02;
+    opts.faults.dma_error = 0.01;
+    opts.tuning = shmem::TransportTuning::reliable(opts.tuning);
+    opts.resilient_links = true;
+  } else if (fault_plan == "flaky") {
+    opts.faults.doorbell_drop = 0.01;
+    opts.faults.link_flaps.push_back(
+        sim::LinkFlap{0, 2'000'000, 6'000'000});  // 4 ms outage on link 0
+    opts.tuning = shmem::TransportTuning::reliable(opts.tuning);
+    opts.resilient_links = true;
+  } else {
+    throw std::invalid_argument("unknown --fault-plan=" + fault_plan);
+  }
+  return opts;
+}
+
+workload::TrafficSpec make_traffic(const Cli& cli) {
+  workload::TrafficSpec tr;
+  tr.requests_per_pe = cli.requests;
+  tr.rate_per_pe_hz = cli.rate;
+  if (cli.arrival == "closed") {
+    tr.arrival = workload::ArrivalProcess::kClosedLoop;
+  } else if (cli.arrival == "fixed") {
+    tr.arrival = workload::ArrivalProcess::kOpenFixed;
+  } else if (cli.arrival == "poisson") {
+    tr.arrival = workload::ArrivalProcess::kOpenPoisson;
+  } else {
+    throw std::invalid_argument("unknown --arrival=" + cli.arrival);
+  }
+  return tr;
+}
+
+workload::SloReport run_one(const std::string& scenario,
+                            const shmem::RuntimeOptions& opts, const Cli& cli) {
+  shmem::Runtime rt(opts);
+  workload::ScenarioReport run;
+  if (scenario == "kv") {
+    workload::KvSpec spec;
+    spec.traffic = make_traffic(cli);
+    run = workload::run_kv(rt, spec, cli.seed);
+  } else if (scenario == "stencil") {
+    workload::StencilSpec spec;
+    spec.iterations = cli.iterations;
+    run = workload::run_stencil(rt, spec, cli.seed);
+  } else if (scenario == "allreduce") {
+    workload::AllreduceSpec spec;
+    spec.steps = cli.steps;
+    spec.groups = opts.npes % 2 == 0 ? 2 : 1;
+    run = workload::run_allreduce(rt, spec, cli.seed);
+  } else {
+    throw std::invalid_argument("unknown --scenario=" + scenario);
+  }
+  return workload::build_slo_report(rt, run, cli.seed);
+}
+
+void print_report(const workload::SloReport& r) {
+  Table t("SLO: " + r.scenario + " on " + std::to_string(r.hosts) +
+              " hosts (" + r.topology + ", " + r.tuning +
+              ", faults=" + r.fault_plan + ")",
+          {"family", "count", "p50 us", "p99 us", "p999 us", "max us"});
+  for (const workload::SloLatency& l : r.latencies) {
+    t.add_row(l.name,
+              {static_cast<double>(l.count),
+               static_cast<double>(l.p50) / 1000.0,
+               static_cast<double>(l.p99) / 1000.0,
+               static_cast<double>(l.p999) / 1000.0,
+               static_cast<double>(l.max) / 1000.0});
+  }
+  t.print(std::cout);
+  std::cout << "  requests " << r.run.requests_completed << "/"
+            << r.run.requests_issued << ", verify_errors "
+            << r.run.verify_errors << ", goodput " << r.goodput_rps
+            << " req/s, " << r.goodput_MBps << " MB/s\n";
+}
+
+void write_report(const workload::SloReport& r, const std::string& path) {
+  std::ofstream out(path);
+  workload::write_slo_json(r, out);
+  std::cout << "wrote " << path << "\n";
+}
+
+std::vector<std::string> scenario_list() {
+  if (g_cli.scenario == "all") return {"kv", "stencil", "allreduce"};
+  return {g_cli.scenario};
+}
+
+void run_single() {
+  for (const std::string& sc : scenario_list()) {
+    const workload::SloReport r = run_one(
+        sc, make_options(g_cli.hosts, g_cli.topology, g_cli.tuning,
+                         g_cli.fault_plan),
+        g_cli);
+    print_report(r);
+    write_report(r, g_cli.out_prefix + "." + sc + ".json");
+  }
+}
+
+// Reduced-size grid over topology x tuning x fault-plan. Each cell's
+// artifact is self-describing, so the sweep is just many single runs.
+void run_sweep() {
+  Cli small = g_cli;
+  small.requests = std::min<std::uint64_t>(small.requests, 512);
+  small.iterations = std::min(small.iterations, 8);
+  small.steps = std::min(small.steps, 4);
+  for (const char* topo : {"ring", "torus"}) {
+    for (const char* tune : {"paper", "pipelined"}) {
+      for (const char* plan : {"none", "drop"}) {
+        for (const std::string& sc : scenario_list()) {
+          const workload::SloReport r =
+              run_one(sc, make_options(small.hosts, topo, tune, plan), small);
+          print_report(r);
+          write_report(r, std::string(g_cli.out_prefix) + "." + sc + "." +
+                              topo + "." + tune + "." + plan + ".json");
+        }
+      }
+    }
+  }
+}
+
+// Minimal google-benchmark surface so the binary behaves like its siblings
+// under --benchmark_filter (CI invokes every bench with filter=none).
+void BM_WorkloadKv16(benchmark::State& state) {
+  for (auto _ : state) {
+    Cli cli;
+    cli.requests = 128;
+    shmem::Runtime rt(make_options(16, "ring", "pipelined", "none"));
+    workload::KvSpec spec;
+    spec.traffic = make_traffic(cli);
+    const workload::ScenarioReport run = workload::run_kv(rt, spec, cli.seed);
+    state.SetIterationTime(static_cast<double>(run.elapsed_ns) * 1e-9);
+  }
+}
+BENCHMARK(BM_WorkloadKv16)->UseManualTime()->Iterations(1);
+
+}  // namespace
+}  // namespace ntbshmem::bench
+
+int main(int argc, char** argv) {
+  ntbshmem::bench::ObsCli::instance().parse_args(&argc, argv);
+  ntbshmem::bench::parse_cli(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (ntbshmem::bench::g_cli.sweep) {
+    ntbshmem::bench::run_sweep();
+  } else {
+    ntbshmem::bench::run_single();
+  }
+  ntbshmem::bench::ObsCli::instance().report();
+  return 0;
+}

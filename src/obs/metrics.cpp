@@ -10,6 +10,50 @@ std::size_t Histogram::used_buckets() const {
   return n;
 }
 
+std::uint64_t percentile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                                      std::uint64_t count, std::uint64_t min,
+                                      std::uint64_t max, double q) {
+  if (count == 0 || buckets.empty()) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // The recorded extremes are exact; the buckets only resolve interior
+  // quantiles (a one-sample bucket would otherwise report its upper edge).
+  if (q <= 0.0) return min;
+  if (q >= 1.0) return max;
+  // Rank of the wanted sample, 1-based: q = 0 -> first sample, q = 1 -> last.
+  const double rank = 1.0 + q * static_cast<double>(count - 1);
+  double cum = 0.0;
+  for (std::size_t b = 0; b < buckets.size(); ++b) {
+    if (buckets[b] == 0) continue;
+    const double next = cum + static_cast<double>(buckets[b]);
+    if (rank <= next) {
+      // Linear interpolation across the bucket's value range by the rank's
+      // position within the bucket population.
+      const double lo = static_cast<double>(Histogram::bucket_lo(b));
+      const double hi = static_cast<double>(Histogram::bucket_hi(b));
+      const double frac =
+          (rank - cum) / static_cast<double>(buckets[b]);  // (0, 1]
+      double v = lo + (hi - lo) * frac;
+      // The recorded extremes are exact; never report outside them.
+      v = std::clamp(v, static_cast<double>(min), static_cast<double>(max));
+      return static_cast<std::uint64_t>(v);
+    }
+    cum = next;
+  }
+  return max;
+}
+
+std::uint64_t percentile_of(const MetricRow& row, double q) {
+  if (row.kind != MetricRow::Kind::kHistogram) return 0;
+  return percentile_from_buckets(row.hist_buckets,
+                                 static_cast<std::uint64_t>(row.value),
+                                 row.hist_min, row.hist_max, q);
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  std::vector<std::uint64_t> buckets(buckets_, buckets_ + used_buckets());
+  return percentile_from_buckets(buckets, count_, min(), max_, q);
+}
+
 const MetricRow* Snapshot::find(std::string_view name) const {
   const auto it = std::lower_bound(
       rows.begin(), rows.end(), name,

@@ -88,6 +88,11 @@ class Histogram {
   // Highest non-empty bucket + 1 (0 when empty) — export only what exists.
   std::size_t used_buckets() const;
 
+  // Quantile estimate (q in [0,1]) by linear interpolation inside the
+  // containing log2 bucket, clamped to the recorded min/max so exact-sample
+  // extremes (p0/p100) come back exact. 0 on an empty histogram.
+  std::uint64_t percentile(double q) const;
+
  private:
   std::uint64_t buckets_[kBuckets] = {};
   std::uint64_t count_ = 0;
@@ -116,6 +121,17 @@ struct Snapshot {
   // per-host family like "host*.transport.retransmits" into one number.
   double total(std::string_view suffix) const;
 };
+
+// Percentile over exported histogram buckets (MetricRow::hist_buckets): the
+// same interpolation as Histogram::percentile but computable from a
+// snapshot/JSON round-trip, where only the bucket counts survive. `count`
+// is the total sample count, `min`/`max` the recorded extremes.
+std::uint64_t percentile_from_buckets(const std::vector<std::uint64_t>& buckets,
+                                      std::uint64_t count, std::uint64_t min,
+                                      std::uint64_t max, double q);
+
+// Convenience overload for a snapshot row (0 for non-histogram rows).
+std::uint64_t percentile_of(const MetricRow& row, double q);
 
 class MetricsRegistry {
  public:

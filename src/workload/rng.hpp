@@ -1,0 +1,143 @@
+// Seeded random streams and samplers for the workload layer.
+//
+// Streams are keyed exactly like sim::FaultPlan's decision streams: each
+// (seed, key) pair owns an independent splitmix64 sequence whose state is
+// derived from the workload seed and an FNV-1a hash of a stable string key
+// ("kv.target.pe12"). Two properties follow:
+//   * determinism — same seed + same per-stream draw sequence => identical
+//     traffic, bit for bit, regardless of what other streams do;
+//   * isolation — adding draws on one PE's op stream never perturbs another
+//     PE's arrivals, so scenarios compose without re-seeding rituals.
+// No wall clock, no std::random_device, no std::mt19937 (its sequence is
+// specified, but seeding through seed_seq is easy to get wrong silently) —
+// the detlint no-wallclock-entropy rule stays clean by construction.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <string_view>
+#include <vector>
+
+namespace ntbshmem::workload {
+
+// FNV-1a 64-bit, same constants as sim::FaultPlan's site_hash: stream
+// identities must be stable across platforms so a seed in a bug report
+// reproduces the traffic anywhere.
+constexpr std::uint64_t fnv1a(std::string_view key) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : key) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return h;
+}
+
+// One independent splitmix64 stream.
+class Stream {
+ public:
+  Stream(std::uint64_t seed, std::string_view key)
+      : state_(seed ^ fnv1a(key)) {}
+
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform double in [0, 1), 53 bits of mantissa.
+  double next_unit() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform integer in [0, n). Modulo bias is < n / 2^64 — irrelevant for
+  // the n <= a few thousand this layer draws (PEs, slots, size points).
+  std::uint64_t next_below(std::uint64_t n) {
+    return n <= 1 ? 0 : next_u64() % n;
+  }
+
+  // Exponential with the given mean (Poisson inter-arrival gaps).
+  double next_exp(double mean) {
+    // 1 - unit is in (0, 1], so the log is finite.
+    return -mean * std::log(1.0 - next_unit());
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// Zipf-distributed ranks 0..n-1 with skew `theta` (theta = 0 is uniform;
+// 0.99 is the YCSB default). Sampling is a binary search over the
+// precomputed CDF: O(log n) per draw, exact, and allocation-free after
+// construction — fine for the n <= 1024 PEs this simulator scales to.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double theta) : cdf_(n) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be > 0");
+    double mass = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      mass += 1.0 / std::pow(static_cast<double>(r + 1), theta);
+      cdf_[r] = mass;
+    }
+    for (double& c : cdf_) c /= mass;
+    cdf_.back() = 1.0;  // guard against accumulated rounding
+  }
+
+  std::size_t sample(Stream& s) const {
+    const double u = s.next_unit();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+// Weighted discrete sampler over indices 0..n-1 (op mixes, size points).
+class DiscreteSampler {
+ public:
+  explicit DiscreteSampler(const std::vector<double>& weights)
+      : cdf_(weights.size()) {
+    double mass = 0.0;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      if (weights[i] < 0.0) {
+        throw std::invalid_argument("DiscreteSampler: negative weight");
+      }
+      mass += weights[i];
+      cdf_[i] = mass;
+    }
+    if (cdf_.empty() || mass <= 0.0) {
+      throw std::invalid_argument("DiscreteSampler: no positive weight");
+    }
+    for (double& c : cdf_) c /= mass;
+    cdf_.back() = 1.0;
+  }
+
+  std::size_t sample(Stream& s) const {
+    const double u = s.next_unit();
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] <= u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace ntbshmem::workload

@@ -1,0 +1,135 @@
+// Workload specifications: the knobs that shape synthetic traffic.
+//
+// A TrafficSpec describes how requests arrive (open- vs closed-loop, fixed
+// or Poisson gaps), where they go (uniform or Zipf-skewed target PEs) and
+// what they are (a weighted op mix over put/get/put_nbi/put-with-signal/
+// context ops and a weighted size distribution). Scenario specs embed a
+// TrafficSpec plus their own shape parameters.
+//
+// Everything is plain data: specs hash into stable stream keys (rng.hpp),
+// so a (spec, seed) pair pins the whole traffic trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace ntbshmem::workload {
+
+// How requests enter the system.
+//  * kClosedLoop: the next request is issued as soon as the previous one
+//    completes — measures capacity (goodput at saturation).
+//  * kOpenFixed: requests arrive every 1/rate seconds of sim time whether
+//    or not earlier ones finished; latency is measured from the scheduled
+//    arrival, so queueing delay counts — measures SLO under load.
+//  * kOpenPoisson: like kOpenFixed with exponential gaps drawn from the
+//    PE's seeded arrival stream (no wall clock anywhere).
+enum class ArrivalProcess : std::uint8_t {
+  kClosedLoop,
+  kOpenFixed,
+  kOpenPoisson,
+};
+
+// Target-PE selection. Zipf ranks order hot PEs by index (rank 0 hottest);
+// the issuing PE is always excluded by collapsing it out of the rank space.
+enum class TargetDist : std::uint8_t { kUniform, kZipf };
+
+// Request kinds the KV engine mixes. kCtxPutNbi issues put_nbi on the PE's
+// private communication context and completes batches with
+// shmem_ctx_quiet — the contexts-under-load path nothing else exercises.
+enum class OpKind : std::uint8_t {
+  kPut,
+  kGet,
+  kCtxPutNbi,
+  kPutSignal,
+};
+
+// One point of a discrete request-size distribution.
+struct SizePoint {
+  std::uint64_t bytes = 0;
+  double weight = 0.0;
+};
+
+struct OpMixEntry {
+  OpKind op = OpKind::kGet;
+  double weight = 0.0;
+};
+
+struct TrafficSpec {
+  std::uint64_t requests_per_pe = 1024;
+
+  ArrivalProcess arrival = ArrivalProcess::kClosedLoop;
+  // Open-loop arrival rate per PE (requests per second of sim time).
+  double rate_per_pe_hz = 20'000.0;
+
+  TargetDist targets = TargetDist::kZipf;
+  double zipf_theta = 0.99;  // YCSB default skew
+
+  // Read-heavy serving mix by default.
+  std::vector<OpMixEntry> mix = {
+      {OpKind::kGet, 0.70},
+      {OpKind::kPut, 0.15},
+      {OpKind::kCtxPutNbi, 0.10},
+      {OpKind::kPutSignal, 0.05},
+  };
+
+  // Small-object serving sizes (bytes of value payload).
+  std::vector<SizePoint> sizes = {
+      {64, 0.25},
+      {256, 0.50},
+      {1024, 0.25},
+  };
+
+  // Outstanding put_nbi requests per private context before a ctx_quiet
+  // completes the batch.
+  int nbi_batch = 4;
+
+  std::uint64_t max_size() const {
+    std::uint64_t m = 0;
+    for (const SizePoint& p : sizes) {
+      if (p.bytes > m) m = p.bytes;
+    }
+    return m;
+  }
+};
+
+// ---- Scenario shapes ---------------------------------------------------------
+
+// Sharded key-value store: PE p owns slots [0, slots_per_pe) of shard p;
+// key = target_pe * slots_per_pe + slot. Values are a pure function of the
+// key (pattern bytes), so any interleaving of writers leaves the heap in a
+// verifiable state and every get can validate its payload inline.
+struct KvSpec {
+  TrafficSpec traffic;
+  int slots_per_pe = 256;
+  std::string name = "kv";
+};
+
+// 2-D halo-exchange stencil (Jacobi) on the widest rows x cols
+// factorisation of npes, torus-wrapped. Each iteration puts four halo
+// edges (put_nbi + quiet), barriers, then relaxes the interior. The
+// per-iteration latency is the SLO sample.
+struct StencilSpec {
+  int iterations = 32;
+  int tile_rows = 32;
+  int tile_cols = 32;
+  std::string name = "stencil";
+};
+
+// Allreduce-dominated training step: world splits into `groups` strided
+// data-parallel teams; each step draws a seeded compute time (backward-pass
+// skew), sum-reduces the gradient inside the group, then the group leaders
+// reduce across groups and broadcast back down. Per-step latency is the
+// SLO sample.
+struct AllreduceSpec {
+  int steps = 16;
+  int gradient_elems = 4096;  // floats
+  int groups = 2;
+  // Mean of the exponential per-step compute time, sim nanoseconds.
+  double compute_mean_ns = 200'000.0;
+  std::string name = "allreduce";
+};
+
+}  // namespace ntbshmem::workload

@@ -155,6 +155,65 @@ TEST(RegistryTest, TotalMergesPerHostCounterFamilies) {
   EXPECT_DOUBLE_EQ(snap.total(".transport.naks_sent"), 0.0);
 }
 
+TEST(HistogramTest, PercentileEmptyAndSingleSample) {
+  Histogram h;
+  EXPECT_EQ(h.percentile(0.5), 0u);
+  h.record(42);
+  EXPECT_EQ(h.percentile(0.0), 42u);
+  EXPECT_EQ(h.percentile(0.5), 42u);
+  EXPECT_EQ(h.percentile(1.0), 42u);
+}
+
+TEST(HistogramTest, PercentileExtremesAreExact) {
+  // The min/max clamp makes p0/p100 exact even though interior quantiles
+  // only resolve to within their log2 bucket.
+  Histogram h;
+  for (std::uint64_t v : {100u, 200u, 300u, 400u, 500u}) h.record(v);
+  EXPECT_EQ(h.percentile(0.0), 100u);
+  EXPECT_EQ(h.percentile(1.0), 500u);
+}
+
+TEST(HistogramTest, PercentileInterpolatesWithinBucketBounds) {
+  // 1000 uniform samples in [1024, 2047] (one bucket): every interior
+  // quantile must land inside the bucket and be monotone in q.
+  Histogram h;
+  for (std::uint64_t i = 0; i < 1000; ++i) h.record(1024 + (i * 1023) / 999);
+  const std::uint64_t p50 = h.percentile(0.50);
+  const std::uint64_t p99 = h.percentile(0.99);
+  const std::uint64_t p999 = h.percentile(0.999);
+  EXPECT_GE(p50, 1024u);
+  EXPECT_LE(p999, 2047u);
+  EXPECT_LE(p50, p99);
+  EXPECT_LE(p99, p999);
+  // Uniform fill => the median estimate sits near the bucket midpoint.
+  EXPECT_NEAR(static_cast<double>(p50), 1535.0, 64.0);
+}
+
+TEST(HistogramTest, PercentileSkewedMassPicksTheHeavyBucket) {
+  Histogram h;
+  for (int i = 0; i < 990; ++i) h.record(10);   // bucket of 10 (8..15)
+  for (int i = 0; i < 10; ++i) h.record(5000);  // bucket of 5000 (4096..8191)
+  EXPECT_LE(h.percentile(0.5), 15u);
+  EXPECT_GE(h.percentile(0.999), 4096u);
+  EXPECT_LE(h.percentile(0.999), 5000u);  // max clamp
+}
+
+TEST(RegistryTest, PercentileFromSnapshotRowMatchesHistogram) {
+  MetricsRegistry reg;
+  Histogram* h = reg.histogram("lat");
+  for (std::uint64_t i = 1; i <= 1000; ++i) h->record(i * 7);
+  const Snapshot snap = reg.snapshot();
+  const MetricRow* row = snap.find("lat");
+  ASSERT_NE(row, nullptr);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(percentile_of(*row, q), h->percentile(q)) << "q=" << q;
+  }
+  // Non-histogram rows answer 0.
+  reg.counter("c")->inc();
+  const Snapshot snap2 = reg.snapshot();
+  EXPECT_EQ(percentile_of(*snap2.find("c"), 0.5), 0u);
+}
+
 TEST(RegistryTest, NullInstrumentsAreSharedWriteSinks) {
   Counter* c = MetricsRegistry::null_counter();
   Gauge* g = MetricsRegistry::null_gauge();

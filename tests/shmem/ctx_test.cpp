@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "shmem/api.hpp"
+#include "shmem/teams.hpp"
 #include "shmem_test_util.hpp"
 
 namespace ntbshmem::shmem {
@@ -137,6 +138,63 @@ TEST(CtxTest, DestroyDefaultAndDoubleDestroyRejected) {
     shmem_ctx_destroy(c);
     EXPECT_THROW(shmem_ctx_destroy(c), std::invalid_argument);
     EXPECT_THROW(shmem_ctx_create(0, nullptr), std::invalid_argument);
+    shmem_finalize();
+  });
+}
+
+TEST(CtxTest, PrivateCtxPutNbiToTeamTranslatedPes) {
+  // Contexts x teams: nothing else crosses these two subsystems. Every
+  // even-team member pushes a pattern to the *next* team member on a
+  // private context, addressing it through shmem_team_translate_pe, and
+  // completes the batch with one shmem_ctx_quiet. The default context sees
+  // no traffic; the team handles the ordering via team sync.
+  Runtime rt(test_options(6, DataPath::kDma, fabric::RoutingMode::kShortest));
+  rt.run([&] {
+    shmem_init();
+    const int me = shmem_my_pe();
+    auto* inbox = static_cast<std::byte*>(shmem_malloc(1024));
+    std::memset(inbox, 0, 1024);
+
+    shmem_team_t evens = SHMEM_TEAM_INVALID;
+    shmem_team_split_strided(SHMEM_TEAM_WORLD, 0, 2, 3, nullptr, 0, &evens);
+    shmem_barrier_all();  // inboxes zeroed everywhere before any put
+
+    if (me % 2 == 0) {
+      ASSERT_NE(evens, SHMEM_TEAM_INVALID);
+      const int team_me = shmem_team_my_pe(evens);
+      const int team_n = shmem_team_n_pes(evens);
+      const int next_world =
+          shmem_team_translate_pe(evens, (team_me + 1) % team_n,
+                                  SHMEM_TEAM_WORLD);
+      ASSERT_NE(next_world, -1);
+      ASSERT_EQ(next_world % 2, 0);  // stays inside the even subset
+
+      shmem_ctx_t c = SHMEM_CTX_INVALID;
+      ASSERT_EQ(shmem_ctx_create(SHMEM_CTX_PRIVATE, &c), 0);
+      // Two nbi puts on the private context, one quiet for the batch; the
+      // payload tags the sender's *team* index.
+      const auto data = pattern(512, team_me);
+      shmem_ctx_putmem_nbi(c, inbox, data.data(), 256, next_world);
+      shmem_ctx_putmem_nbi(c, inbox + 256, data.data() + 256, 256,
+                           next_world);
+      shmem_ctx_quiet(c);
+      shmem_ctx_destroy(c);
+      shmem_team_sync(evens);
+
+      // My inbox was filled by the *previous* team member.
+      const int prev_team = (team_me + team_n - 1) % team_n;
+      const auto want = pattern(512, prev_team);
+      EXPECT_EQ(std::memcmp(inbox, want.data(), 512), 0);
+      shmem_team_sync(evens);
+      shmem_team_destroy(evens);
+    } else {
+      EXPECT_EQ(evens, SHMEM_TEAM_INVALID);
+      // Odd PEs are bystanders: no traffic must ever land in their inboxes.
+      for (int i = 0; i < 1024; ++i) {
+        ASSERT_EQ(inbox[i], std::byte{0});
+      }
+    }
+    shmem_barrier_all();
     shmem_finalize();
   });
 }

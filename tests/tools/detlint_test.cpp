@@ -179,6 +179,27 @@ TEST(DetlintFiberSched, SilentOnInstancePoolsAndSpanFedWidths) {
   EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
 }
 
+// ---- workload fixtures (traffic-engine shapes) -------------------------------
+
+TEST(DetlintWorkload, CatchesWallclockArrivalsAndHashOrderShardDrains) {
+  // The two determinism hazards a traffic engine invites: arrival gaps
+  // sampled from the wall clock (src/workload samples from seeded splitmix64
+  // streams instead) and KV shard maps drained in hash order.
+  const auto diags = lint({"workload_traffic_violation.cc"});
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"),
+            (std::vector<int>{11, 13}));
+  EXPECT_EQ(lines_of(diags, "no-unordered-iteration"),
+            (std::vector<int>{21, 24}));
+  EXPECT_EQ(diags.size(), 4u) << detlint::render_text(diags);
+}
+
+TEST(DetlintWorkload, SilentOnSeededArrivalsAndKeyedShardAccess) {
+  // The shape src/workload actually uses: splitmix64 gap streams, keyed
+  // find() lookups, sorted-key snapshots, std::map drains.
+  const auto diags = lint({"workload_traffic_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
+}
+
 // ---- compile database driver -------------------------------------------------
 
 TEST(DetlintCompdb, ParsesCMakeShapeAndResolvesRelativePaths) {

@@ -1,0 +1,44 @@
+// Fixture: the same traffic engine done deterministically — seeded
+// splitmix64 arrival gaps, keyed shard lookups, and sorted or ordered
+// drains — must stay silent.
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+template <class Map>
+std::vector<std::uint64_t> sorted_keys(const Map& m);
+
+struct SeededArrivals {
+  std::uint64_t state_ = 0;
+  std::uint64_t next_u64() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  long long next_gap_ns() { return static_cast<long long>(next_u64() % 1000); }
+};
+
+struct KvShard {
+  std::unordered_map<std::uint64_t, std::uint64_t> slots_;
+  std::map<std::uint64_t, std::uint64_t> ordered_slots_;
+
+  std::uint64_t lookup(std::uint64_t key) const {
+    auto it = slots_.find(key);  // keyed access is order-free
+    return it == slots_.end() ? 0 : it->second;
+  }
+  std::uint64_t verify_checksum() const {
+    std::uint64_t sum = 0;
+    for (const auto key : sorted_keys(slots_)) {  // wrapped snapshot: fine
+      sum += lookup(key);
+    }
+    return sum;
+  }
+  std::uint64_t drain_ordered() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, value] : ordered_slots_) sum += value;  // std::map
+    return sum;
+  }
+};

@@ -1,0 +1,25 @@
+// Fixture: the two hazards a workload traffic engine is most tempted by —
+// sampling arrival gaps from the wall clock instead of a seeded stream,
+// and draining a shard map in hash order.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <unordered_map>
+
+struct ArrivalSampler {
+  long long next_gap_ns() {
+    return std::chrono::steady_clock::now().time_since_epoch().count();  // 11
+  }
+  long long jitter() { return rand() % 64; }  // line 13
+};
+
+struct KvShard {
+  std::unordered_map<std::uint64_t, std::uint64_t> slots_;
+
+  std::uint64_t verify_checksum() const {
+    std::uint64_t sum = 0;
+    for (const auto& [key, value] : slots_) sum += value;  // line 21
+    return sum;
+  }
+  std::uint64_t hottest() const { return slots_.begin()->second; }  // line 24
+};
