@@ -9,6 +9,8 @@
 //   3. understands the observability flags (ObsCli below):
 //        --trace-out=FILE    Chrome trace-event JSON of the last sim run
 //        --metrics-out=FILE  metrics snapshot (JSON) of the last sim run
+//        --causal-out=FILE   ntbshmem-trace-v1 causal trace of the last run
+//                            (the tools/tracecheck input)
 #pragma once
 
 #include <cstdint>
@@ -61,6 +63,8 @@ class ObsCli {
         trace_path_ = std::string(arg.substr(12));
       } else if (arg.rfind("--metrics-out=", 0) == 0) {
         metrics_path_ = std::string(arg.substr(14));
+      } else if (arg.rfind("--causal-out=", 0) == 0) {
+        causal_path_ = std::string(arg.substr(13));
       } else {
         argv[out++] = argv[i];
       }
@@ -69,7 +73,10 @@ class ObsCli {
   }
 
   bool tracing() const { return !trace_path_.empty(); }
-  bool active() const { return tracing() || !metrics_path_.empty(); }
+  bool causal() const { return !causal_path_.empty(); }
+  bool active() const {
+    return tracing() || causal() || !metrics_path_.empty();
+  }
 
   void apply(shmem::RuntimeOptions& opts) const {
     if (tracing()) {
@@ -77,6 +84,7 @@ class ObsCli {
       // Mirror protocol/fault TraceRecorder events onto the timeline too.
       opts.trace_enabled = true;
     }
+    if (causal()) opts.obs.causal_enabled = true;
   }
 
   // Variant for the link-level benches that drive a bare sim::Engine +
@@ -88,7 +96,14 @@ class ObsCli {
     engine.attach_obs(&hub);
   }
 
-  void capture(shmem::Runtime& rt) { capture(rt.obs()); }
+  void capture(shmem::Runtime& rt) {
+    if (causal()) {
+      std::ofstream out(causal_path_);
+      rt.write_causal_trace(out);
+      captured_causal_ = true;
+    }
+    capture(rt.obs());
+  }
 
   void capture(obs::Hub& hub) {
     if (tracing()) {
@@ -105,6 +120,9 @@ class ObsCli {
 
   void report() const {
     if (captured_trace_) std::cout << "wrote trace " << trace_path_ << "\n";
+    if (captured_causal_) {
+      std::cout << "wrote causal trace " << causal_path_ << "\n";
+    }
     if (captured_metrics_) {
       std::cout << "wrote metrics " << metrics_path_ << "\n";
     }
@@ -114,7 +132,9 @@ class ObsCli {
   ObsCli() = default;
   std::string trace_path_;
   std::string metrics_path_;
+  std::string causal_path_;
   bool captured_trace_ = false;
+  bool captured_causal_ = false;
   bool captured_metrics_ = false;
 };
 

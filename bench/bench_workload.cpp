@@ -165,6 +165,8 @@ shmem::RuntimeOptions make_options(int hosts, const std::string& topology,
   } else {
     throw std::invalid_argument("unknown --fault-plan=" + fault_plan);
   }
+  // --trace-out/--causal-out switch span/causal recording on for the run.
+  ObsCli::instance().apply(opts);
   return opts;
 }
 
@@ -204,6 +206,8 @@ workload::SloReport run_one(const std::string& scenario,
   } else {
     throw std::invalid_argument("unknown --scenario=" + scenario);
   }
+  // Last run wins: the trace/causal/metrics artifacts land once at exit.
+  ObsCli::instance().capture(rt);
   return workload::build_slo_report(rt, run, cli.seed);
 }
 

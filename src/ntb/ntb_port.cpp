@@ -288,19 +288,40 @@ void NtbPort::receive_doorbell(int bit) {
     // Snapshot the header bank at doorbell-arrival time: with multiple
     // frame credits the sender may restage these registers before the
     // service thread runs, and the latch is what keeps the in-flight
-    // header intact (the "double-buffered ScratchPad").
-    latched_frames_.push_back(LatchedFrame{bit, scratchpad_});
+    // header intact (the "double-buffered ScratchPad"). The staged causal
+    // context is consumed by the same snapshot so it can never attach to a
+    // later, unrelated frame — and only by the doorbell classes in
+    // ctx_bits_, so an ACK/NAK ring racing between the sender's staging
+    // and its data doorbell cannot steal the data frame's context.
+    const bool takes_ctx = (ctx_bits_ & (1u << bit)) != 0;
+    latched_frames_.push_back(LatchedFrame{
+        bit, scratchpad_, takes_ctx ? pending_ctx_ : obs::TraceCtx{},
+        engine_.now()});
+    if (takes_ctx) pending_ctx_ = obs::TraceCtx{};
   }
   local_.interrupts().raise(config_.vector_base + bit);
 }
 
+void NtbPort::stage_tx_ctx(const obs::TraceCtx& ctx) {
+  require_connected("stage_tx_ctx");
+  // Like write_scratchpad, the staged value lands on the *peer* adapter —
+  // but out of band: no register-write charge, no fault sites, so the
+  // causal-off path stays bit-identical (see DESIGN.md §4h).
+  peer_->pending_ctx_ = ctx;
+}
+
 std::array<std::uint32_t, kNumScratchpads> NtbPort::pop_latched_frame(
+    std::uint16_t accept_mask) {
+  return pop_latched_frame_info(accept_mask).regs;
+}
+
+NtbPort::PoppedFrame NtbPort::pop_latched_frame_info(
     std::uint16_t accept_mask) {
   for (auto it = latched_frames_.begin(); it != latched_frames_.end(); ++it) {
     if ((accept_mask & (1u << it->bit)) == 0) continue;
-    auto regs = it->regs;
+    PoppedFrame popped{it->regs, it->ctx, it->latched_at};
     latched_frames_.erase(it);
-    return regs;
+    return popped;
   }
   throw std::logic_error(name_ +
                          ": pop_latched_frame found no matching snapshot");

@@ -145,6 +145,27 @@ class NtbPort {
   std::array<std::uint32_t, kNumScratchpads> pop_latched_frame(
       std::uint16_t accept_mask = 0xffff);
 
+  // ---- Causal-trace sidecar -------------------------------------------------
+  // Stages the causal context that rides with the *next* frame the sender
+  // rings into this port's peer. Models two extra ScratchPad registers
+  // (see DESIGN.md §4h) but is carried out of band so the disabled path
+  // stays byte- and timing-identical: staging costs nothing, the context is
+  // snapshotted into the latch FIFO together with the registers, and a pop
+  // variant returns it with the latch-arrival time (for IRQ-delay
+  // attribution). The context is consumed by the next latch, so control
+  // doorbells that stage nothing latch a null context.
+  void stage_tx_ctx(const obs::TraceCtx& ctx);
+  // Doorbell bits that consume the staged context when they latch (the
+  // data-frame bits). Other latched bits (e.g. ACK) snapshot a null
+  // context and leave the staged one for the data doorbell it belongs to.
+  void set_ctx_bits(std::uint16_t mask) { ctx_bits_ = mask; }
+  struct PoppedFrame {
+    std::array<std::uint32_t, kNumScratchpads> regs{};
+    obs::TraceCtx ctx;
+    sim::Time latched_at = 0;
+  };
+  PoppedFrame pop_latched_frame_info(std::uint16_t accept_mask = 0xffff);
+
   // ---- Doorbells ------------------------------------------------------------
   // Sets bit `bit` in the peer's doorbell status and raises the peer's
   // interrupt vector (vector_base + bit). Blocking (one register write).
@@ -188,8 +209,12 @@ class NtbPort {
   struct LatchedFrame {
     int bit = 0;  // doorbell bit that triggered the snapshot
     std::array<std::uint32_t, kNumScratchpads> regs{};
+    obs::TraceCtx ctx;         // staged by the sender's stage_tx_ctx
+    sim::Time latched_at = 0;  // doorbell arrival (IRQ-delay attribution)
   };
   std::deque<LatchedFrame> latched_frames_;
+  obs::TraceCtx pending_ctx_;      // staged for the next latched data frame
+  std::uint16_t ctx_bits_ = 0xffff;  // doorbell bits that consume it
   bool dma_error_latched_ = false;
   std::uint64_t dma_bytes_written_ = 0;
 

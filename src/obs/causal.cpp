@@ -1,0 +1,173 @@
+#include "obs/causal.hpp"
+
+#include <algorithm>
+
+namespace ntbshmem::obs {
+
+const char* span_kind_name(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kOp: return "op";
+    case SpanKind::kFrame: return "frame";
+    case SpanKind::kRetransmit: return "retransmit";
+    case SpanKind::kIrq: return "irq";
+    case SpanKind::kService: return "service";
+    case SpanKind::kDma: return "dma";
+    case SpanKind::kCreditStall: return "credit_stall";
+    case SpanKind::kForward: return "forward";
+    case SpanKind::kCopy: return "copy";
+  }
+  return "unknown";
+}
+
+const char* op_family_name(std::uint64_t family) {
+  switch (family) {
+    case kFamilyPut: return "put";
+    case kFamilyGet: return "get";
+    case kFamilyAtomic: return "atomic";
+    case kFamilyBarrier: return "barrier";
+  }
+  return "other";
+}
+
+std::uint64_t CausalRecorder::begin_root(SpanKind kind, int host, sim::Time t0,
+                                         std::uint64_t a, std::uint64_t b) {
+  if (!enabled_) return 0;
+  CausalSpan s;
+  s.id = spans_.size() + 1;
+  s.trace_id = next_trace_++;
+  s.parent = 0;
+  s.kind = kind;
+  s.host = static_cast<std::int16_t>(host);
+  s.port = -1;
+  s.hop = 0;
+  s.t0 = t0;
+  s.a = a;
+  s.b = b;
+  spans_.push_back(s);
+  return s.id;
+}
+
+std::uint64_t CausalRecorder::begin(const TraceCtx& cause, SpanKind kind,
+                                    int host, int port, sim::Time t0,
+                                    std::uint64_t a, std::uint64_t b) {
+  if (!enabled_ || !cause.valid()) return 0;
+  CausalSpan s;
+  s.id = spans_.size() + 1;
+  s.trace_id = cause.trace_id;
+  s.parent = cause.parent;
+  s.kind = kind;
+  s.host = static_cast<std::int16_t>(host);
+  s.port = static_cast<std::int16_t>(port);
+  s.hop = cause.hop;
+  s.t0 = t0;
+  s.a = a;
+  s.b = b;
+  spans_.push_back(s);
+  return s.id;
+}
+
+void CausalRecorder::end(std::uint64_t span, sim::Time t1) {
+  if (span == 0 || span > spans_.size()) return;
+  spans_[span - 1].t1 = t1;
+}
+
+TraceCtx CausalRecorder::ctx_of(std::uint64_t span) const {
+  if (span == 0 || span > spans_.size()) return {};
+  const CausalSpan& s = spans_[span - 1];
+  return {s.trace_id, s.id, s.hop};
+}
+
+const CausalSpan* CausalRecorder::find(std::uint64_t id) const {
+  if (id == 0 || id > spans_.size()) return nullptr;
+  return &spans_[id - 1];
+}
+
+void CausalRecorder::clear() {
+  spans_.clear();
+  next_trace_ = 1;
+}
+
+namespace {
+
+// A span that was never closed contributes no duration (its start time
+// still anchors the chain).
+sim::Time end_of(const CausalSpan& s) {
+  return s.t1 == kSpanOpen ? s.t0 : s.t1;
+}
+
+}  // namespace
+
+CriticalPath critical_path(const CausalRecorder& rec, std::uint64_t root_id) {
+  CriticalPath cp;
+  const CausalSpan* root = rec.find(root_id);
+  if (root == nullptr) return cp;
+  cp.root = root_id;
+
+  // The latest-ending descendant bounds when the operation's effects were
+  // complete; ties break toward the smallest id (allocation order) so the
+  // extraction is deterministic. Spans are id-ordered and parents precede
+  // children, so one forward pass finds every descendant.
+  const auto& spans = rec.spans();
+  std::vector<bool> in_tree(spans.size() + 1, false);
+  in_tree[root_id] = true;
+  std::uint64_t leaf = root_id;
+  sim::Time leaf_end = end_of(*root);
+  for (const CausalSpan& s : spans) {
+    if (s.id == root_id) continue;
+    if (s.parent == 0 || s.parent >= s.id || !in_tree[s.parent]) continue;
+    in_tree[s.id] = true;
+    const sim::Time e = end_of(s);
+    if (e > leaf_end) {
+      leaf_end = e;
+      leaf = s.id;
+    }
+  }
+  cp.leaf = leaf;
+  cp.total = std::max<sim::Dur>(0, leaf_end - root->t0);
+
+  // Chain from leaf to root via parent pointers, then attribute exclusive
+  // time with a back-walk: each span owns the part of [its start, cursor]
+  // not already claimed by its on-chain descendant.
+  std::vector<std::uint64_t> chain;  // leaf -> root
+  for (std::uint64_t id = leaf; id != 0;) {
+    chain.push_back(id);
+    const CausalSpan* s = rec.find(id);
+    id = (s == nullptr || id == root_id) ? 0 : s->parent;
+  }
+  sim::Time cursor = leaf_end;
+  std::vector<PathEdge> edges;  // built leaf -> root, reversed at the end
+  for (const std::uint64_t id : chain) {
+    const CausalSpan& s = *rec.find(id);
+    PathEdge e;
+    e.span = id;
+    e.kind = s.kind;
+    e.dur = std::max<sim::Dur>(0, cursor - s.t0);
+    cursor = std::min(cursor, s.t0);
+    edges.push_back(e);
+  }
+  cp.edges.assign(edges.rbegin(), edges.rend());
+  return cp;
+}
+
+std::vector<FamilyBreakdown> critical_path_by_family(
+    const CausalRecorder& rec) {
+  std::map<std::string, FamilyBreakdown> by_family;
+  for (const CausalSpan& s : rec.spans()) {
+    if (s.parent != 0 || s.kind != SpanKind::kOp) continue;
+    const CriticalPath cp = critical_path(rec, s.id);
+    FamilyBreakdown& fb = by_family[op_family_name(s.a)];
+    if (fb.family.empty()) fb.family = op_family_name(s.a);
+    fb.traces += 1;
+    fb.total_ns += static_cast<std::uint64_t>(cp.total);
+    for (const PathEdge& e : cp.edges) {
+      fb.edge_ns[span_kind_name(e.kind)] +=
+          static_cast<std::uint64_t>(e.dur);
+    }
+  }
+  std::vector<FamilyBreakdown> out;
+  out.reserve(by_family.size());
+  for (auto& [name, fb] : by_family) out.push_back(std::move(fb));
+  return out;
+}
+
+}  // namespace ntbshmem::obs

@@ -122,6 +122,17 @@ void write_chrome_trace(const Tracer& tracer, std::ostream& out) {
         case RecordKind::kAsyncEnd:
           body += ",\"ph\":\"e\",\"id\":\"" + std::to_string(rec.id) + "\"}";
           break;
+        case RecordKind::kFlowStart:
+          body += ",\"ph\":\"s\",\"id\":\"" + std::to_string(rec.id) + "\"}";
+          break;
+        case RecordKind::kFlowStep:
+          body += ",\"ph\":\"t\",\"id\":\"" + std::to_string(rec.id) + "\"}";
+          break;
+        case RecordKind::kFlowEnd:
+          // bp:"e" binds the terminus to the enclosing slice (not the next).
+          body += ",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"" +
+                  std::to_string(rec.id) + "\"}";
+          break;
       }
       emit(body);
     }

@@ -36,6 +36,9 @@ enum class RecordKind : std::uint8_t {
   kCounter,      // counter-timeline sample (value = sample)
   kAsyncBegin,   // overlapping span open, matched by `id`
   kAsyncEnd,     // overlapping span close, matched by `id`
+  kFlowStart,    // Perfetto flow arrow origin, matched by `id`
+  kFlowStep,     // flow arrow waypoint
+  kFlowEnd,      // flow arrow terminus
 };
 
 inline constexpr std::uint32_t kNoDetail = 0xffffffffu;
@@ -101,6 +104,24 @@ class Tracer {
   void counter(TrackId track, EventId ev, sim::Time t, double value) {
     if (enabled_)
       push(track, {t, RecordKind::kCounter, 0, ev, 0, value, kNoDetail});
+  }
+  // Flow arrows: link slices across tracks by `id` (the causal trace_id).
+  // Chrome binds each flow record to the enclosing synchronous slice on the
+  // same track, so emit these inside an open kBegin/kEnd pair.
+  void flow_start(TrackId track, CategoryId cat, EventId ev, sim::Time t,
+                  std::uint64_t id) {
+    if (enabled_)
+      push(track, {t, RecordKind::kFlowStart, cat, ev, id, 0.0, kNoDetail});
+  }
+  void flow_step(TrackId track, CategoryId cat, EventId ev, sim::Time t,
+                 std::uint64_t id) {
+    if (enabled_)
+      push(track, {t, RecordKind::kFlowStep, cat, ev, id, 0.0, kNoDetail});
+  }
+  void flow_end(TrackId track, CategoryId cat, EventId ev, sim::Time t,
+                std::uint64_t id) {
+    if (enabled_)
+      push(track, {t, RecordKind::kFlowEnd, cat, ev, id, 0.0, kNoDetail});
   }
 
   // Process-unique ids for async-span correlation.

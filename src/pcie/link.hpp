@@ -6,9 +6,11 @@
 // fault-injection tests.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "obs/hub.hpp"
 #include "pcie/config.hpp"
@@ -64,7 +66,39 @@ class Link {
   // Account a link-layer replay stall (CRC-detected TLP loss, `stall` ns).
   void note_replay(End from, sim::Dur stall);
 
+  // ---- Utilization windows (Perfetto congestion series + tracecheck oracle) -
+  // Event-driven busy-time accounting: a direction is "busy" while at least
+  // one transfer is in flight on it. With a non-zero window, every
+  // completed window with busy time emits one counter sample (busy ns in
+  // the window) on the link's trace track and is retained for the
+  // ntbshmem-trace-v1 artifact; flush_util() closes the final partial
+  // window so the sample series integrates *exactly* to busy_ns() — the
+  // consistency invariant tools/tracecheck asserts. Driven from
+  // note_transfer_start/end as pure arithmetic — never touches the engine,
+  // so enabling it cannot perturb virtual time. Off (window 0) by default.
+  void set_util_window(sim::Dur window);
+  sim::Dur util_window() const { return util_window_; }
+  void flush_util(sim::Time now);
+  std::uint64_t busy_ns(End dir) const {
+    return busy_ns_[static_cast<std::size_t>(dir)];
+  }
+  std::uint64_t transferred_bytes(End dir) const {
+    return transferred_bytes_[static_cast<std::size_t>(dir)];
+  }
+  struct UtilSample {
+    sim::Time t = 0;         // sample (window-end or flush) time
+    std::uint64_t busy = 0;  // busy ns accumulated since the prior sample
+  };
+  const std::vector<UtilSample>& util_samples(End dir) const {
+    return util_samples_[static_cast<std::size_t>(dir)];
+  }
+
  private:
+  // Attributes [covered_until_, now) to the current window(s) using the
+  // pre-update in-flight state; call before mutating inflight_bytes_.
+  void account_util(std::size_t dir, sim::Time now);
+  void emit_util_sample(std::size_t dir, sim::Time t);
+
   std::string name_;
   LinkConfig config_;
   bool up_ = true;
@@ -83,6 +117,16 @@ class Link {
   obs::Counter* obs_replays_ = obs::MetricsRegistry::null_counter();
   obs::Counter* obs_replay_stall_ns_ = obs::MetricsRegistry::null_counter();
   std::uint64_t inflight_bytes_[2] = {0, 0};
+
+  // Utilization-window state (all zero while util_window_ == 0).
+  obs::EventId obs_ev_busy_[2] = {0, 0};
+  sim::Dur util_window_ = 0;
+  sim::Time covered_until_[2] = {0, 0};
+  sim::Time window_end_[2] = {0, 0};
+  std::uint64_t window_busy_[2] = {0, 0};
+  std::uint64_t busy_ns_[2] = {0, 0};
+  std::uint64_t transferred_bytes_[2] = {0, 0};
+  std::vector<UtilSample> util_samples_[2];
 };
 
 }  // namespace ntbshmem::pcie

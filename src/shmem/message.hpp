@@ -142,8 +142,18 @@ struct MessageHeader {
   std::uint8_t pad[2] = {0, 0};
   std::uint64_t operand1 = 0;    // atomic value / cas desired
   std::uint64_t operand2 = 0;    // cas expected / response old value
+
+  // Causal trace context (obs::TraceCtx, flattened). Lives in what used to
+  // be the 24 bytes of on-wire padding between the 40-byte header and the
+  // kMessageHeaderBytes slot, so the wire size is unchanged and — because
+  // the pad was zero-filled — the bytes are identical when causal tracing
+  // is off (all three fields stay 0).
+  std::uint64_t trace_id = 0;    // causal tree identity (0 = none)
+  std::uint64_t parent_span = 0; // causal parent span id at the origin
+  std::uint8_t hop = 0;          // store-and-forward hops taken so far
+  std::uint8_t pad2[7] = {0, 0, 0, 0, 0, 0, 0};
 };
-static_assert(sizeof(MessageHeader) == 40);
+static_assert(sizeof(MessageHeader) == 64);
 
 inline constexpr std::uint64_t kMessageHeaderBytes = 64;  // padded on wire
 

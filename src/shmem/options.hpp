@@ -115,6 +115,18 @@ struct ObsOptions {
   // Per-track record cap for long soak runs (oldest records evicted,
   // tracked per track as `dropped`); 0 keeps every record.
   std::size_t ring_capacity = 0;
+  // Causal cross-hop tracing (obs::CausalRecorder): op-rooted span trees
+  // linked across hosts/ports/retransmits, exported by
+  // Runtime::write_causal_trace as ntbshmem-trace-v1 and as Perfetto flow
+  // arrows on the span timeline. Off by default: the TraceCtx sidecar adds
+  // no wire bytes and no virtual time either way, but recording allocates.
+  bool causal_enabled = false;
+  // Per-host flight-recorder ring size (always on; rounded up to a power
+  // of two). 0 picks the 512-record default.
+  std::size_t flight_capacity = 512;
+  // Per-link utilization sampling window for the busy-ns counter series
+  // (active while spans or causal recording are enabled; 0 disables).
+  sim::Dur link_util_window = 1'000'000;  // 1 ms
 };
 
 struct RuntimeOptions {

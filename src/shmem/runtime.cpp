@@ -1,6 +1,7 @@
 #include "shmem/runtime.hpp"
 
 #include <cstring>
+#include <ostream>
 #include <stdexcept>
 
 #include "shmem/collectives.hpp"
@@ -279,6 +280,7 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
   // unaffected); span recording is gated separately by ObsOptions.
   obs_.tracer.set_enabled(options_.obs.spans_enabled);
   obs_.tracer.set_ring_capacity(options_.obs.ring_capacity);
+  obs_.causal.set_enabled(options_.obs.causal_enabled);
   engine_.attach_obs(&obs_);
   // Legacy trace records (notably fault injections) tee onto the exported
   // timeline as instant events.
@@ -322,6 +324,16 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
     // computation: no simulated time passes, no events are queued.
     fabric_->routing(options_.routing);
   }
+  // Per-link utilization windows feed both the Perfetto congestion series
+  // and the trace artifact's tracecheck oracle. Pure arithmetic inside the
+  // link accounting — never touches the engine — but only armed when some
+  // recording is on, so benchmark runs allocate nothing.
+  if ((options_.obs.spans_enabled || options_.obs.causal_enabled) &&
+      options_.obs.link_util_window > 0) {
+    for (int i = 0; i < fabric_->num_links(); ++i) {
+      fabric_->link(i).set_util_window(options_.obs.link_util_window);
+    }
+  }
   for (const sim::LinkFlap& flap : fault_plan_->spec().link_flaps) {
     if (flap.up_at < flap.down_at || flap.down_at < 0) {
       throw std::invalid_argument("LinkFlap: need 0 <= down_at <= up_at");
@@ -348,6 +360,106 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
 }
 
 Runtime::~Runtime() = default;
+
+std::uint64_t Runtime::retransmit_bound() const {
+  const std::uint64_t injected = fault_plan_->stats().total();
+  const std::uint64_t flaps = fault_plan_->spec().link_flaps.size();
+  if (injected == 0 && flaps == 0) return 0;
+  // Worst case per injected fault: the frame re-emits through the whole
+  // retry ladder. Worst case per flap: a full credit window of in-flight
+  // frames per direction re-runs its ladder while the link retrains.
+  const auto ladder =
+      static_cast<std::uint64_t>(options_.tuning.reliability.max_retries) + 1;
+  const auto credits = static_cast<std::uint64_t>(options_.tuning.tx_credits);
+  return injected * ladder + flaps * 2 * credits * ladder;
+}
+
+void Runtime::write_causal_trace(std::ostream& out) {
+  // Close every partial utilization window first so each direction's sample
+  // series integrates exactly to its busy_ns — the consistency oracle
+  // tools/tracecheck asserts.
+  for (int i = 0; i < fabric_->num_links(); ++i) {
+    fabric_->link(i).flush_util(engine_.now());
+  }
+  std::uint64_t retransmits = 0, frames_sent = 0, frames_received = 0;
+  std::uint64_t naks_sent = 0, ack_timeouts = 0, delivery_acks = 0;
+  std::uint64_t barrier_tokens = 0;
+  for (const auto& t : transports_) {
+    const TransportStats& s = t->stats();
+    retransmits += s.retransmits;
+    frames_sent += s.frames_sent;
+    frames_received += s.frames_received;
+    naks_sent += s.naks_sent;
+    ack_timeouts += s.ack_timeouts;
+    delivery_acks += s.delivery_acks_sent;
+    barrier_tokens += s.barrier_tokens_sent;
+  }
+  out << "{\n";
+  out << "  \"schema\": \"ntbshmem-trace-v1\",\n";
+  out << "  \"hosts\": " << num_hosts() << ",\n";
+  out << "  \"elapsed_ns\": " << engine_.now() << ",\n";
+  out << "  \"tx_credits\": " << options_.tuning.tx_credits << ",\n";
+  out << "  \"reliability\": "
+      << (options_.tuning.reliability.enabled ? "true" : "false") << ",\n";
+  out << "  \"max_retries\": " << options_.tuning.reliability.max_retries
+      << ",\n";
+  out << "  \"faults_injected\": " << fault_plan_->stats().total() << ",\n";
+  out << "  \"link_flaps\": " << fault_plan_->spec().link_flaps.size()
+      << ",\n";
+  out << "  \"retransmit_bound\": " << retransmit_bound() << ",\n";
+  out << "  \"counters\": {\n";
+  out << "    \"retransmits\": " << retransmits << ",\n";
+  out << "    \"frames_sent\": " << frames_sent << ",\n";
+  out << "    \"frames_received\": " << frames_received << ",\n";
+  out << "    \"naks_sent\": " << naks_sent << ",\n";
+  out << "    \"ack_timeouts\": " << ack_timeouts << ",\n";
+  out << "    \"delivery_acks_sent\": " << delivery_acks << ",\n";
+  out << "    \"barrier_tokens_sent\": " << barrier_tokens << "\n";
+  out << "  },\n";
+  out << "  \"spans\": [";
+  bool first = true;
+  for (const obs::CausalSpan& s : obs_.causal.spans()) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"id\": " << s.id << ", \"trace\": " << s.trace_id
+        << ", \"parent\": " << s.parent << ", \"kind\": \""
+        << obs::span_kind_name(s.kind) << "\", \"host\": " << s.host
+        << ", \"port\": " << s.port << ", \"hop\": "
+        << static_cast<int>(s.hop) << ", \"t0\": " << s.t0 << ", \"t1\": "
+        << s.t1 << ", \"a\": " << s.a << ", \"b\": " << s.b << "}";
+  }
+  out << "\n  ],\n";
+  out << "  \"links\": [";
+  first = true;
+  for (int i = 0; i < fabric_->num_links(); ++i) {
+    pcie::Link& link = fabric_->link(i);
+    for (const pcie::End dir : {pcie::End::kA, pcie::End::kB}) {
+      out << (first ? "\n" : ",\n");
+      first = false;
+      out << "    {\"name\": \"" << link.name() << "\", \"dir\": \""
+          << (dir == pcie::End::kA ? "a2b" : "b2a")
+          << "\", \"busy_ns\": " << link.busy_ns(dir) << ", \"bytes\": "
+          << link.transferred_bytes(dir) << ", \"capacity_Bps\": "
+          << static_cast<std::uint64_t>(link.config().effective_Bps())
+          << ", \"window_ns\": "
+          << link.util_window() << ", \"samples\": [";
+      bool sfirst = true;
+      for (const pcie::Link::UtilSample& u : link.util_samples(dir)) {
+        out << (sfirst ? "" : ", ") << "[" << u.t << ", " << u.busy << "]";
+        sfirst = false;
+      }
+      out << "]}";
+    }
+  }
+  out << "\n  ]\n";
+  out << "}\n";
+}
+
+void Runtime::dump_flight(std::ostream& out) const {
+  for (const auto& [name, rec] : obs_.flights) {
+    obs::dump_flight(*rec, name, out);
+  }
+}
 
 sim::Dur Runtime::run(const std::function<void()>& pe_main) {
   const sim::Time start = engine_.now();

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <iosfwd>
 #include <memory>
 #include <vector>
 
@@ -165,6 +166,21 @@ class Runtime {
   // The fault plan attached to the engine (always present; an all-zero spec
   // injects nothing). Tests arm one-shot faults here.
   sim::FaultPlan& faults() { return *fault_plan_; }
+
+  // ---- Causal-trace artifacts (DESIGN.md §4h) -------------------------------
+  // Writes the ntbshmem-trace-v1 JSON artifact: every causal span, the
+  // per-link utilization series (flushed so samples integrate exactly to
+  // busy_ns), aggregate transport counters and the fault-plan retransmit
+  // bound — the complete input contract of tools/tracecheck.
+  void write_causal_trace(std::ostream& out);
+  // Upper bound on legitimate retransmits implied by what the fault plan
+  // actually injected: 0 on a fault-free run, else every injected fault may
+  // cost a full retry ladder and every link flap may strand a window of
+  // in-flight frames in each direction.
+  std::uint64_t retransmit_bound() const;
+  // Dumps every host's always-on flight-recorder ring (newest-last); the
+  // post-mortem artifact attached to fuzz/CI failures.
+  void dump_flight(std::ostream& out) const;
 
   // The Context of the PE process currently executing (TLS); nullptr
   // outside a PE (e.g. in service threads or the scheduler).

@@ -42,10 +42,30 @@ class ObsSpan {
   obs::EventId ev_;
 };
 
+// RAII close of a causal span at scope exit (covers every early return of
+// an operation). Id 0 / null recorder is the disabled no-op.
+class CausalScope {
+ public:
+  CausalScope(obs::CausalRecorder* rec, sim::Engine& engine, std::uint64_t id)
+      : rec_(rec), engine_(engine), id_(id) {}
+  ~CausalScope() {
+    if (id_ != 0 && rec_ != nullptr) rec_->end(id_, engine_.now());
+  }
+  CausalScope(const CausalScope&) = delete;
+  CausalScope& operator=(const CausalScope&) = delete;
+
+ private:
+  obs::CausalRecorder* rec_;
+  sim::Engine& engine_;
+  std::uint64_t id_;
+};
+
 }  // namespace
 
 Transport::Transport(Runtime& runtime, int host_id)
-    : runtime_(runtime), host_id_(host_id) {
+    : runtime_(runtime),
+      host_id_(host_id),
+      flight_(runtime.options().obs.flight_capacity) {
   sim::Engine& engine = runtime_.engine();
   const std::string prefix = "host" + std::to_string(host_id_);
   host::MemoryArena& arena = fabric().host(host_id_).memory();
@@ -96,15 +116,24 @@ void Transport::init_obs() {
   obs::Hub* hub = runtime_.engine().obs();
   if (hub == nullptr) return;
   tracer_ = &hub->tracer;
+  causal_ = &hub->causal;
   const std::string host_name = fabric().host(host_id_).name();
+  // The flight recorder is registered unconditionally (it is always on);
+  // registration order is host-construction order, so dumps are stable.
+  hub->flights.emplace_back(host_name, &flight_);
   for (int i = 0; i < pes_per_host(); ++i) {
     pe_tracks_.push_back(
         tracer_->track(host_name, "pe" + std::to_string(leader_pe() + i)));
   }
-  rx_track_ = tracer_->track(host_name, "rx_service");
   // Interned in port order — a ring host gets "frames_right" (port 0) then
-  // "frames_left" (port 1), the historical track layout.
+  // "frames_left" (port 1), the historical track layout. Frame processing
+  // gets one named track per ingress adapter ("rx_service@right", ...), so
+  // spans from different in-ports no longer interleave on one row.
   const fabric::Topology& topo = fabric().topology();
+  for (int p = 0; p < degree(); ++p) {
+    rx_tracks_.push_back(tracer_->track(
+        host_name, "rx_service@" + topo.port(host_id_, p).name));
+  }
   for (int p = 0; p < degree(); ++p) {
     frames_track_.push_back(
         tracer_->track(host_name, "frames_" + topo.port(host_id_, p).name));
@@ -158,6 +187,27 @@ void Transport::end_frame_span(int p, const TxChannel::InFlight& rec) {
   if (tracer_ != nullptr && rec.obs_span != 0) {
     tracer_->async_end(frames_track_[static_cast<std::size_t>(p)], cat_frame_,
                        ev_frame_, runtime_.engine().now(), rec.obs_span);
+  }
+  // The retiring ack also closes the frame's causal span — a kFrame left
+  // open in the export is precisely "a doorbell with no matching ack"
+  // (tracecheck invariant).
+  end_causal(rec.causal_id);
+}
+
+std::uint64_t Transport::begin_op_root(std::uint8_t family,
+                                       std::uint64_t bytes) {
+  if (!causal_on()) return 0;
+  return causal_->begin_root(obs::SpanKind::kOp, host_id_,
+                             runtime_.engine().now(), family, bytes);
+}
+
+obs::TraceCtx Transport::ctx_of(std::uint64_t id) const {
+  return causal_ == nullptr ? obs::TraceCtx{} : causal_->ctx_of(id);
+}
+
+void Transport::end_causal(std::uint64_t id) {
+  if (id != 0 && causal_ != nullptr) {
+    causal_->end(id, runtime_.engine().now());
   }
 }
 
@@ -243,6 +293,11 @@ void Transport::start_services() {
         static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet));
     if (reliability_on()) latch |= static_cast<std::uint16_t>(1u << kDbAck);
     in.set_latch_bits(latch);
+    // Only data doorbells consume the staged causal context: an ACK rung by
+    // our own RX service between the peer's ctx staging and its data
+    // doorbell must not steal the data frame's context.
+    in.set_ctx_bits(
+        static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
     const int base = in.config().vector_base;
     irq.register_handler(base + kDbDmaPut, [this, p](int) {
       on_rx_token(p, RxTokenKind::kFrame);
@@ -307,8 +362,11 @@ void Transport::on_rx_token(int from, RxTokenKind kind) {
     // ISR context: consume the oldest *data* snapshot the adapter latched
     // (free; the service thread charges the reads). The accept mask keeps a
     // delay-reordered ack ISR from stealing a data snapshot and vice versa.
-    token.regs = port(from).pop_latched_frame(
+    const ntb::NtbPort::PoppedFrame popped = port(from).pop_latched_frame_info(
         static_cast<std::uint16_t>((1u << kDbDmaPut) | (1u << kDbDmaGet)));
+    token.regs = popped.regs;
+    token.ctx = popped.ctx;
+    token.latched_at = popped.latched_at;
   }
   rx_queue_.push_back(token);
   rx_event_->notify_all();
@@ -323,6 +381,8 @@ void Transport::on_ack(int p) {
     const TxChannel::InFlight rec = ch.inflight.front();
     ch.inflight.pop_front();
     end_frame_span(p, rec);
+    flight_.log(runtime_.engine().now(), obs::FlightCode::kAck,
+                static_cast<std::uint16_t>(p), rec.hdr.id);
     // Return the staging slot before the credit so a woken sender always
     // finds a free slot to pair with its credit.
     ch.free_slots.push_back(rec.stage_slot);
@@ -344,6 +404,8 @@ void Transport::on_ack(int p) {
                        " invalid ack word dropped");
     return;
   }
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kAck,
+              static_cast<std::uint16_t>(p), acked);
   retire_acked(p, acked);
 }
 
@@ -395,7 +457,7 @@ void Transport::note_delivery_completed_op(std::uint32_t op_id) {
 
 // ---- send-side primitives ----------------------------------------------------
 
-int Transport::acquire_send_credit(int p) {
+int Transport::acquire_send_credit(int p, const obs::TraceCtx& cause) {
   TxChannel& ch = channel(p);
   const sim::Time t0 = runtime_.engine().now();
   ch.slot.acquire();
@@ -404,6 +466,17 @@ int Transport::acquire_send_credit(int p) {
     obs_credit_stalls_->inc();
     obs_credit_stall_ns_->add(static_cast<std::uint64_t>(stalled));
     obs_credit_stall_hist_->record(static_cast<std::uint64_t>(stalled));
+    flight_.log(runtime_.engine().now(), obs::FlightCode::kCreditStall,
+                static_cast<std::uint16_t>(p), 0,
+                static_cast<std::uint64_t>(stalled));
+    if (causal_on() && cause.valid()) {
+      // Closed span covering the stall: critical-path extraction attributes
+      // the wait to flow control, not to whatever emitted next.
+      const std::uint64_t s =
+          causal_->begin(cause, obs::SpanKind::kCreditStall, host_id_, p, t0,
+                         0, static_cast<std::uint64_t>(stalled));
+      causal_->end(s, runtime_.engine().now());
+    }
   }
   // Invariant: slots are returned before credits are released (on_ack), so
   // a granted credit always finds a free slot; no yield between the two.
@@ -415,7 +488,8 @@ int Transport::acquire_send_credit(int p) {
 void Transport::emit_frame_inflight(int p, const FrameHeader& hdr,
                                     int doorbell, int slot,
                                     bool counts_as_delivery,
-                                    int delivery_domain) {
+                                    int delivery_domain,
+                                    const obs::TraceCtx& cause) {
   TxChannel& ch = channel(p);
   // Serialize header staging between concurrent credit holders (the PE
   // thread and the TX service can emit on the same channel); the record
@@ -442,8 +516,19 @@ void Transport::emit_frame_inflight(int p, const FrameHeader& hdr,
                          cat_frame_, ev_frame_, runtime_.engine().now(),
                          rec.obs_span);
   }
+  if (causal_on() && cause.valid()) {
+    // Causal frame span: open at emission, closed by the retiring ack. The
+    // wire context names THIS span as parent and is re-staged verbatim on
+    // every retransmit, so the receiver links to the same node no matter
+    // which emission attempt delivered.
+    rec.causal_id =
+        causal_->begin(cause, obs::SpanKind::kFrame, host_id_, p,
+                       runtime_.engine().now(), rec.seq,
+                       static_cast<std::uint64_t>(doorbell));
+    rec.wire_ctx = causal_->ctx_of(rec.causal_id);
+  }
   ch.inflight.push_back(rec);
-  emit_frame(p, h, doorbell);
+  emit_frame(p, h, doorbell, rec.wire_ctx);
   if (reliability_on()) {
     // Re-find by seq: acks for earlier frames may have popped the deque
     // while emit_frame blocked on register writes.
@@ -469,10 +554,17 @@ void Transport::write_frame_regs(int p, const FrameHeader& hdr) {
   }
 }
 
-void Transport::emit_frame(int p, const FrameHeader& hdr, int doorbell) {
+void Transport::emit_frame(int p, const FrameHeader& hdr, int doorbell,
+                           const obs::TraceCtx& wire_ctx) {
   write_frame_regs(p, hdr);
+  // Stage the causal sidecar so the doorbell's latch snapshots it with the
+  // registers (out of band: no wire bytes, no register-write charge).
+  if (wire_ctx.valid()) port(p).stage_tx_ctx(wire_ctx);
   port(p).ring_doorbell(doorbell);
   ++stats_.frames_sent;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kFrameTx,
+              static_cast<std::uint16_t>(p),
+              static_cast<std::uint32_t>(doorbell), hdr.id);
   trace("frame.tx", "host" + std::to_string(host_id_) + " kind=" + std::to_string(static_cast<int>(hdr.kind)) +
                         " origin=" + std::to_string(hdr.origin_pe) +
                         " target=" + std::to_string(hdr.target_pe) +
@@ -499,9 +591,13 @@ void Transport::arm_retx_timer(int p, TxChannel::InFlight& rec) {
 void Transport::on_ack_timeout(int p, std::uint8_t seq) {
   // Scheduler context: no blocking. Hand the work to the rel service.
   TxChannel& ch = channel(p);
-  if (find_inflight(ch, seq) == nullptr) return;  // ack won the race
+  TxChannel::InFlight* rec = find_inflight(ch, seq);
+  if (rec == nullptr) return;  // ack won the race
   ++ch.rel.ack_timeouts;
   ++stats_.ack_timeouts;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kAckTimeout,
+              static_cast<std::uint16_t>(p),
+              static_cast<std::uint32_t>(rec->retries), seq);
   trace("retry", "host" + std::to_string(host_id_) + " ack timeout seq=" +
                      std::to_string(seq));
   retx_queue_.push_back(RetxRequest{p, seq});
@@ -516,6 +612,8 @@ void Transport::on_nak(int p) {
   ++stats_.naks_received;
   if (ch.inflight.empty()) return;  // everything already acked: stale NAK
   const std::uint8_t seq = ch.inflight.front().seq;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kNak,
+              static_cast<std::uint16_t>(p), seq);
   trace("retry", "host" + std::to_string(host_id_) + " nak -> retransmit seq=" +
                      std::to_string(seq));
   retx_queue_.push_back(RetxRequest{p, seq});
@@ -551,6 +649,9 @@ void Transport::retransmit(int p, std::uint8_t seq) {
   ++rec->retries;
   ++ch.rel.retransmits;
   ++stats_.retransmits;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kRetransmit,
+              static_cast<std::uint16_t>(p),
+              static_cast<std::uint32_t>(rec->retries), seq);
   trace("retry", "host" + std::to_string(host_id_) + " retransmit seq=" +
                      std::to_string(seq) + " attempt=" +
                      std::to_string(rec->retries));
@@ -560,10 +661,22 @@ void Transport::retransmit(int p, std::uint8_t seq) {
   // may retire the record while the register writes drain.
   const FrameHeader hdr = rec->hdr;
   const int doorbell = rec->doorbell;
+  // Causal: the retransmit is a child of the ORIGINAL frame span (the wire
+  // context's parent), and the same context is re-staged so the receiver's
+  // spans link to the original frame no matter which attempt delivered.
+  const obs::TraceCtx wire = rec->wire_ctx;
+  std::uint64_t rspan = 0;
+  if (rec->causal_id != 0) {
+    rspan = causal_->begin(wire, obs::SpanKind::kRetransmit, host_id_, p,
+                           runtime_.engine().now(), seq,
+                           static_cast<std::uint64_t>(rec->retries));
+  }
   ch.emit_serial.acquire();
   write_frame_regs(p, hdr);
+  if (wire.valid()) port(p).stage_tx_ctx(wire);
   port(p).ring_doorbell(doorbell);
   ch.emit_serial.release();
+  end_causal(rspan);
   if (TxChannel::InFlight* still = find_inflight(ch, seq)) {
     arm_retx_timer(p, *still);
   }
@@ -571,9 +684,15 @@ void Transport::retransmit(int p, std::uint8_t seq) {
 
 void Transport::window_write(int p, int window, host::Region region,
                              std::uint64_t off, std::span<const std::byte> src,
-                             bool app_context) {
+                             bool app_context, const obs::TraceCtx& cause) {
   sim::Engine& engine = runtime_.engine();
   ntb::NtbPort& out = port(p);
+  std::uint64_t dma_span = 0;
+  if (causal_on() && cause.valid()) {
+    dma_span = causal_->begin(cause, obs::SpanKind::kDma, host_id_, p,
+                              engine.now(), src.size());
+  }
+  CausalScope dma_scope(causal_, engine, dma_span);
   const std::uint64_t seg = timing().lut_segment_bytes;
   const bool overlap = app_context && tuning().overlap_segment_setup;
   const bool use_dma = runtime_.options().data_path == DataPath::kDma;
@@ -628,6 +747,9 @@ void Transport::window_write(int p, int window, host::Region region,
                 std::to_string(rp.dma_retries) + " retries");
           }
           ++stats_.dma_retries;
+          flight_.log(engine.now(), obs::FlightCode::kDmaError,
+                      static_cast<std::uint16_t>(p),
+                      static_cast<std::uint32_t>(attempts));
           trace("retry", "host" + std::to_string(host_id_) +
                              " dma descriptor error, retry " +
                              std::to_string(attempts));
@@ -646,9 +768,19 @@ void Transport::window_write(int p, int window, host::Region region,
 }
 
 std::vector<std::byte> Transport::build_message(
-    const MessageHeader& header, std::span<const std::byte> payload) {
+    const MessageHeader& header, std::span<const std::byte> payload,
+    const obs::TraceCtx& ctx) {
+  MessageHeader h = header;
+  if (ctx.valid()) {
+    // Causal context travels in the header's (formerly zero) padding, so
+    // the logical-message link survives chunking, reassembly and
+    // forwarding; the disabled path writes the same zero bytes as ever.
+    h.trace_id = ctx.trace_id;
+    h.parent_span = ctx.parent;
+    h.hop = ctx.hop;
+  }
   std::vector<std::byte> msg(kMessageHeaderBytes + payload.size());
-  write_message_header(msg, header);
+  write_message_header(msg, h);
   if (!payload.empty()) {
     std::memcpy(msg.data() + kMessageHeaderBytes, payload.data(),
                 payload.size());
@@ -656,7 +788,8 @@ std::vector<std::byte> Transport::build_message(
   return msg;
 }
 
-void Transport::send_message_staged(int p, std::span<const std::byte> message) {
+void Transport::send_message_staged(int p, std::span<const std::byte> message,
+                                    const obs::TraceCtx& cause) {
   const int next = peer_host(p);
   // The receiver's staging buffer for traffic arriving through its end of
   // this link.
@@ -666,7 +799,7 @@ void Transport::send_message_staged(int p, std::span<const std::byte> message) {
   if (message.size() > ch.slot_bytes) {
     throw std::logic_error("staged message exceeds bypass staging slot");
   }
-  const int slot = acquire_send_credit(p);
+  const int slot = acquire_send_credit(p, cause);
   const std::uint64_t slot_off =
       static_cast<std::uint64_t>(slot) * ch.slot_bytes;
   // The 64-byte message header goes through the head of the pre-mapped
@@ -680,7 +813,8 @@ void Transport::send_message_staged(int p, std::span<const std::byte> message) {
                   message.subspan(0, kMessageHeaderBytes));
   }
   window_write(p, ntb::kBypassWindow, staging, slot_off + kMessageHeaderBytes,
-               message.subspan(kMessageHeaderBytes), /*app_context=*/true);
+               message.subspan(kMessageHeaderBytes), /*app_context=*/true,
+               cause);
   const MessageHeader mh = read_message_header(message);
   FrameHeader f;
   f.kind = FrameKind::kStaged;
@@ -689,14 +823,15 @@ void Transport::send_message_staged(int p, std::span<const std::byte> message) {
   f.id = next_msg_id_++;
   f.c = static_cast<std::uint32_t>(message.size());
   f.d = static_cast<std::uint32_t>(slot_off);  // staging slot offset
-  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
+  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0,
+                      cause);
   // The credit is released by the receiver's ACK doorbell; the call is
   // locally complete once the doorbell is rung (one-sided Put semantics).
 }
 
 void Transport::send_chunk(int p, std::span<const std::byte> payload,
                            std::uint32_t msg_id, std::uint64_t off,
-                           std::uint32_t total) {
+                           std::uint32_t total, const obs::TraceCtx& cause) {
   const int next = peer_host(p);
   const host::Region staging =
       runtime_.host_transport(next).staging_in(peer_port(p));
@@ -705,11 +840,11 @@ void Transport::send_chunk(int p, std::span<const std::byte> payload,
   // the chunk in the credit's staging slot, notify. The ACK returns the
   // credit; with tx_credits > 1 the next chunk's staging overlaps this
   // chunk's in-flight ACK instead of ping-ponging with it.
-  const int slot = acquire_send_credit(p);
+  const int slot = acquire_send_credit(p, cause);
   const std::uint64_t slot_off =
       static_cast<std::uint64_t>(slot) * ch.slot_bytes;
   window_write(p, ntb::kBypassWindow, staging, slot_off, payload,
-               /*app_context=*/false);
+               /*app_context=*/false, cause);
   FrameHeader f;
   f.kind = FrameKind::kChunk;
   f.origin_pe = static_cast<std::uint8_t>(leader_pe());  // link-level id
@@ -718,18 +853,20 @@ void Transport::send_chunk(int p, std::span<const std::byte> payload,
   f.b = static_cast<std::uint32_t>(payload.size());  // chunk size
   f.c = total;                                    // total message size
   f.d = static_cast<std::uint32_t>(slot_off);     // staging slot offset
-  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0);
+  emit_frame_inflight(p, f, kDbDmaPut, slot, /*counts_as_delivery=*/false, 0,
+                      cause);
 }
 
 void Transport::send_message_chunked(int p,
-                                     std::span<const std::byte> message) {
+                                     std::span<const std::byte> message,
+                                     const obs::TraceCtx& cause) {
   const std::uint64_t chunk = timing().bypass_chunk_bytes;
   const std::uint32_t msg_id = next_msg_id_++;
   const auto total = static_cast<std::uint32_t>(message.size());
   std::uint64_t off = 0;
   while (off < message.size()) {
     const std::uint64_t n = std::min<std::uint64_t>(chunk, message.size() - off);
-    send_chunk(p, message.subspan(off, n), msg_id, off, total);
+    send_chunk(p, message.subspan(off, n), msg_id, off, total, cause);
     off += n;
   }
 }
@@ -745,6 +882,18 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
                     int target_pe, int origin_pe, int domain) {
   sim::Engine& engine = runtime_.engine();
   ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_put_);
+  const std::uint64_t root = begin_op_root(obs::kFamilyPut, src.size());
+  CausalScope root_scope(causal_, engine, root);
+  const obs::TraceCtx op_ctx = ctx_of(root);
+  if (root != 0 && tracer_ != nullptr && tracer_->enabled()) {
+    // Flow arrow from the op slice to every downstream service slice that
+    // records a flow_step with the same trace id.
+    tracer_->flow_start(pe_track(origin_pe), cat_op_, ev_put_, engine.now(),
+                        op_ctx.trace_id);
+  }
+  flight_.log(engine.now(), obs::FlightCode::kPut,
+              static_cast<std::uint16_t>(target_pe),
+              static_cast<std::uint32_t>(src.size()));
   engine.wait_for(timing().sw_overhead);
   ++stats_.puts_issued;
   trace("op", "pe" + std::to_string(origin_pe) + " put target=" +
@@ -769,10 +918,10 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     for (const SymmetricHeap::Piece& piece :
          target_heap.pieces(heap_offset, src.size())) {
       window_write(r.port, ntb::kShmemWindow, piece.region, piece.region_off,
-                   src.subspan(done, piece.len), /*app_context=*/true);
+                   src.subspan(done, piece.len), /*app_context=*/true, op_ctx);
       done += piece.len;
     }
-    const int slot = acquire_send_credit(r.port);
+    const int slot = acquire_send_credit(r.port, op_ctx);
     if (full) ++outstanding_by_domain_[domain];
     FrameHeader f;
     f.kind = FrameKind::kDirectPut;
@@ -782,7 +931,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     f.a = heap_offset;
     f.b = static_cast<std::uint32_t>(src.size());
     emit_frame_inflight(r.port, f, kDbDmaPut, slot,
-                        /*counts_as_delivery=*/full, domain);
+                        /*counts_as_delivery=*/full, domain, op_ctx);
     return;
   }
 
@@ -805,9 +954,9 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
     mh.op_id = next_op_id_++;
     mh.heap_offset = heap_offset + off;
     mh.payload_len = static_cast<std::uint32_t>(n);
-    const auto msg = build_message(mh, src.subspan(off, n));
+    const auto msg = build_message(mh, src.subspan(off, n), op_ctx);
     if (full) track_delivery(domain, mh.op_id);
-    send_message_staged(r.port, msg);
+    send_message_staged(r.port, msg, op_ctx);
     off += n;
   }
 }
@@ -821,13 +970,25 @@ void Transport::local_put(std::uint64_t heap_offset,
 
 std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
                                  std::span<std::byte> dst, int source_pe,
-                                 int origin_pe, int domain) {
+                                 int origin_pe, int domain,
+                                 const obs::TraceCtx& cause) {
+  obs::TraceCtx ctx = cause;
+  std::uint64_t own_root = 0;
+  if (!ctx.valid() && causal_on()) {
+    // Direct (non-blocking) call outside a blocking get(): root a fresh
+    // trace; it closes at local issue, its frames complete asynchronously.
+    own_root = begin_op_root(obs::kFamilyGet, dst.size());
+    ctx = ctx_of(own_root);
+  }
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kGet,
+              static_cast<std::uint16_t>(source_pe),
+              static_cast<std::uint32_t>(dst.size()));
   const std::uint32_t op_id = next_op_id_++;
   pending_gets_[op_id] = PendingGet{dst.data(),
                                     static_cast<std::uint32_t>(dst.size()),
                                     false, domain};
   const fabric::PortRoute r = route_to(source_pe);
-  const int slot = acquire_send_credit(r.port);
+  const int slot = acquire_send_credit(r.port, ctx);
   FrameHeader f;
   f.kind = FrameKind::kGetRequest;
   f.origin_pe = static_cast<std::uint8_t>(origin_pe);
@@ -836,8 +997,9 @@ std::uint32_t Transport::get_nbi(std::uint64_t heap_offset,
   f.a = heap_offset;
   f.b = static_cast<std::uint32_t>(dst.size());
   emit_frame_inflight(r.port, f, kDbDmaGet, slot, /*counts_as_delivery=*/false,
-                      0);
+                      0, ctx);
   ++stats_.gets_issued;
+  end_causal(own_root);
   return op_id;
 }
 
@@ -845,6 +1007,13 @@ void Transport::get(std::uint64_t heap_offset, std::span<std::byte> dst,
                     int source_pe, int origin_pe) {
   sim::Engine& engine = runtime_.engine();
   ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_get_);
+  const std::uint64_t root = begin_op_root(obs::kFamilyGet, dst.size());
+  CausalScope root_scope(causal_, engine, root);
+  const obs::TraceCtx op_ctx = ctx_of(root);
+  if (root != 0 && tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->flow_start(pe_track(origin_pe), cat_op_, ev_get_, engine.now(),
+                        op_ctx.trace_id);
+  }
   engine.wait_for(timing().sw_overhead);
   if (dst.empty()) return;
   if (is_resident(source_pe)) {
@@ -854,7 +1023,8 @@ void Transport::get(std::uint64_t heap_offset, std::span<std::byte> dst,
     ++stats_.gets_issued;
     return;
   }
-  const std::uint32_t op_id = get_nbi(heap_offset, dst, source_pe, origin_pe);
+  const std::uint32_t op_id = get_nbi(heap_offset, dst, source_pe, origin_pe,
+                                      kDefaultDomain, op_ctx);
   bool waited = false;
   while (!pending_gets_.at(op_id).done) {
     op_event_->wait();
@@ -870,6 +1040,16 @@ std::uint64_t Transport::atomic(AtomicOp op, std::uint64_t heap_offset,
                                 std::uint64_t operand2, int origin_pe) {
   sim::Engine& engine = runtime_.engine();
   ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_atomic_);
+  const std::uint64_t root = begin_op_root(obs::kFamilyAtomic, width);
+  CausalScope root_scope(causal_, engine, root);
+  const obs::TraceCtx op_ctx = ctx_of(root);
+  if (root != 0 && tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->flow_start(pe_track(origin_pe), cat_op_, ev_atomic_, engine.now(),
+                        op_ctx.trace_id);
+  }
+  flight_.log(engine.now(), obs::FlightCode::kAtomic,
+              static_cast<std::uint16_t>(target_pe),
+              static_cast<std::uint32_t>(op));
   engine.wait_for(timing().sw_overhead);
   ++stats_.atomics_issued;
   if (is_resident(target_pe)) {
@@ -894,9 +1074,9 @@ std::uint64_t Transport::atomic(AtomicOp op, std::uint64_t heap_offset,
   mh.atomic_op = static_cast<std::uint8_t>(op);
   mh.operand1 = operand1;
   mh.operand2 = operand2;
-  const auto msg = build_message(mh, {});
+  const auto msg = build_message(mh, {}, op_ctx);
   const fabric::PortRoute r = route_to(target_pe);
-  send_message_chunked(r.port, msg);  // single 64-byte control chunk
+  send_message_chunked(r.port, msg, op_ctx);  // single 64-byte control chunk
   bool waited = false;
   while (!pending_atomics_.at(op_id).done) {
     op_event_->wait();
@@ -914,6 +1094,12 @@ void Transport::atomic_post(AtomicOp op, std::uint64_t heap_offset,
                             int domain) {
   sim::Engine& engine = runtime_.engine();
   ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_op_, ev_atomic_);
+  const std::uint64_t root = begin_op_root(obs::kFamilyAtomic, width);
+  CausalScope root_scope(causal_, engine, root);
+  const obs::TraceCtx op_ctx = ctx_of(root);
+  flight_.log(engine.now(), obs::FlightCode::kAtomic,
+              static_cast<std::uint16_t>(target_pe),
+              static_cast<std::uint32_t>(op));
   engine.wait_for(timing().sw_overhead);
   ++stats_.atomics_issued;
   if (op == AtomicOp::kFetch || op == AtomicOp::kFetchAdd ||
@@ -938,9 +1124,9 @@ void Transport::atomic_post(AtomicOp op, std::uint64_t heap_offset,
   mh.atomic_op = static_cast<std::uint8_t>(op);
   mh.flags = kMsgFlagNoReply;
   mh.operand1 = operand1;
-  const auto msg = build_message(mh, {});
+  const auto msg = build_message(mh, {}, op_ctx);
   if (full) track_delivery(domain, mh.op_id);
-  send_message_chunked(route_to(target_pe).port, msg);
+  send_message_chunked(route_to(target_pe).port, msg, op_ctx);
 }
 
 void Transport::put_signal(std::uint64_t heap_offset,
@@ -1019,6 +1205,18 @@ void Transport::barrier(int origin_pe) {
   sim::Engine& engine = runtime_.engine();
   ObsSpan span(tracer_, engine, pe_track(origin_pe), cat_barrier_,
                ev_barrier_);
+  // Each participating PE roots its own barrier trace; the trees link
+  // across hosts through the token frames' wire contexts (a leader's tree
+  // spans its whole subtree of the token exchange).
+  const std::uint64_t root = begin_op_root(obs::kFamilyBarrier, 0);
+  CausalScope root_scope(causal_, engine, root);
+  const obs::TraceCtx op_ctx = ctx_of(root);
+  if (root != 0 && tracer_ != nullptr && tracer_->enabled()) {
+    tracer_->flow_start(pe_track(origin_pe), cat_barrier_, ev_barrier_,
+                        engine.now(), op_ctx.trace_id);
+  }
+  flight_.log(engine.now(), obs::FlightCode::kBarrier,
+              static_cast<std::uint16_t>(origin_pe));
   const sim::Time barrier_t0 = engine.now();
   engine.wait_for(timing().sw_overhead);
 
@@ -1043,7 +1241,7 @@ void Transport::barrier(int origin_pe) {
   local_barrier_arrived_ -= k;
 
   if (use_tree_barrier()) {
-    barrier_leader_tree();
+    barrier_leader_tree(op_ctx);
   } else {
     barrier_leader_ring();
   }
@@ -1080,7 +1278,7 @@ void Transport::barrier_leader_ring() {
   }
 }
 
-void Transport::barrier_leader_tree() {
+void Transport::barrier_leader_tree(const obs::TraceCtx& cause) {
   // Two-phase tree rooted at host 0: every leader consumes one up-token per
   // child, non-roots then report up and wait for the release; the root's
   // down-tokens release the tree top-down, each host relaying to its
@@ -1099,15 +1297,16 @@ void Transport::barrier_leader_tree() {
   };
   consume(barrier_up_tokens_, barrier_children_.size());
   if (barrier_parent_ >= 0) {
-    send_barrier_token(barrier_parent_, /*phase=*/0);
+    send_barrier_token(barrier_parent_, /*phase=*/0, cause);
     consume(barrier_down_tokens_, 1);
   }
   for (const int child : barrier_children_) {
-    send_barrier_token(child, /*phase=*/1);
+    send_barrier_token(child, /*phase=*/1, cause);
   }
 }
 
-void Transport::send_barrier_token(int dst_host, int phase) {
+void Transport::send_barrier_token(int dst_host, int phase,
+                                   const obs::TraceCtx& cause) {
   MessageHeader mh;
   mh.op = MsgOp::kBarrierToken;
   mh.origin_pe = static_cast<std::uint8_t>(leader_pe());
@@ -1115,10 +1314,13 @@ void Transport::send_barrier_token(int dst_host, int phase) {
   mh.op_id = next_op_id_++;
   mh.payload_len = 0;
   mh.operand1 = static_cast<std::uint64_t>(phase);
-  const auto msg = build_message(mh, {});
+  const auto msg = build_message(mh, {}, cause);
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kBarrierToken,
+              static_cast<std::uint16_t>(leader_pe()),
+              static_cast<std::uint32_t>(phase));
   // Parent and children are routing-graph neighbours, so this is one hop
   // (one 64-byte control chunk).
-  send_message_chunked(routes().next_port(host_id_, dst_host), msg);
+  send_message_chunked(routes().next_port(host_id_, dst_host), msg, cause);
   ++stats_.barrier_tokens_sent;
   trace("barrier", "host" + std::to_string(host_id_) + " token " +
                        (phase == 0 ? "up" : "down") + " -> host" +
@@ -1164,22 +1366,45 @@ void Transport::tx_service_body() {
     while (!tx_queue_.empty()) {
       OutboundItem item = std::move(tx_queue_.front());
       tx_queue_.pop_front();
+      // Each forwarded/responded item gets a kForward span on this host's
+      // egress; the next hop parents under it (the span's context is
+      // restamped into the message header and re-staged on the wire).
+      std::uint64_t fwd = 0;
+      if (causal_on() && item.ctx.valid()) {
+        fwd = causal_->begin(item.ctx, obs::SpanKind::kForward, host_id_,
+                             item.port, runtime_.engine().now(),
+                             static_cast<std::uint64_t>(item.kind),
+                             item.message.size());
+      }
+      const obs::TraceCtx c = fwd != 0 ? causal_->ctx_of(fwd) : item.ctx;
       switch (item.kind) {
         case OutboundItem::Kind::kRawFrame: {
-          const int slot = acquire_send_credit(item.port);
+          const int slot = acquire_send_credit(item.port, c);
           emit_frame_inflight(item.port, item.raw_frame, kDbDmaGet, slot,
-                              /*counts_as_delivery=*/false, 0);
+                              /*counts_as_delivery=*/false, 0, c);
           break;
         }
         case OutboundItem::Kind::kMessage:
-          send_message_chunked(item.port, item.message);
+          if (c.valid()) {
+            // Restamp the embedded header so the next hop's dispatch parents
+            // under this forward leg, not the origin's span.
+            MessageHeader mh = read_message_header(item.message);
+            mh.trace_id = c.trace_id;
+            mh.parent_span = c.parent;
+            mh.hop = c.hop;
+            write_message_header(item.message, mh);
+          }
+          send_message_chunked(item.port, item.message, c);
           break;
         case OutboundItem::Kind::kChunk:
           // Cut-through: one chunk of a message still arriving behind us.
+          // The embedded header (in chunk 0) keeps the origin's context; the
+          // wire sidecar carries this hop's forward leg.
           send_chunk(item.port, item.message, item.chunk_msg_id,
-                     item.chunk_off, item.chunk_total);
+                     item.chunk_off, item.chunk_total, c);
           break;
       }
+      end_causal(fwd);
     }
   }
 }
@@ -1223,6 +1448,8 @@ bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
     // Duplicate of a frame we already consumed (our ack was lost or beaten
     // by the sender's timeout): drop it but re-ack so the sender retires it.
     ++stats_.frames_duplicate_dropped;
+    flight_.log(runtime_.engine().now(), obs::FlightCode::kDupDrop,
+                static_cast<std::uint16_t>(token.from), f.flags);
     trace("retry", "host" + std::to_string(host_id_) + " duplicate seq=" +
                        std::to_string(f.flags) + " re-acked");
     ack_frame(token.from);
@@ -1231,6 +1458,8 @@ bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
   // Gap: a predecessor was lost. Go-back-N drops successors silently and
   // NAKs so the sender rewinds to the oldest in-flight frame.
   ++stats_.frames_out_of_order_dropped;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kOooDrop,
+              static_cast<std::uint16_t>(token.from), f.flags, expected);
   trace("retry", "host" + std::to_string(host_id_) + " out-of-order seq=" +
                      std::to_string(f.flags) + " expected=" +
                      std::to_string(expected));
@@ -1241,8 +1470,33 @@ bool Transport::accept_frame_seq(const RxToken& token, const FrameHeader& f) {
 void Transport::process_frame(const RxToken& token) {
   const int from = token.from;
   ntb::NtbPort& in = port(from);
-  ObsSpan span(tracer_, runtime_.engine(), rx_track_, cat_frame_,
-               ev_process_frame_);
+  sim::Engine& engine = runtime_.engine();
+  const obs::TrackId rx_track =
+      rx_tracks_.empty() ? obs::TrackId{0}
+                         : rx_tracks_[static_cast<std::size_t>(from)];
+  ObsSpan span(tracer_, engine, rx_track, cat_frame_, ev_process_frame_);
+  // Causal receive legs: a closed kIrq span covers doorbell-latch -> service
+  // wake (interrupt-delay attribution), then an open kService span covers
+  // the header decode and dispatch below. Both parent under the wire context
+  // the sender staged with the frame.
+  std::uint64_t svc = 0;
+  obs::TraceCtx svc_ctx;
+  if (causal_on() && token.ctx.valid()) {
+    if (engine.now() > token.latched_at) {
+      const std::uint64_t irq =
+          causal_->begin(token.ctx, obs::SpanKind::kIrq, host_id_, from,
+                         token.latched_at);
+      causal_->end(irq, engine.now());
+    }
+    svc = causal_->begin(token.ctx, obs::SpanKind::kService, host_id_, from,
+                         engine.now());
+    svc_ctx = causal_->ctx_of(svc);
+    if (tracer_ != nullptr && tracer_->enabled()) {
+      tracer_->flow_step(rx_track, cat_frame_, ev_process_frame_, engine.now(),
+                         token.ctx.trace_id);
+    }
+  }
+  CausalScope svc_scope(causal_, engine, svc);
   // The header registers were latched at doorbell arrival; reading the
   // latched bank costs the same non-posted register reads as the live one.
   std::array<std::uint32_t, 7> regs{};
@@ -1251,11 +1505,16 @@ void Transport::process_frame(const RxToken& token) {
     regs[static_cast<std::size_t>(i)] = token.regs[static_cast<std::size_t>(i)];
   }
   const FrameHeader f = FrameHeader::unpack(regs);
+  flight_.log(engine.now(), obs::FlightCode::kFrameRx,
+              static_cast<std::uint16_t>(from),
+              static_cast<std::uint32_t>(f.kind), f.id);
   if (reliability_on()) {
     // One more register read: the checksum the sender wrote into reg 7.
     runtime_.engine().wait_for(in.config().reg_read);
     if (token.regs[kAckReg] != frame_checksum(regs)) {
       ++stats_.frames_corrupt_dropped;
+      flight_.log(engine.now(), obs::FlightCode::kChecksumDrop,
+                  static_cast<std::uint16_t>(from), 0, frame_checksum(regs));
       trace("retry", "host" + std::to_string(host_id_) +
                          " checksum mismatch -> nak");
       nak_frame(from);
@@ -1280,12 +1539,14 @@ void Transport::process_frame(const RxToken& token) {
     case FrameKind::kGetRequest: {
       ack_frame(from);  // fields captured; release the channel promptly
       if (is_resident(f.target_pe)) {
-        serve_get_request(f);
+        serve_get_request(f, svc_ctx);
       } else {
         OutboundItem item;
         item.kind = OutboundItem::Kind::kRawFrame;
         item.port = forward_port(f.target_pe, from);  // keep travelling
         item.raw_frame = f;
+        item.ctx = svc_ctx;
+        if (item.ctx.valid()) ++item.ctx.hop;
         enqueue_outbound(std::move(item));
       }
       return;
@@ -1301,7 +1562,8 @@ void Transport::process_frame(const RxToken& token) {
       return;
     }
     case FrameKind::kChunk: {
-      if (tuning().cut_through_forwarding && try_cut_through(f, from)) return;
+      if (tuning().cut_through_forwarding && try_cut_through(f, from, svc_ctx))
+        return;
       const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
       Reassembly& re = reassembly_[key];
       if (re.data.empty()) re.data.resize(f.c);
@@ -1322,7 +1584,8 @@ void Transport::process_frame(const RxToken& token) {
   throw std::runtime_error("unknown frame kind received");
 }
 
-bool Transport::try_cut_through(const FrameHeader& f, int from) {
+bool Transport::try_cut_through(const FrameHeader& f, int from,
+                                const obs::TraceCtx& cause) {
   const std::uint64_t key = reassembly_key(f.origin_pe, f.id);
   auto it = cut_through_.find(key);
   if (it == cut_through_.end()) {
@@ -1359,6 +1622,8 @@ bool Transport::try_cut_through(const FrameHeader& f, int from) {
   item.chunk_msg_id = ct.out_msg_id;
   item.chunk_off = f.a;
   item.chunk_total = f.c;
+  item.ctx = cause;
+  if (item.ctx.valid()) ++item.ctx.hop;
   charge_local_copy(f.b);
   stats_.bytes_forwarded += f.b;
   ct.forwarded += f.b;
@@ -1371,15 +1636,29 @@ bool Transport::try_cut_through(const FrameHeader& f, int from) {
 
 void Transport::dispatch_message(std::vector<std::byte> message, int from) {
   const MessageHeader mh = read_message_header(message);
+  // Causal context travels embedded in the message header across staged and
+  // chunked hops (the wire sidecar only survives one link).
+  const obs::TraceCtx mctx{mh.trace_id, mh.parent_span, mh.hop};
   if (!is_resident(mh.target_pe)) {
     ++stats_.messages_forwarded;
     stats_.bytes_forwarded += message.size();
     OutboundItem item;
     item.port = forward_port(mh.target_pe, from);
     item.message = std::move(message);
+    item.ctx = mctx;
+    if (item.ctx.valid()) ++item.ctx.hop;
     enqueue_outbound(std::move(item));
     return;
   }
+  // Terminal hop: a closed kCopy span covers the local delivery work,
+  // parented on the message's embedded context.
+  std::uint64_t copy = 0;
+  if (causal_on() && mctx.valid()) {
+    copy = causal_->begin(mctx, obs::SpanKind::kCopy, host_id_, from,
+                          runtime_.engine().now(), mh.payload_len,
+                          static_cast<std::uint64_t>(mh.op));
+  }
+  CausalScope copy_scope(causal_, runtime_.engine(), copy);
   const std::span<const std::byte> payload(
       message.data() + kMessageHeaderBytes, mh.payload_len);
   switch (mh.op) {
@@ -1419,7 +1698,8 @@ void Transport::deliver_put(const MessageHeader& h,
   charge_local_copy(payload.size());
   heap_event_->notify_all();
   if (runtime_.options().completion == CompletionMode::kFullDelivery) {
-    send_delivery_ack(h.origin_pe, h.op_id);
+    send_delivery_ack(h.origin_pe, h.op_id,
+                      obs::TraceCtx{h.trace_id, h.parent_span, h.hop});
   }
 }
 
@@ -1440,7 +1720,8 @@ void Transport::deliver_get_response(const MessageHeader& h,
   quiet_event_->notify_all();
 }
 
-void Transport::serve_get_request(const FrameHeader& f) {
+void Transport::serve_get_request(const FrameHeader& f,
+                                  const obs::TraceCtx& cause) {
   // Read the requested bytes out of the target PE's symmetric heap and
   // push them back toward the requester through the bypass path.
   std::vector<std::byte> data(f.b);
@@ -1454,7 +1735,9 @@ void Transport::serve_get_request(const FrameHeader& f) {
   mh.payload_len = static_cast<std::uint32_t>(data.size());
   OutboundItem item;
   item.port = response_route_to(f.origin_pe).port;
-  item.message = build_message(mh, data);
+  item.message = build_message(mh, data, cause);
+  item.ctx = cause;
+  if (item.ctx.valid()) ++item.ctx.hop;
   enqueue_outbound(std::move(item));
 }
 
@@ -1521,11 +1804,12 @@ void Transport::execute_atomic_request(const MessageHeader& h) {
       apply_atomic(static_cast<AtomicOp>(h.atomic_op), h.target_pe,
                    h.heap_offset, h.width, h.operand1, h.operand2);
   heap_event_->notify_all();
+  const obs::TraceCtx hctx{h.trace_id, h.parent_span, h.hop};
   if ((h.flags & kMsgFlagNoReply) != 0) {
     // Fire-and-forget (signal) atomic: no response, but the origin still
     // tracks delivery under full-completion mode.
     if (runtime_.options().completion == CompletionMode::kFullDelivery) {
-      send_delivery_ack(h.origin_pe, h.op_id);
+      send_delivery_ack(h.origin_pe, h.op_id, hctx);
     }
     return;
   }
@@ -1538,7 +1822,9 @@ void Transport::execute_atomic_request(const MessageHeader& h) {
   resp.operand2 = old;
   OutboundItem item;
   item.port = response_route_to(h.origin_pe).port;
-  item.message = build_message(resp, {});
+  item.message = build_message(resp, {}, hctx);
+  item.ctx = hctx;
+  if (item.ctx.valid()) ++item.ctx.hop;
   enqueue_outbound(std::move(item));
 }
 
@@ -1552,16 +1838,21 @@ void Transport::deliver_atomic_response(const MessageHeader& h) {
   op_event_->notify_all();
 }
 
-void Transport::send_delivery_ack(std::uint8_t origin, std::uint32_t op_id) {
+void Transport::send_delivery_ack(std::uint8_t origin, std::uint32_t op_id,
+                                  const obs::TraceCtx& cause) {
   MessageHeader mh;
   mh.op = MsgOp::kDeliveryAck;
   mh.origin_pe = static_cast<std::uint8_t>(leader_pe());
   mh.target_pe = origin;
   mh.op_id = op_id;
   mh.payload_len = 0;
+  flight_.log(runtime_.engine().now(), obs::FlightCode::kDeliveryAck,
+              static_cast<std::uint16_t>(origin), 0, op_id);
   OutboundItem item;
   item.port = response_route_to(origin).port;
-  item.message = build_message(mh, {});
+  item.message = build_message(mh, {}, cause);
+  item.ctx = cause;
+  if (item.ctx.valid()) ++item.ctx.hop;
   enqueue_outbound(std::move(item));
   ++stats_.delivery_acks_sent;
 }

@@ -136,10 +136,13 @@ class Transport {
   // data has arrived.
   void get(std::uint64_t heap_offset, std::span<std::byte> dst, int source_pe,
            int origin_pe);
-  // Non-blocking get: returns an op id; completion via quiet().
+  // Non-blocking get: returns an op id; completion via quiet(). `cause`
+  // parents the request frame's causal span (a blocking get() passes its
+  // own op root; a direct call roots a fresh trace when recording is on).
   std::uint32_t get_nbi(std::uint64_t heap_offset, std::span<std::byte> dst,
                         int source_pe, int origin_pe,
-                        int domain = kDefaultDomain);
+                        int domain = kDefaultDomain,
+                        const obs::TraceCtx& cause = {});
 
   // ---- Remote atomics -------------------------------------------------------
   // Executes `op` on the 4- or 8-byte word at `heap_offset` of `target_pe`;
@@ -254,6 +257,13 @@ class Transport {
       // Async-span id of the frame's lifetime on the exported timeline
       // (emission -> retiring ack); 0 when tracing is off.
       std::uint64_t obs_span = 0;
+      // Causal-trace bookkeeping (0/null when causal recording is off).
+      // `causal_id` is the kFrame span closed by the retiring ack;
+      // `wire_ctx` is the context staged with every (re)emission — its
+      // parent is the ORIGINAL frame span, so the receiver links to the
+      // same node no matter which emission attempt delivered.
+      std::uint64_t causal_id = 0;
+      obs::TraceCtx wire_ctx;
     };
     std::deque<InFlight> inflight;  // emission order; ACKs pop the front
     std::uint8_t next_seq = 0;      // reliability: next sequence to assign
@@ -272,6 +282,11 @@ class Transport {
     // Header bank latched by the adapter at doorbell-arrival time (valid
     // for kFrame tokens). Reading it is charged at process_frame time.
     std::array<std::uint32_t, ntb::kNumScratchpads> regs{};
+    // Causal context staged by the sender alongside the frame, plus the
+    // doorbell-arrival time (IRQ-delay attribution). Null when causal
+    // recording is off or for control tokens.
+    obs::TraceCtx ctx;
+    sim::Time latched_at = 0;
   };
 
   struct OutboundItem {
@@ -288,6 +303,9 @@ class Transport {
     std::uint32_t chunk_msg_id = 0;
     std::uint64_t chunk_off = 0;
     std::uint32_t chunk_total = 0;
+    // Causal cause of the forward (the ingress service span, hop already
+    // incremented); the TX service parents its kForward span here.
+    obs::TraceCtx ctx;
   };
 
   struct Reassembly {
@@ -346,37 +364,48 @@ class Transport {
   const TransportTuning& tuning() const;
 
   // ---- send-side primitives ----
+  // Every primitive takes an optional causal `cause`: the span context the
+  // emitted frame/DMA/stall spans parent under (null = record nothing).
   // Blocks until a frame credit is free and returns the staging slot index
   // owned by that credit until the matching ACK doorbell.
-  int acquire_send_credit(int p);
+  int acquire_send_credit(int p, const obs::TraceCtx& cause = {});
   // Writes the 7 header registers (+ checksum reg under reliability).
   void write_frame_regs(int p, const FrameHeader& hdr);
-  // write_frame_regs + doorbell; channel must be held.
-  void emit_frame(int p, const FrameHeader& hdr, int doorbell);
+  // write_frame_regs + doorbell; channel must be held. `wire_ctx` is staged
+  // into the port's causal sidecar so the receiver's latch carries it.
+  void emit_frame(int p, const FrameHeader& hdr, int doorbell,
+                  const obs::TraceCtx& wire_ctx = {});
   // emit_frame plus in-flight bookkeeping: serializes the ScratchPad
   // staging against other credit holders and registers the record the ACK
   // handler consumes. `slot` is the staging slot from acquire_send_credit.
   void emit_frame_inflight(int p, const FrameHeader& hdr, int doorbell,
                            int slot, bool counts_as_delivery,
-                           int delivery_domain);
+                           int delivery_domain,
+                           const obs::TraceCtx& cause = {});
   // Data write through a window with the configured path; charges
   // segment_setup per LUT segment when `app_context` is true (serially, or
   // overlapped with the previous segment's DMA under the pipelined tuning).
   void window_write(int p, int window, host::Region region, std::uint64_t off,
-                    std::span<const std::byte> src, bool app_context);
+                    std::span<const std::byte> src, bool app_context,
+                    const obs::TraceCtx& cause = {});
   // Sends one message (header+payload) one hop through adapter `p`,
   // chunked through the bypass buffer with one handshake per chunk. Any
   // process context.
-  void send_message_chunked(int p, std::span<const std::byte> message);
+  void send_message_chunked(int p, std::span<const std::byte> message,
+                            const obs::TraceCtx& cause = {});
   // Sends one chunk of the logical message `msg_id` (`total` bytes overall)
   // one hop through `p`; the chunk's payload starts at message offset `off`.
   void send_chunk(int p, std::span<const std::byte> payload,
-                  std::uint32_t msg_id, std::uint64_t off,
-                  std::uint32_t total);
+                  std::uint32_t msg_id, std::uint64_t off, std::uint32_t total,
+                  const obs::TraceCtx& cause = {});
   // Application fast path: stage the whole message in one handshake.
-  void send_message_staged(int p, std::span<const std::byte> message);
+  void send_message_staged(int p, std::span<const std::byte> message,
+                           const obs::TraceCtx& cause = {});
+  // `ctx` (when valid) is stamped into the message header's causal fields,
+  // so the logical-message link survives reassembly and forwarding.
   std::vector<std::byte> build_message(const MessageHeader& header,
-                                       std::span<const std::byte> payload);
+                                       std::span<const std::byte> payload,
+                                       const obs::TraceCtx& ctx = {});
   void enqueue_outbound(OutboundItem item);
 
   // ---- reliability (all no-ops / unreachable when the layer is off) ----
@@ -406,7 +435,8 @@ class Transport {
   void process_frame(const RxToken& token);
   // Cut-through fast path for a kChunk frame; returns true when the chunk
   // was forwarded (consumed) instead of entering reassembly.
-  bool try_cut_through(const FrameHeader& f, int from);
+  bool try_cut_through(const FrameHeader& f, int from,
+                       const obs::TraceCtx& cause = {});
   void ack_frame(int from);
   void dispatch_message(std::vector<std::byte> message, int from);
   // Local delivery between co-resident PEs (shared-memory path).
@@ -415,13 +445,15 @@ class Transport {
   void deliver_put(const MessageHeader& h, std::span<const std::byte> payload);
   void deliver_get_response(const MessageHeader& h,
                             std::span<const std::byte> payload);
-  void serve_get_request(const FrameHeader& f);
+  void serve_get_request(const FrameHeader& f,
+                         const obs::TraceCtx& cause = {});
   void execute_atomic_request(const MessageHeader& h);
   void deliver_atomic_response(const MessageHeader& h);
   std::uint64_t apply_atomic(AtomicOp op, int target_pe,
                              std::uint64_t heap_offset, std::uint8_t width,
                              std::uint64_t operand1, std::uint64_t operand2);
-  void send_delivery_ack(std::uint8_t origin, std::uint32_t op_id);
+  void send_delivery_ack(std::uint8_t origin, std::uint32_t op_id,
+                         const obs::TraceCtx& cause = {});
   // Registers an outstanding counted delivery in `domain`.
   void track_delivery(int domain, std::uint32_t op_id);
   void note_delivery_completed(int domain);
@@ -434,10 +466,13 @@ class Transport {
   bool use_tree_barrier() const;
   // Inter-host half of the barrier, run by the host leader PE only.
   void barrier_leader_ring();   // Fig. 6 doorbell circulation
-  void barrier_leader_tree();   // kBarrierToken tree rooted at host 0
+  // kBarrierToken tree rooted at host 0; tokens parent under `cause` (the
+  // leader's barrier root span).
+  void barrier_leader_tree(const obs::TraceCtx& cause = {});
   // Sends one barrier token (phase 0 = up, 1 = down) to an adjacent host's
   // leader through the normal message path.
-  void send_barrier_token(int dst_host, int phase);
+  void send_barrier_token(int dst_host, int phase,
+                          const obs::TraceCtx& cause = {});
 
   // Appends a protocol-trace record when tracing is enabled.
   void trace(const char* category, const std::string& message);
@@ -458,6 +493,17 @@ class Transport {
   void charge_local_copy(std::uint64_t bytes);
   // Models the service thread's scheduling latency after an idle wake.
   void charge_service_wake();
+  // ---- causal cross-hop tracing ----
+  bool causal_on() const {
+    return causal_ != nullptr && causal_->enabled();
+  }
+  // Roots a fresh causal trace for one application operation (family =
+  // obs::kFamily*); returns 0 when causal recording is off.
+  std::uint64_t begin_op_root(std::uint8_t family, std::uint64_t bytes);
+  // Context of span `id` ({0,0,0} for id 0 / recording off).
+  obs::TraceCtx ctx_of(std::uint64_t id) const;
+  // Closes span `id` at the current virtual time (no-op for id 0).
+  void end_causal(std::uint64_t id);
 
   Runtime& runtime_;
   int host_id_;
@@ -534,7 +580,10 @@ class Transport {
   // to the shared null instruments so hot paths never branch.
   obs::Tracer* tracer_ = nullptr;
   std::vector<obs::TrackId> pe_tracks_;       // one per resident PE
-  obs::TrackId rx_track_ = 0;                 // RX service thread
+  // Per-ingress-port RX processing tracks ("rx_service@<portname>"): frames
+  // arriving through different adapters get their own named timeline rows
+  // instead of interleaving on one shared "rx_service" track.
+  std::vector<obs::TrackId> rx_tracks_;
   std::vector<obs::TrackId> frames_track_;    // per adapter/port
   obs::CategoryId cat_op_ = 0;
   obs::CategoryId cat_frame_ = 0;
@@ -550,6 +599,13 @@ class Transport {
   obs::Histogram* obs_credit_stall_hist_ =
       obs::MetricsRegistry::null_histogram();
   obs::Histogram* obs_barrier_hist_ = obs::MetricsRegistry::null_histogram();
+
+  // Causal recorder (null without a hub; gated again by causal_enabled).
+  obs::CausalRecorder* causal_ = nullptr;
+  // Always-on bounded flight recorder: last-N protocol events, dumped on
+  // fault-recovery failure (Runtime::dump_flight). Pure ring-buffer stores,
+  // no allocation, no engine interaction — safe on every hot path.
+  obs::FlightRecorder flight_;
 };
 
 }  // namespace ntbshmem::shmem

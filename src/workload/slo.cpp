@@ -153,6 +153,8 @@ SloReport build_slo_report(shmem::Runtime& rt, const ScenarioReport& run,
     r.links.push_back(std::move(l));
   }
 
+  r.critical_path = obs::critical_path_by_family(rt.obs().causal);
+
   if (rt.engine().schedule_digest_enabled()) {
     r.schedule_digest = rt.engine().schedule_digest().value();
     r.schedule_dispatches = rt.engine().schedule_digest().count();
@@ -204,6 +206,22 @@ void write_slo_json(const SloReport& r, std::ostream& out) {
         << ", \"utilization\": " << fmt_f6(l.utilization) << "}";
   }
   out << (r.links.empty() ? "],\n" : "\n  ],\n");
+
+  out << "  \"critical_path\": [";
+  for (std::size_t i = 0; i < r.critical_path.size(); ++i) {
+    const obs::FamilyBreakdown& f = r.critical_path[i];
+    out << (i == 0 ? "\n" : ",\n");
+    out << "    {\"family\": \"" << json_escape(f.family)
+        << "\", \"traces\": " << f.traces << ", \"total_ns\": " << f.total_ns
+        << ", \"edges_ns\": {";
+    bool first = true;
+    for (const auto& [kind, ns] : f.edge_ns) {
+      out << (first ? "" : ", ") << "\"" << json_escape(kind) << "\": " << ns;
+      first = false;
+    }
+    out << "}}";
+  }
+  out << (r.critical_path.empty() ? "],\n" : "\n  ],\n");
 
   char digest[32];
   std::snprintf(digest, sizeof(digest), "0x%016" PRIx64, r.schedule_digest);

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/causal.hpp"
 #include "shmem/runtime.hpp"
 #include "workload/traffic.hpp"
 
@@ -48,6 +49,12 @@ struct SloReport {
   double goodput_MBps = 0.0;
   std::vector<SloLatency> latencies;  // "total" first, per-op after
   std::vector<SloLink> links;
+
+  // Per-op-family critical-path attribution out of the causal recorder
+  // (obs::critical_path_by_family): where the longest cause chain of each
+  // op actually spent its time — credit stall vs DMA vs IRQ delay vs
+  // retransmit. Empty when causal recording was off.
+  std::vector<obs::FamilyBreakdown> critical_path;
 
   // Engine schedule digest (0/0 when digest recording is off).
   std::uint64_t schedule_digest = 0;

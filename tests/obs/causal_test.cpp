@@ -1,0 +1,140 @@
+// Unit tests for the causal cross-hop recorder (obs/causal.hpp): span
+// identity and linkage, context propagation across hops, and the
+// critical-path extraction the SLO artifact surfaces per op family.
+#include "obs/causal.hpp"
+
+#include <gtest/gtest.h>
+
+namespace ntbshmem::obs {
+namespace {
+
+TEST(CausalRecorder, DisabledRecorderRecordsNothing) {
+  CausalRecorder rec;
+  EXPECT_FALSE(rec.enabled());
+  EXPECT_EQ(rec.begin_root(SpanKind::kOp, 0, 100), 0u);
+  EXPECT_EQ(rec.begin(TraceCtx{1, 1, 0}, SpanKind::kFrame, 0, 0, 100), 0u);
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_FALSE(rec.ctx_of(0).valid());
+}
+
+TEST(CausalRecorder, NullCauseOpensNoSpan) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  EXPECT_EQ(rec.begin(TraceCtx{}, SpanKind::kFrame, 0, 0, 100), 0u);
+  EXPECT_TRUE(rec.spans().empty());
+  // end() of the null span id is a safe no-op.
+  rec.end(0, 200);
+}
+
+TEST(CausalRecorder, RootAndChildLinkage) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  const std::uint64_t root =
+      rec.begin_root(SpanKind::kOp, /*host=*/2, /*t0=*/100, kFamilyPut, 4096);
+  ASSERT_EQ(root, 1u);
+  const TraceCtx ctx = rec.ctx_of(root);
+  EXPECT_TRUE(ctx.valid());
+  EXPECT_EQ(ctx.trace_id, 1u);
+  EXPECT_EQ(ctx.parent, root);
+  EXPECT_EQ(ctx.hop, 0);
+
+  const std::uint64_t child =
+      rec.begin(ctx, SpanKind::kFrame, /*host=*/2, /*port=*/1, /*t0=*/120,
+                /*a=*/7, /*b=*/3);
+  ASSERT_EQ(child, 2u);
+  rec.end(child, 150);
+  rec.end(root, 160);
+
+  const CausalSpan* c = rec.find(child);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->trace_id, 1u);
+  EXPECT_EQ(c->parent, root);
+  EXPECT_EQ(c->kind, SpanKind::kFrame);
+  EXPECT_EQ(c->host, 2);
+  EXPECT_EQ(c->port, 1);
+  EXPECT_EQ(c->t0, 120);
+  EXPECT_EQ(c->t1, 150);
+  EXPECT_EQ(rec.find(root)->t1, 160);
+  // A second root starts a new trace.
+  const std::uint64_t root2 =
+      rec.begin_root(SpanKind::kOp, 0, 200, kFamilyGet, 8);
+  EXPECT_EQ(rec.find(root2)->trace_id, 2u);
+}
+
+TEST(CausalRecorder, HopRidesTheContext) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  const std::uint64_t root = rec.begin_root(SpanKind::kOp, 0, 0, kFamilyPut, 1);
+  TraceCtx fwd = rec.ctx_of(root);
+  fwd.hop = 2;  // what a two-hop forward stamps into the wire context
+  const std::uint64_t svc = rec.begin(fwd, SpanKind::kService, 2, 0, 50);
+  EXPECT_EQ(rec.find(svc)->hop, 2);
+  EXPECT_EQ(rec.ctx_of(svc).hop, 2);
+}
+
+TEST(CriticalPath, PicksTheLatestEndingChain) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  const std::uint64_t root = rec.begin_root(SpanKind::kOp, 0, 0, kFamilyPut, 1);
+  const TraceCtx rctx = rec.ctx_of(root);
+  const std::uint64_t fa = rec.begin(rctx, SpanKind::kFrame, 0, 0, 10);
+  const std::uint64_t fb = rec.begin(rctx, SpanKind::kFrame, 0, 1, 20);
+  rec.end(fb, 30);
+  const std::uint64_t svc =
+      rec.begin(rec.ctx_of(fa), SpanKind::kService, 1, 0, 45);
+  rec.end(fa, 40);
+  rec.end(svc, 160);  // async leg outlives the op root
+  rec.end(root, 100);
+
+  const CriticalPath cp = critical_path(rec, root);
+  EXPECT_EQ(cp.root, root);
+  EXPECT_EQ(cp.leaf, svc);
+  EXPECT_EQ(cp.total, 160);
+  ASSERT_EQ(cp.edges.size(), 3u);
+  EXPECT_EQ(cp.edges[0].kind, SpanKind::kOp);
+  EXPECT_EQ(cp.edges[0].dur, 10);  // [0, 10) before the frame starts
+  EXPECT_EQ(cp.edges[1].kind, SpanKind::kFrame);
+  EXPECT_EQ(cp.edges[1].dur, 35);  // [10, 45) before the service starts
+  EXPECT_EQ(cp.edges[2].kind, SpanKind::kService);
+  EXPECT_EQ(cp.edges[2].dur, 115);  // [45, 160)
+}
+
+TEST(CriticalPath, FamilyBreakdownAggregatesRoots) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  for (int i = 0; i < 2; ++i) {
+    const std::uint64_t put =
+        rec.begin_root(SpanKind::kOp, 0, i * 1000, kFamilyPut, 64);
+    const std::uint64_t f =
+        rec.begin(rec.ctx_of(put), SpanKind::kFrame, 0, 0, i * 1000 + 10);
+    rec.end(f, i * 1000 + 60);
+    rec.end(put, i * 1000 + 50);
+  }
+  const std::uint64_t get =
+      rec.begin_root(SpanKind::kOp, 1, 5000, kFamilyGet, 8);
+  rec.end(get, 5200);
+
+  const std::vector<FamilyBreakdown> fams = critical_path_by_family(rec);
+  ASSERT_EQ(fams.size(), 2u);  // name-sorted: get, put
+  EXPECT_EQ(fams[0].family, "get");
+  EXPECT_EQ(fams[0].traces, 1u);
+  EXPECT_EQ(fams[0].total_ns, 200u);
+  EXPECT_EQ(fams[1].family, "put");
+  EXPECT_EQ(fams[1].traces, 2u);
+  EXPECT_EQ(fams[1].total_ns, 120u);  // two chains of 60 each
+  EXPECT_EQ(fams[1].edge_ns.at("op"), 20u);
+  EXPECT_EQ(fams[1].edge_ns.at("frame"), 100u);
+}
+
+TEST(CausalRecorder, ClearResetsIdsAndTraces) {
+  CausalRecorder rec;
+  rec.set_enabled(true);
+  rec.begin_root(SpanKind::kOp, 0, 0, kFamilyPut, 1);
+  rec.clear();
+  EXPECT_TRUE(rec.spans().empty());
+  EXPECT_EQ(rec.begin_root(SpanKind::kOp, 0, 0, kFamilyPut, 1), 1u);
+  EXPECT_EQ(rec.find(1)->trace_id, 1u);
+}
+
+}  // namespace
+}  // namespace ntbshmem::obs

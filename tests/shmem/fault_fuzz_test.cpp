@@ -62,6 +62,9 @@ struct RunResult {
   std::uint64_t retransmits = 0;
   std::uint64_t naks = 0;
   std::uint64_t dma_retries = 0;
+  // Always-on flight-recorder rings, rendered before the Runtime dies;
+  // attached to the failure artifact for post-mortem protocol forensics.
+  std::string flight;
 };
 
 constexpr int kNpes = 4;
@@ -146,6 +149,9 @@ RunResult run_workload(std::uint64_t seed, bool with_faults) {
     r.naks += s.naks_sent;
     r.dma_retries += s.dma_retries;
   }
+  std::ostringstream flight;
+  rt.dump_flight(flight);
+  r.flight = flight.str();
   return r;
 }
 
@@ -178,6 +184,13 @@ void dump_failure(std::uint64_t seed, const sim::FaultSpec& spec,
   }
   out << "reproduce: NTBSHMEM_FUZZ_SEEDS=1 NTBSHMEM_FUZZ_SEED_BASE=0x"
       << std::hex << seed << " ./shmem_fault_fuzz_test\n";
+  // The faulted run's flight-recorder rings: the last ~512 protocol events
+  // per host (frames, acks, timeouts, retransmits, drops) leading up to the
+  // divergence — the post-mortem the CI artifact upload picks up.
+  std::ostringstream fname;
+  fname << "fault_fuzz_flight_seed0x" << std::hex << seed << ".log";
+  std::ofstream fout(fname.str());
+  fout << faulted.flight;
 }
 
 TEST(FaultFuzz, RandomSchedulesConvergeToGoldenHeap) {

@@ -1,0 +1,237 @@
+// tracecheck self-tests: a minimal clean ntbshmem-trace-v1 document must
+// pass the whole invariant catalog, and each single-invariant mutation of
+// it must fail with the expected violation class. Also unit-checks the
+// bundled JSON parser (escapes, exponents, error reporting).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "check.hpp"
+#include "json.hpp"
+
+namespace ntbshmem::tracecheck {
+namespace {
+
+std::string span(std::uint64_t id, std::uint64_t trace, std::uint64_t parent,
+                 const std::string& kind, int host, int port, int hop,
+                 std::int64_t t0, std::int64_t t1) {
+  std::string s = "{\"id\":" + std::to_string(id) +
+                  ",\"trace\":" + std::to_string(trace) +
+                  ",\"parent\":" + std::to_string(parent) + ",\"kind\":\"" +
+                  kind + "\",\"host\":" + std::to_string(host) +
+                  ",\"port\":" + std::to_string(port) +
+                  ",\"hop\":" + std::to_string(hop) +
+                  ",\"t0\":" + std::to_string(t0) +
+                  ",\"t1\":" + std::to_string(t1) + ",\"a\":0,\"b\":0}";
+  return s;
+}
+
+struct DocParams {
+  std::string spans;
+  std::uint64_t retransmits = 1;
+  std::uint64_t bound = 2;
+  std::int64_t credits = 2;
+  std::int64_t elapsed = 1000;
+  std::string links =
+      "{\"name\":\"link0\",\"dir\":\"a2b\",\"busy_ns\":200,\"bytes\":100,"
+      "\"capacity_Bps\":1000000000,\"window_ns\":1000000,"
+      "\"samples\":[[0,200]]}";
+  std::string schema = "ntbshmem-trace-v1";
+};
+
+// The clean fixture: one put op with a frame leg, one bounded retransmit of
+// that frame, and a remote service leg one hop downstream.
+std::string clean_spans() {
+  return span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+         span(2, 1, 1, "frame", 0, 0, 0, 100, 300) + "," +
+         span(3, 1, 2, "retransmit", 0, 0, 0, 350, 360) + "," +
+         span(4, 1, 2, "service", 1, 0, 1, 400, 900);
+}
+
+std::string doc(const DocParams& p) {
+  return "{\"schema\":\"" + p.schema +
+         "\",\"hosts\":2,\"elapsed_ns\":" + std::to_string(p.elapsed) +
+         ",\"tx_credits\":" + std::to_string(p.credits) +
+         ",\"retransmit_bound\":" + std::to_string(p.bound) +
+         ",\"counters\":{\"retransmits\":" + std::to_string(p.retransmits) +
+         "},\"spans\":[" + p.spans + "],\"links\":[" + p.links + "]}";
+}
+
+bool has_violation(const CheckResult& r, const std::string& needle) {
+  for (const std::string& v : r.violations) {
+    if (v.find(needle) != std::string::npos) return true;
+  }
+  return false;
+}
+
+TEST(TraceCheck, CleanFixturePassesEveryInvariant) {
+  DocParams p;
+  p.spans = clean_spans();
+  const CheckResult r = check_trace_text(doc(p));
+  for (const std::string& v : r.violations) ADD_FAILURE() << v;
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.spans_checked, 4u);
+  EXPECT_EQ(r.links_checked, 1u);
+}
+
+TEST(TraceCheck, OpenFrameSpanIsADoorbellWithoutAnAck) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(2, 1, 1, "frame", 0, 0, 0, 100, -1);
+  p.retransmits = 0;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "never closed"));
+}
+
+TEST(TraceCheck, RetransmitSpanCountMustMatchTheCounter) {
+  DocParams p;
+  p.spans = clean_spans();
+  p.retransmits = 5;
+  p.bound = 8;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "retransmit spans but transport counted"));
+}
+
+TEST(TraceCheck, RetransmitsBeyondTheFaultPlanBoundFail) {
+  DocParams p;
+  p.spans = clean_spans();
+  p.bound = 0;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "exceeds the fault-plan bound"));
+}
+
+TEST(TraceCheck, RetransmitMustParentTheOriginalFrame) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(3, 1, 1, "retransmit", 0, 0, 0, 350, 360);
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "not the original frame"));
+}
+
+TEST(TraceCheck, HopMayNeverDecreaseDownTheTree) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(2, 1, 1, "frame", 0, 0, 2, 100, 300) + "," +
+            span(4, 1, 2, "service", 1, 0, 1, 400, 900);
+  p.retransmits = 0;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "below parent hop"));
+}
+
+TEST(TraceCheck, ChildMayNotStartBeforeItsParent) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 100, 1000) + "," +
+            span(2, 1, 1, "frame", 0, 0, 0, 50, 300);
+  p.retransmits = 0;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "before its parent's t0"));
+}
+
+TEST(TraceCheck, MoreFramesInFlightThanCreditsFail) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(2, 1, 1, "frame", 0, 0, 0, 100, 300) + "," +
+            span(3, 1, 1, "frame", 0, 0, 0, 150, 250);
+  p.retransmits = 0;
+  p.credits = 1;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "frames in flight"));
+}
+
+TEST(TraceCheck, BackToBackFramesFitInOneCredit) {
+  // A frame closing exactly when the next opens reuses the credit — the
+  // sweep must order the close before the open at equal timestamps.
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(2, 1, 1, "frame", 0, 0, 0, 100, 300) + "," +
+            span(3, 1, 1, "frame", 0, 0, 0, 300, 500);
+  p.retransmits = 0;
+  p.credits = 1;
+  const CheckResult r = check_trace_text(doc(p));
+  for (const std::string& v : r.violations) ADD_FAILURE() << v;
+}
+
+TEST(TraceCheck, UtilSamplesMustIntegrateToBusyTime) {
+  DocParams p;
+  p.spans = clean_spans();
+  p.links =
+      "{\"name\":\"link0\",\"dir\":\"a2b\",\"busy_ns\":200,\"bytes\":100,"
+      "\"capacity_Bps\":1000000000,\"window_ns\":1000000,"
+      "\"samples\":[[0,100]]}";
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "samples integrate to"));
+}
+
+TEST(TraceCheck, BytesBeyondLinkCapacityFail) {
+  DocParams p;
+  p.spans = clean_spans();
+  // 1 MB over a 1 GB/s link needs ~1 ms of busy time; 200 ns is impossible.
+  p.links =
+      "{\"name\":\"link0\",\"dir\":\"a2b\",\"busy_ns\":200,\"bytes\":1000000,"
+      "\"capacity_Bps\":1000000000,\"window_ns\":1000000,"
+      "\"samples\":[[0,200]]}";
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "beyond link capacity"));
+}
+
+TEST(TraceCheck, BusyTimeBeyondTheRunFails) {
+  DocParams p;
+  p.spans = clean_spans();
+  p.elapsed = 100;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "exceeds the run's"));
+}
+
+TEST(TraceCheck, StructuralDefectsAreReported) {
+  DocParams p;
+  p.spans = span(1, 1, 0, "op", 0, -1, 0, 0, 1000) + "," +
+            span(2, 2, 1, "frame", 0, 0, 0, 100, 300) + "," +
+            span(3, 1, 99, "frame", 0, 0, 0, 100, 50) + "," +
+            span(4, 1, 0, "frame", 0, 0, 0, 100, 300);
+  p.retransmits = 0;
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "disagrees with parent on trace"));
+  EXPECT_TRUE(has_violation(r, "parent 99 not in document"));
+  EXPECT_TRUE(has_violation(r, "runs backward"));
+  EXPECT_TRUE(has_violation(r, "is not an op span"));
+}
+
+TEST(TraceCheck, WrongSchemaIsRejected) {
+  DocParams p;
+  p.spans = clean_spans();
+  p.schema = "ntbshmem-trace-v0";
+  const CheckResult r = check_trace_text(doc(p));
+  EXPECT_TRUE(has_violation(r, "not an ntbshmem-trace-v1 artifact"));
+}
+
+TEST(TraceCheck, ParseErrorsSurfaceAsViolations) {
+  const CheckResult r = check_trace_text("{\"schema\": ");
+  ASSERT_EQ(r.violations.size(), 1u);
+  EXPECT_TRUE(has_violation(r, "parse:"));
+}
+
+TEST(Json, ParsesEscapesNumbersAndNesting) {
+  const json::Value v = json::parse(
+      "{\"s\":\"a\\n\\\"b\\\"\\u0041\",\"n\":-1.5e3,\"i\":42,"
+      "\"a\":[true,false,null,[1]],\"o\":{\"k\":\"v\"}}");
+  EXPECT_EQ(v.at("s").str, "a\n\"b\"A");
+  EXPECT_EQ(v.at("n").number, -1500.0);
+  EXPECT_EQ(v.at("i").u64(), 42u);
+  ASSERT_EQ(v.at("a").arr.size(), 4u);
+  EXPECT_TRUE(v.at("a").arr[0].boolean);
+  EXPECT_EQ(v.at("a").arr[3].arr[0].i64(), 1);
+  EXPECT_EQ(v.at("o").at("k").str, "v");
+  EXPECT_FALSE(v.has("missing"));
+  EXPECT_EQ(v.at("missing").u64(), 0u);
+}
+
+TEST(Json, RejectsTrailingGarbageAndBadInput) {
+  EXPECT_THROW(json::parse("{} trailing"), std::exception);
+  EXPECT_THROW(json::parse("[1,]"), std::exception);
+  EXPECT_THROW(json::parse("\"unterminated"), std::exception);
+  EXPECT_THROW(json::parse(""), std::exception);
+}
+
+}  // namespace
+}  // namespace ntbshmem::tracecheck

@@ -1,0 +1,218 @@
+#include "check.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace ntbshmem::tracecheck {
+namespace {
+
+constexpr std::int64_t kSpanOpen = -1;
+
+struct Span {
+  std::uint64_t id = 0;
+  std::uint64_t trace = 0;
+  std::uint64_t parent = 0;
+  std::string kind;
+  int host = -1;
+  int port = -1;
+  int hop = 0;
+  std::int64_t t0 = 0;
+  std::int64_t t1 = kSpanOpen;
+};
+
+void add(CheckResult* r, std::string what) {
+  r->violations.push_back(std::move(what));
+}
+
+std::string span_tag(const Span& s) {
+  return "span " + std::to_string(s.id) + " (" + s.kind + ", trace " +
+         std::to_string(s.trace) + ")";
+}
+
+void check_spans(const json::Value& doc, CheckResult* r,
+                 std::map<std::uint64_t, Span>* by_id) {
+  for (const json::Value& v : doc.at("spans").arr) {
+    Span s;
+    s.id = v.at("id").u64();
+    s.trace = v.at("trace").u64();
+    s.parent = v.at("parent").u64();
+    s.kind = v.at("kind").str;
+    s.host = static_cast<int>(v.at("host").i64());
+    s.port = static_cast<int>(v.at("port").i64());
+    s.hop = static_cast<int>(v.at("hop").i64());
+    s.t0 = v.at("t0").i64();
+    s.t1 = v.at("t1").i64();
+    if (s.id == 0) {
+      add(r, "structure: span with id 0");
+      continue;
+    }
+    if (!by_id->emplace(s.id, s).second) {
+      add(r, "structure: duplicate span id " + std::to_string(s.id));
+    }
+  }
+  r->spans_checked = by_id->size();
+
+  for (const auto& [id, s] : *by_id) {
+    if (s.trace == 0) add(r, "structure: " + span_tag(s) + " has trace id 0");
+    if (s.t1 != kSpanOpen && s.t1 < s.t0) {
+      add(r, "structure: " + span_tag(s) + " runs backward (t1 " +
+                 std::to_string(s.t1) + " < t0 " + std::to_string(s.t0) + ")");
+    }
+    if (s.parent == 0) {
+      if (s.kind != "op") {
+        add(r, "structure: root " + span_tag(s) + " is not an op span");
+      }
+      continue;
+    }
+    const auto it = by_id->find(s.parent);
+    if (it == by_id->end()) {
+      add(r, "structure: " + span_tag(s) + " parent " +
+                 std::to_string(s.parent) + " not in document");
+      continue;
+    }
+    const Span& p = it->second;
+    if (p.trace != s.trace) {
+      add(r, "structure: " + span_tag(s) + " disagrees with parent on trace (" +
+                 std::to_string(p.trace) + ")");
+    }
+    if (s.t0 < p.t0) {
+      add(r, "causality: " + span_tag(s) + " starts at " +
+                 std::to_string(s.t0) + " before its parent's t0 " +
+                 std::to_string(p.t0));
+    }
+    if (s.hop < p.hop) {
+      add(r, "causality: " + span_tag(s) + " hop " + std::to_string(s.hop) +
+                 " below parent hop " + std::to_string(p.hop));
+    }
+  }
+}
+
+void check_frames(const std::map<std::uint64_t, Span>& by_id,
+                  const json::Value& doc, CheckResult* r) {
+  std::uint64_t retransmit_spans = 0;
+  for (const auto& [id, s] : by_id) {
+    if (s.kind == "frame" && s.t1 == kSpanOpen) {
+      add(r, "frames: " + span_tag(s) +
+                 " never closed (doorbell without a matching ack)");
+    }
+    if (s.kind != "retransmit") continue;
+    ++retransmit_spans;
+    const auto it = by_id.find(s.parent);
+    if (it != by_id.end() && it->second.kind != "frame") {
+      add(r, "retransmits: " + span_tag(s) + " parents a " + it->second.kind +
+                 " span, not the original frame");
+    }
+  }
+  const std::uint64_t counted = doc.at("counters").at("retransmits").u64();
+  const std::uint64_t bound = doc.at("retransmit_bound").u64();
+  if (retransmit_spans != counted) {
+    add(r, "retransmits: " + std::to_string(retransmit_spans) +
+               " retransmit spans but transport counted " +
+               std::to_string(counted));
+  }
+  if (counted > bound) {
+    add(r, "retransmits: count " + std::to_string(counted) +
+               " exceeds the fault-plan bound " + std::to_string(bound));
+  }
+}
+
+void check_credits(const std::map<std::uint64_t, Span>& by_id,
+                   const json::Value& doc, CheckResult* r) {
+  const std::int64_t credits = doc.at("tx_credits").i64();
+  if (credits <= 0) {
+    add(r, "credits: tx_credits must be positive");
+    return;
+  }
+  // Sweep per (host, port): +1 at frame t0, -1 at t1, closes before opens at
+  // equal times (a retiring ack frees the credit the next frame takes).
+  std::map<std::pair<int, int>, std::vector<std::pair<std::int64_t, int>>> ev;
+  for (const auto& [id, s] : by_id) {
+    if (s.kind != "frame" || s.t1 == kSpanOpen) continue;
+    auto& e = ev[{s.host, s.port}];
+    e.emplace_back(s.t0, +1);
+    e.emplace_back(s.t1, -1);
+  }
+  for (auto& [key, events] : ev) {
+    std::sort(events.begin(), events.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first < b.first
+                                          : a.second < b.second;
+              });
+    std::int64_t open = 0, peak = 0;
+    for (const auto& [t, d] : events) {
+      open += d;
+      peak = std::max(peak, open);
+    }
+    if (peak > credits) {
+      add(r, "credits: host " + std::to_string(key.first) + " port " +
+                 std::to_string(key.second) + " had " + std::to_string(peak) +
+                 " frames in flight with tx_credits " +
+                 std::to_string(credits));
+    }
+  }
+}
+
+void check_links(const json::Value& doc, CheckResult* r) {
+  const std::int64_t elapsed = doc.at("elapsed_ns").i64();
+  for (const json::Value& v : doc.at("links").arr) {
+    ++r->links_checked;
+    const std::string name = v.at("name").str + "." + v.at("dir").str;
+    const std::uint64_t busy = v.at("busy_ns").u64();
+    const std::uint64_t bytes = v.at("bytes").u64();
+    const double capacity = v.at("capacity_Bps").number;
+    std::uint64_t sampled = 0;
+    for (const json::Value& s : v.at("samples").arr) {
+      if (s.arr.size() == 2) sampled += s.arr[1].u64();
+    }
+    if (v.at("window_ns").i64() > 0 && sampled != busy) {
+      add(r, "links: " + name + " samples integrate to " +
+                 std::to_string(sampled) + " ns but busy_ns is " +
+                 std::to_string(busy));
+    }
+    if (busy > static_cast<std::uint64_t>(elapsed)) {
+      add(r, "links: " + name + " busy " + std::to_string(busy) +
+                 " ns exceeds the run's " + std::to_string(elapsed) + " ns");
+    }
+    if (capacity > 0.0 && bytes > 0) {
+      const double min_ns = static_cast<double>(bytes) / capacity * 1e9;
+      const double slack = static_cast<double>(busy) * 0.01 + 1000.0;
+      if (static_cast<double>(busy) + slack < min_ns) {
+        add(r, "links: " + name + " moved " + std::to_string(bytes) +
+                   " bytes in " + std::to_string(busy) +
+                   " busy ns — beyond link capacity");
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CheckResult check_trace(const json::Value& doc) {
+  CheckResult r;
+  if (doc.at("schema").str != "ntbshmem-trace-v1") {
+    add(&r, "parse: not an ntbshmem-trace-v1 artifact");
+    return r;
+  }
+  std::map<std::uint64_t, Span> by_id;
+  check_spans(doc, &r, &by_id);
+  check_frames(by_id, doc, &r);
+  check_credits(by_id, doc, &r);
+  check_links(doc, &r);
+  return r;
+}
+
+CheckResult check_trace_text(std::string_view text) {
+  json::Value doc;
+  try {
+    doc = json::parse(text);
+  } catch (const std::exception& e) {
+    CheckResult r;
+    add(&r, std::string("parse: ") + e.what());
+    return r;
+  }
+  return check_trace(doc);
+}
+
+}  // namespace ntbshmem::tracecheck

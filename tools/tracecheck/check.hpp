@@ -1,0 +1,48 @@
+// tracecheck: offline invariant checker for ntbshmem-trace-v1 artifacts
+// (Runtime::write_causal_trace). The invariant catalog (DESIGN.md §4h):
+//
+//   structure    span ids unique and positive, parents exist in-document,
+//                parent and child agree on the trace id, roots are op spans,
+//                closed spans run forward in time (t1 >= t0)
+//   causality    a child never starts before its parent (t0 ordering) and
+//                never decreases the hop count
+//   frames       every frame span is closed — i.e. every data doorbell was
+//                matched by an ack that retired it
+//   retransmits  every retransmit span parents a frame span; the span count
+//                equals the transport's retransmit counter; the counter
+//                stays within the fault plan's retransmit_bound (and is
+//                exactly zero on a fault-free run)
+//   credits      per (host, port), concurrently open frame spans never
+//                exceed the transport's tx_credits window
+//   links        per link direction the utilization samples integrate
+//                exactly to busy_ns, busy_ns fits in the elapsed run, and
+//                the transferred bytes are achievable within busy_ns at the
+//                link's capacity (small tolerance for rounding)
+//
+// The core is a library so the fixture self-tests in tests/tools can drive
+// the rules directly; the CLI is a thin wrapper around it.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "json.hpp"
+
+namespace ntbshmem::tracecheck {
+
+struct CheckResult {
+  std::vector<std::string> violations;
+  std::size_t spans_checked = 0;
+  std::size_t links_checked = 0;
+  bool ok() const { return violations.empty(); }
+};
+
+// Runs the full invariant catalog over a parsed artifact.
+CheckResult check_trace(const json::Value& doc);
+
+// Parse + check; a malformed document yields one "parse:" violation.
+CheckResult check_trace_text(std::string_view text);
+
+}  // namespace ntbshmem::tracecheck

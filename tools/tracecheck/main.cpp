@@ -1,0 +1,60 @@
+// tracecheck CLI: validate ntbshmem-trace-v1 artifacts.
+//
+//   tracecheck trace.json [more.json ...]   # or '-' for stdin
+//
+// Exit 0 when every artifact passes the invariant catalog, 1 otherwise;
+// violations print one per line, prefixed with the file that failed.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "check.hpp"
+
+namespace {
+
+std::string read_all(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths(argv + 1, argv + argc);
+  if (paths.empty()) {
+    std::cerr << "usage: tracecheck <trace.json|-> [more.json ...]\n";
+    return 2;
+  }
+  bool failed = false;
+  for (const std::string& path : paths) {
+    std::string text;
+    if (path == "-") {
+      text = read_all(std::cin);
+    } else {
+      std::ifstream in(path);
+      if (!in) {
+        std::cerr << path << ": cannot open\n";
+        failed = true;
+        continue;
+      }
+      text = read_all(in);
+    }
+    const ntbshmem::tracecheck::CheckResult result =
+        ntbshmem::tracecheck::check_trace_text(text);
+    if (result.ok()) {
+      std::cout << path << ": OK (" << result.spans_checked << " spans, "
+                << result.links_checked << " link directions)\n";
+    } else {
+      failed = true;
+      for (const std::string& v : result.violations) {
+        std::cerr << path << ": " << v << "\n";
+      }
+      std::cerr << path << ": FAILED (" << result.violations.size()
+                << " violations)\n";
+    }
+  }
+  return failed ? 1 : 0;
+}
