@@ -36,8 +36,9 @@ if [[ ! -x "$DETLINT" ]]; then
   echo "lint: building detlint..."
   cmake --build "$BUILD_DIR" --target detlint -j >/dev/null
 fi
-echo "lint: detlint (determinism rules) over src/"
-"$DETLINT" --compdb "$COMPDB" --report "$BUILD_DIR/detlint-report.json"
+echo "lint: detlint (determinism rules) over src/ and tools/"
+"$DETLINT" --compdb "$COMPDB" --include src --include tools \
+  --report "$BUILD_DIR/detlint-report.json"
 
 # ---- Stage 2: clang-tidy ----------------------------------------------------
 TIDY="$(command -v clang-tidy || true)"

@@ -1,0 +1,159 @@
+#include "fabric/depgraph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "fabric/router.hpp"
+
+namespace ntbshmem::fabric {
+
+namespace {
+
+// Channel id = host * max_degree + port (the flat indexing of the original
+// in-test proof, generalised to heterogeneous degrees via the fabric-wide
+// maximum).
+int max_degree(const Topology& topo) {
+  int deg = 0;
+  for (int h = 0; h < topo.num_hosts(); ++h) {
+    deg = std::max(deg, topo.degree(h));
+  }
+  return deg;
+}
+
+}  // namespace
+
+std::string channel_name(const Channel& c) {
+  std::ostringstream oss;
+  oss << "(h" << c.host << ",p" << c.port << ")";
+  return oss.str();
+}
+
+DepGraphReport analyze_routing(const Topology& topo,
+                               const std::vector<RouteClass>& classes,
+                               int max_hops) {
+  DepGraphReport report;
+  const int n = topo.num_hosts();
+  const int deg = max_degree(topo);
+  const int nchan = n * deg;
+  if (max_hops <= 0) max_hops = 2 * n;
+
+  std::set<std::pair<int, int>> edge_set;
+  std::vector<bool> used(static_cast<std::size_t>(nchan), false);
+
+  for (const RouteClass& rc : classes) {
+    for (int s = 0; s < n; ++s) {
+      for (int d = 0; d < n; ++d) {
+        if (s == d) continue;
+        ++report.pairs_walked;
+        int me = s;
+        int in = -1;
+        int prev_chan = -1;
+        int steps = 0;
+        while (me != d) {
+          if (steps >= max_hops) {
+            report.issues.push_back(
+                {rc.name, s, d,
+                 "hop bound (" + std::to_string(max_hops) +
+                     ") exceeded — routing loop?"});
+            break;
+          }
+          int out = -1;
+          try {
+            out = rc.next(me, d, in);
+          } catch (const std::exception& e) {
+            report.issues.push_back(
+                {rc.name, s, d,
+                 "oracle threw at host " + std::to_string(me) + ": " +
+                     e.what()});
+            break;
+          }
+          if (out < 0 || out >= topo.degree(me)) {
+            report.issues.push_back(
+                {rc.name, s, d,
+                 "stalled at host " + std::to_string(me) + " (egress " +
+                     std::to_string(out) + ")"});
+            break;
+          }
+          const int chan = me * deg + out;
+          used[static_cast<std::size_t>(chan)] = true;
+          if (prev_chan >= 0) edge_set.insert({prev_chan, chan});
+          prev_chan = chan;
+          in = topo.peer_port(me, out);
+          me = topo.peer_host(me, out);
+          ++steps;
+        }
+        if (me == d) report.max_walk_hops = std::max(report.max_walk_hops, steps);
+      }
+    }
+  }
+  report.routes_sound = report.issues.empty();
+  report.channels_used =
+      static_cast<int>(std::count(used.begin(), used.end(), true));
+  report.edges = static_cast<int>(edge_set.size());
+
+  std::vector<std::vector<int>> adj(static_cast<std::size_t>(nchan));
+  for (const auto& [a, b] : edge_set) {
+    adj[static_cast<std::size_t>(a)].push_back(b);
+  }
+
+  // Iterative three-color DFS; on a back edge the grey stack suffix from
+  // the re-entered node to the top IS the cycle.
+  std::vector<int> color(static_cast<std::size_t>(nchan), 0);
+  report.cdg_acyclic = true;
+  for (int start = 0; start < nchan && report.cdg_acyclic; ++start) {
+    if (color[static_cast<std::size_t>(start)] != 0) continue;
+    std::vector<std::pair<int, std::size_t>> stack;  // (node, next-edge idx)
+    color[static_cast<std::size_t>(start)] = 1;
+    stack.emplace_back(start, 0);
+    while (!stack.empty()) {
+      auto& [node, idx] = stack.back();
+      const std::vector<int>& out = adj[static_cast<std::size_t>(node)];
+      if (idx >= out.size()) {
+        color[static_cast<std::size_t>(node)] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const int next = out[idx++];
+      if (color[static_cast<std::size_t>(next)] == 1) {
+        report.cdg_acyclic = false;
+        auto it = std::find_if(
+            stack.begin(), stack.end(),
+            [next](const std::pair<int, std::size_t>& f) {
+              return f.first == next;
+            });
+        for (; it != stack.end(); ++it) {
+          report.cycle.push_back({it->first / deg, it->first % deg});
+        }
+        report.cycle.push_back({next / deg, next % deg});
+        break;
+      }
+      if (color[static_cast<std::size_t>(next)] == 0) {
+        color[static_cast<std::size_t>(next)] = 1;
+        stack.emplace_back(next, 0);
+      }
+    }
+  }
+  return report;
+}
+
+std::vector<RouteClass> table_route_classes(const RoutingTable& rt) {
+  std::vector<RouteClass> classes;
+  classes.push_back({"request", [&rt](int me, int dst, int in) {
+                       return rt.forward_port(me, dst, in);
+                     }});
+  classes.push_back({"response", [&rt](int me, int origin, int in) {
+                       return in < 0 ? rt.response_port(me, origin)
+                                     : rt.forward_port(me, origin, in);
+                     }});
+  return classes;
+}
+
+bool certifies(const DepGraphReport& report, Discipline discipline) {
+  if (!report.routes_sound) return false;
+  return discipline == Discipline::kStoreAndForward || report.cdg_acyclic;
+}
+
+}  // namespace ntbshmem::fabric

@@ -1,0 +1,101 @@
+// Channel-dependence-graph deadlock analysis (DESIGN.md §4e), promoted
+// from the in-test proof in tests/fabric/router_test.cpp into a library so
+// tools/routecheck can certify or refute ANY topology × routing-table
+// combination, not just the shipped generators.
+//
+// The theory is Dally & Seitz: model every directed (host, egress-port)
+// pair as a channel; walking every route, add a dependence edge a -> b
+// whenever a frame can hold channel a while requesting channel b. A
+// routing deadlock requires a cycle in that graph. Whether a cycle is
+// fatal depends on the forwarding discipline:
+//
+//   store-and-forward  — every hop fully consumes the frame into host
+//     memory and releases the inbound ScratchPad channel (kDbAck) before
+//     competing for the outbound one, so a frame holds at most one channel
+//     at a time. Hold-and-wait never forms; certification only requires
+//     route soundness (every pair walks to its destination within the hop
+//     bound). CDG cycles are reported informationally — the paper's
+//     right-only ring is CDG-cyclic yet deadlock-free for exactly this
+//     reason.
+//   cut-through        — an intermediate host starts forwarding while the
+//     tail is still arriving (TransportTuning::cut_through_forwarding), so
+//     the inbound channel is held across the outbound acquisition. A CDG
+//     cycle is a hard refutation, returned with the offending cycle as a
+//     witness.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fabric/topology.hpp"
+
+namespace ntbshmem::fabric {
+
+class RoutingTable;
+
+// Forwarding oracle: egress port on `me` for a frame addressed to `dst`
+// that arrived on `in_port` (-1 when originating locally). Return -1 for
+// "no route" (reported as a stalled walk).
+using NextPortFn = std::function<int(int me, int dst, int in_port)>;
+
+// One class of traffic walked over every (src, dst) pair — e.g. request
+// frames and response frames, which under kRightOnly travel opposite ways
+// around the ring through the same physical channels.
+struct RouteClass {
+  std::string name;
+  NextPortFn next;
+};
+
+// One directed channel: host + egress port index.
+struct Channel {
+  int host = -1;
+  int port = -1;
+};
+
+// A walk that failed route soundness.
+struct WalkIssue {
+  std::string route_class;
+  int src = -1;
+  int dst = -1;
+  std::string what;  // "stalled at host H", "hop bound exceeded", ...
+};
+
+struct DepGraphReport {
+  bool routes_sound = false;  // every pair, every class, reached its dst
+  bool cdg_acyclic = false;   // no cycle in the channel dependence graph
+  int pairs_walked = 0;
+  int max_walk_hops = 0;
+  int channels_used = 0;
+  int edges = 0;
+  std::vector<WalkIssue> issues;  // non-empty iff !routes_sound
+  std::vector<Channel> cycle;     // witness (first found) iff !cdg_acyclic;
+                                  // cycle[0] == cycle.back()
+};
+
+enum class Discipline {
+  kStoreAndForward,  // per-hop consume + ack (transport default)
+  kCutThrough,       // TransportTuning::cut_through_forwarding
+};
+
+// Walks every (src, dst, class) triple through the oracles, checking route
+// soundness against `max_hops` (0 picks 2 * num_hosts, a generous bound —
+// every shipped table routes within the diameter), and builds + analyses
+// the channel dependence graph.
+DepGraphReport analyze_routing(const Topology& topo,
+                               const std::vector<RouteClass>& classes,
+                               int max_hops = 0);
+
+// The request + response oracles of a RoutingTable (the exact forwarding
+// calls the transport makes: forward_port at every hop, response_port for
+// the first response hop). `rt` must outlive the returned oracles.
+std::vector<RouteClass> table_route_classes(const RoutingTable& rt);
+
+// The verdict: store-and-forward certifies on route soundness alone;
+// cut-through additionally requires CDG acyclicity.
+bool certifies(const DepGraphReport& report, Discipline discipline);
+
+// "(h2,p0)" — witness-cycle element rendering shared by tool and tests.
+std::string channel_name(const Channel& c);
+
+}  // namespace ntbshmem::fabric

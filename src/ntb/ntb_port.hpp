@@ -183,6 +183,29 @@ class NtbPort {
   // Diagnostics.
   std::uint64_t dma_bytes_written() const { return dma_bytes_written_; }
 
+  // FNV hash of the port's protocol-visible register state: ScratchPad
+  // bank, doorbell status, latched-frame FIFO (bit + snapshot), DMA error
+  // latch. Model-checker introspection (DESIGN.md §4i); excludes timing and
+  // observability state on purpose.
+  std::uint64_t state_hash() const {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h = (h ^ (v & 0xffu)) * 0x100000001b3ull;
+        v >>= 8;
+      }
+    };
+    for (const std::uint32_t r : scratchpad_) mix(r);
+    mix(db_status_);
+    mix(dma_error_latched_ ? 1u : 0u);
+    mix(latched_frames_.size());
+    for (const LatchedFrame& f : latched_frames_) {
+      mix(static_cast<std::uint64_t>(f.bit));
+      for (const std::uint32_t r : f.regs) mix(r);
+    }
+    return h;
+  }
+
  private:
   void require_connected(const char* op) const;
   // Fail-fast or block-until-retrained, per PortConfig::retry_on_link_down.

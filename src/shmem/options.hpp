@@ -86,6 +86,13 @@ struct TransportTuning {
   // fault workloads opt in explicitly via reliable()).
   ReliabilityParams reliability;
 
+  // TEST-ONLY planted bug for the model checker's self-check (tools/mck
+  // --seed-bug): deliver_put acknowledges and notifies BEFORE the heap
+  // write lands (deferred to a same-timestamp callback), violating the
+  // write-before-notify guarantee. Never set outside mck's acceptance
+  // gate; every shipped configuration leaves it false.
+  bool bug_ack_before_write = false;
+
   bool pipelined() const {
     return tx_credits > 1 || overlap_segment_setup || cut_through_forwarding;
   }

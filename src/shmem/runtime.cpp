@@ -461,6 +461,51 @@ void Runtime::dump_flight(std::ostream& out) const {
   }
 }
 
+std::uint64_t Runtime::state_hash() const {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h = (h ^ (v & 0xffu)) * 0x100000001b3ull;
+      v >>= 8;
+    }
+  };
+  mix(engine_.state_hash());
+  for (const auto& t : transports_) mix(t->state_hash());
+  // Live symmetric-heap bytes of every PE (the application-visible data the
+  // safety properties speak about). Freed regions and unallocated tails are
+  // skipped — their contents are unobservable.
+  std::vector<std::byte> buf;
+  for (const auto& ctx : contexts_) {
+    const SymmetricHeap& heap = ctx->heap();
+    for (const auto& [off, len] : heap.allocation_ranges()) {
+      buf.resize(len);
+      heap.read(off, buf);
+      mix(off);
+      for (const std::byte b : buf) {
+        h = (h ^ static_cast<unsigned char>(b)) * 0x100000001b3ull;
+      }
+    }
+  }
+  return h;
+}
+
+bool Runtime::quiescent() const {
+  for (const auto& t : transports_) {
+    if (!t->quiescent()) return false;
+  }
+  return true;
+}
+
+std::string Runtime::pending_summary() const {
+  std::string out;
+  for (const auto& t : transports_) out += t->pending_summary();
+  return out;
+}
+
+void Runtime::check_invariants() const {
+  for (const auto& t : transports_) t->check_protocol_invariants();
+}
+
 sim::Dur Runtime::run(const std::function<void()>& pe_main) {
   const sim::Time start = engine_.now();
   for (int pe = 0; pe < options_.npes; ++pe) {

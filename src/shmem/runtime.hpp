@@ -182,6 +182,22 @@ class Runtime {
   // post-mortem artifact attached to fuzz/CI failures.
   void dump_flight(std::ostream& out) const;
 
+  // ---- Model-checker introspection (DESIGN.md §4i) -------------------------
+  // FNV hash over the complete protocol-visible state: the engine's
+  // schedulable queue and process states, every host transport's channel /
+  // queue / ScratchPad state, and the live bytes of every PE's symmetric
+  // heap. Two interleavings that reach the same logical state hash equal —
+  // the revisit-pruning key of tools/mck.
+  std::uint64_t state_hash() const;
+  // True when every host transport has fully drained (Transport::quiescent).
+  bool quiescent() const;
+  // Concatenated Transport::pending_summary of every host (deadlock
+  // diagnostics; empty when quiescent).
+  std::string pending_summary() const;
+  // Runs Transport::check_protocol_invariants on every host; throws
+  // ProtocolViolation on the first breach.
+  void check_invariants() const;
+
   // The Context of the PE process currently executing (TLS); nullptr
   // outside a PE (e.g. in service threads or the scheduler).
   static Context* current();

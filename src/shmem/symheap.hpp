@@ -74,6 +74,13 @@ class SymmetricHeap {
   }
   std::uint64_t bytes_in_use() const { return in_use_; }
   std::size_t live_allocations() const { return allocations_.size(); }
+  // Live allocations as sorted (virtual offset, length) pairs — lets the
+  // model checker hash exactly the bytes applications can observe, skipping
+  // freed regions and unallocated chunk tails.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> allocation_ranges()
+      const {
+    return {allocations_.begin(), allocations_.end()};
+  }
 
  private:
   bool grow();  // appends one chunk; false when at max_bytes

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <sstream>
 #include <stdexcept>
 
 #include "common/sorted.hpp"
@@ -964,6 +965,7 @@ void Transport::put(std::uint64_t heap_offset, std::span<const std::byte> src,
 void Transport::local_put(std::uint64_t heap_offset,
                           std::span<const std::byte> src, int target_pe) {
   runtime_.context(target_pe).heap().write(heap_offset, src);
+  ++stats_.puts_delivered;
   charge_local_copy(src.size());
   heap_event_->notify_all();
 }
@@ -1532,6 +1534,7 @@ void Transport::process_frame(const RxToken& token) {
     case FrameKind::kDirectPut: {
       // Data already landed in the target PE's symmetric heap via the
       // sender's DMA; the frame is pure notification (plus flow control).
+      ++stats_.puts_delivered;
       heap_event_->notify_all();
       ack_frame(from);
       return;
@@ -1694,7 +1697,30 @@ void Transport::dispatch_message(std::vector<std::byte> message, int from) {
 
 void Transport::deliver_put(const MessageHeader& h,
                             std::span<const std::byte> payload) {
+  if (tuning().bug_ack_before_write) {
+    // TEST-ONLY planted bug (TransportTuning::bug_ack_before_write, the
+    // mck acceptance gate): notify waiters and acknowledge delivery FIRST,
+    // landing the heap write in a same-timestamp callback. A PE woken by
+    // the notify can observe the pre-write heap — exactly the
+    // write-before-notify violation the checker must catch.
+    charge_local_copy(payload.size());
+    heap_event_->notify_all();
+    if (runtime_.options().completion == CompletionMode::kFullDelivery) {
+      send_delivery_ack(h.origin_pe, h.op_id,
+                        obs::TraceCtx{h.trace_id, h.parent_span, h.hop});
+    }
+    sim::Engine& engine = runtime_.engine();
+    engine.call_at(
+        engine.now(),
+        [this, hdr = h, data = std::vector<std::byte>(payload.begin(),
+                                                      payload.end())] {
+          runtime_.context(hdr.target_pe).heap().write(hdr.heap_offset, data);
+          ++stats_.puts_delivered;
+        });
+    return;
+  }
   runtime_.context(h.target_pe).heap().write(h.heap_offset, payload);
+  ++stats_.puts_delivered;
   charge_local_copy(payload.size());
   heap_event_->notify_all();
   if (runtime_.options().completion == CompletionMode::kFullDelivery) {
@@ -1855,6 +1881,242 @@ void Transport::send_delivery_ack(std::uint8_t origin, std::uint32_t op_id,
   if (item.ctx.valid()) ++item.ctx.hop;
   enqueue_outbound(std::move(item));
   ++stats_.delivery_acks_sent;
+}
+
+// ---- Model-checker introspection (DESIGN.md §4i) ---------------------------
+
+namespace {
+
+std::uint64_t mc_mix(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffu)) * 0x100000001b3ull;
+    v >>= 8;
+  }
+  return h;
+}
+
+std::uint64_t mc_mix_bytes(std::uint64_t h, std::span<const std::byte> bytes) {
+  for (const std::byte b : bytes) {
+    h = (h ^ static_cast<unsigned char>(b)) * 0x100000001b3ull;
+  }
+  return mc_mix(h, bytes.size());
+}
+
+std::uint64_t mc_frame(std::uint64_t h, const FrameHeader& f) {
+  h = mc_mix(h, static_cast<std::uint64_t>(f.kind));
+  h = mc_mix(h, f.origin_pe);
+  h = mc_mix(h, f.target_pe);
+  h = mc_mix(h, f.flags);
+  h = mc_mix(h, f.id);
+  h = mc_mix(h, f.a);
+  h = mc_mix(h, f.b);
+  h = mc_mix(h, f.c);
+  return mc_mix(h, f.d);
+}
+
+constexpr std::uint64_t kMcFnvOffset = 0xcbf29ce484222325ull;
+
+}  // namespace
+
+std::uint64_t Transport::state_hash() const {
+  std::uint64_t h = kMcFnvOffset;
+  // Per-adapter channel state, in port order (deterministic).
+  for (std::size_t p = 0; p < tx_.size(); ++p) {
+    const TxChannel& ch = *tx_[p];
+    h = mc_mix(h, ch.slot.available());
+    h = mc_mix(h, ch.free_slots.size());
+    for (const int s : ch.free_slots) h = mc_mix(h, static_cast<std::uint64_t>(s));
+    h = mc_mix(h, ch.inflight.size());
+    for (const TxChannel::InFlight& rec : ch.inflight) {
+      h = mc_mix(h, static_cast<std::uint64_t>(rec.stage_slot));
+      h = mc_mix(h, rec.counts_as_delivery ? 1u : 0u);
+      h = mc_mix(h, static_cast<std::uint64_t>(rec.delivery_domain));
+      h = mc_mix(h, rec.seq);
+      h = mc_mix(h, static_cast<std::uint64_t>(rec.doorbell));
+      h = mc_frame(h, rec.hdr);
+    }
+    h = mc_mix(h, ch.next_seq);
+    h = mc_mix(h, port(static_cast<int>(p)).state_hash());
+  }
+  // Service queues, in queue order (deterministic deques).
+  h = mc_mix(h, rx_queue_.size());
+  for (const RxToken& t : rx_queue_) {
+    h = mc_mix(h, static_cast<std::uint64_t>(t.from));
+    h = mc_mix(h, static_cast<std::uint64_t>(t.kind));
+    for (const std::uint32_t r : t.regs) h = mc_mix(h, r);
+  }
+  h = mc_mix(h, tx_queue_.size());
+  for (const OutboundItem& it : tx_queue_) {
+    h = mc_mix(h, static_cast<std::uint64_t>(it.kind));
+    h = mc_mix(h, static_cast<std::uint64_t>(it.port));
+    h = mc_mix_bytes(h, it.message);
+    h = mc_frame(h, it.raw_frame);
+    h = mc_mix(h, it.chunk_msg_id);
+    h = mc_mix(h, it.chunk_off);
+    h = mc_mix(h, it.chunk_total);
+  }
+  h = mc_mix(h, retx_queue_.size());
+  for (const RetxRequest& r : retx_queue_) {
+    h = mc_mix(h, static_cast<std::uint64_t>(r.port));
+    h = mc_mix(h, r.seq);
+  }
+  for (const std::uint8_t s : rx_expected_seq_) h = mc_mix(h, s);
+  // Unordered containers: iterate key-sorted snapshots so the buckets'
+  // iteration order cannot leak into the hash. The maps are tiny on the
+  // model-checker configs that call this, so the O(n log n) copy is cheap.
+  for (const std::uint64_t key : sorted_keys(reassembly_)) {
+    const Reassembly& re = reassembly_.at(key);
+    h = mc_mix(h, 1);
+    h = mc_mix(h, key);
+    h = mc_mix(h, re.received);
+    h = mc_mix_bytes(h, re.data);
+  }
+  for (const std::uint64_t key : sorted_keys(cut_through_)) {
+    const CutThrough& ct = cut_through_.at(key);
+    h = mc_mix(h, 2);
+    h = mc_mix(h, key);
+    h = mc_mix(h, ct.out_msg_id);
+    h = mc_mix(h, ct.forwarded);
+    h = mc_mix(h, static_cast<std::uint64_t>(ct.out_port));
+  }
+  for (const std::uint32_t id : sorted_keys(pending_gets_)) {
+    const PendingGet& pg = pending_gets_.at(id);
+    h = mc_mix(h, 3);
+    h = mc_mix(h, id);
+    h = mc_mix(h, pg.len);
+    h = mc_mix(h, pg.done ? 1u : 0u);
+    h = mc_mix(h, static_cast<std::uint64_t>(pg.domain));
+  }
+  for (const std::uint32_t id : sorted_keys(pending_atomics_)) {
+    h = mc_mix(h, 4);
+    h = mc_mix(h, id);
+    h = mc_mix(h, pending_atomics_.at(id).done ? 1u : 0u);
+  }
+  for (const auto& [domain, count] : sorted_items(outstanding_by_domain_)) {
+    h = mc_mix(h, 5);
+    h = mc_mix(h, static_cast<std::uint64_t>(domain));
+    h = mc_mix(h, count);
+  }
+  for (const auto& [op, domain] : sorted_items(delivery_domain_of_op_)) {
+    h = mc_mix(h, 6);
+    h = mc_mix(h, op);
+    h = mc_mix(h, static_cast<std::uint64_t>(domain));
+  }
+  // Barrier progress.
+  h = mc_mix(h, barrier_start_tokens_);
+  h = mc_mix(h, barrier_end_tokens_);
+  h = mc_mix(h, barrier_up_tokens_);
+  h = mc_mix(h, barrier_down_tokens_);
+  h = mc_mix(h, static_cast<std::uint64_t>(local_barrier_arrived_));
+  return mc_mix(h, local_barrier_round_);
+}
+
+std::string Transport::pending_summary() const {
+  std::ostringstream oss;
+  const std::string host = "host" + std::to_string(host_id_);
+  for (std::size_t p = 0; p < tx_.size(); ++p) {
+    const TxChannel& ch = *tx_[p];
+    if (ch.slot.available() != ch.slot.capacity()) {
+      oss << " [" << host << ".port" << p << " credits "
+          << ch.slot.available() << "/" << ch.slot.capacity() << "]";
+    }
+    if (!ch.inflight.empty()) {
+      oss << " [" << host << ".port" << p << " inflight="
+          << ch.inflight.size() << "]";
+    }
+  }
+  if (!rx_queue_.empty()) oss << " [" << host << " rx=" << rx_queue_.size() << "]";
+  if (!tx_queue_.empty()) oss << " [" << host << " tx=" << tx_queue_.size() << "]";
+  if (!retx_queue_.empty()) {
+    oss << " [" << host << " retx=" << retx_queue_.size() << "]";
+  }
+  if (!reassembly_.empty()) {
+    oss << " [" << host << " reassembly=" << reassembly_.size() << "]";
+  }
+  if (!cut_through_.empty()) {
+    oss << " [" << host << " cut_through=" << cut_through_.size() << "]";
+  }
+  for (const std::uint32_t id : sorted_keys(pending_gets_)) {
+    if (!pending_gets_.at(id).done) {
+      oss << " [" << host << " get op" << id << " pending]";
+    }
+  }
+  for (const std::uint32_t id : sorted_keys(pending_atomics_)) {
+    if (!pending_atomics_.at(id).done) {
+      oss << " [" << host << " atomic op" << id << " pending]";
+    }
+  }
+  for (const auto& [domain, count] : sorted_items(outstanding_by_domain_)) {
+    if (count != 0) {
+      oss << " [" << host << " domain" << domain << " outstanding=" << count
+          << "]";
+    }
+  }
+  return oss.str();
+}
+
+bool Transport::quiescent() const { return pending_summary().empty(); }
+
+void Transport::check_protocol_invariants() const {
+  for (std::size_t p = 0; p < tx_.size(); ++p) {
+    const TxChannel& ch = *tx_[p];
+    const std::string where =
+        "host" + std::to_string(host_id_) + ".port" + std::to_string(p);
+    const std::size_t credits = ch.slot.capacity();
+    // Credit conservation: a Resource credit is only ever granted against a
+    // physically free staging slot, so available() can never exceed the
+    // free list. The converse inequality is legitimately transient:
+    // Resource::release hands a contended unit to a queued waiter without
+    // incrementing available_, so between on_ack freeing the slot and the
+    // woken sender popping it, free_slots runs ahead of available().
+    if (ch.slot.available() > ch.free_slots.size()) {
+      throw ProtocolViolation(
+          where + ": credit ledger mismatch — " +
+          std::to_string(ch.slot.available()) + " available credits vs " +
+          std::to_string(ch.free_slots.size()) + " free staging slots");
+    }
+    if (ch.free_slots.size() + ch.inflight.size() > credits) {
+      throw ProtocolViolation(
+          where + ": " + std::to_string(ch.free_slots.size()) + " free + " +
+          std::to_string(ch.inflight.size()) + " in-flight slots exceed " +
+          std::to_string(credits) + " credits");
+    }
+    // Staging-slot partition: every slot id in range, no slot both free and
+    // owned by an in-flight frame, no slot counted twice.
+    std::vector<bool> seen(credits, false);
+    auto claim = [&](int slot, const char* kind) {
+      if (slot < 0 || static_cast<std::size_t>(slot) >= credits) {
+        throw ProtocolViolation(where + ": " + kind + " staging slot " +
+                                std::to_string(slot) + " out of range");
+      }
+      if (seen[static_cast<std::size_t>(slot)]) {
+        throw ProtocolViolation(where + ": staging slot " +
+                                std::to_string(slot) +
+                                " claimed twice (" + kind + ")");
+      }
+      seen[static_cast<std::size_t>(slot)] = true;
+    };
+    for (const int s : ch.free_slots) claim(s, "free");
+    for (const TxChannel::InFlight& rec : ch.inflight) {
+      claim(rec.stage_slot, "in-flight");
+    }
+    // Go-back-N window discipline: in-flight sequence numbers are
+    // consecutive mod 256 and end just below the channel's next_seq.
+    if (reliability_on() && !ch.inflight.empty()) {
+      const std::size_t n = ch.inflight.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const auto expect = static_cast<std::uint8_t>(
+            ch.next_seq - static_cast<std::uint8_t>(n - i));
+        if (ch.inflight[i].seq != expect) {
+          throw ProtocolViolation(
+              where + ": in-flight seq[" + std::to_string(i) + "]=" +
+              std::to_string(ch.inflight[i].seq) + " breaks the window (want " +
+              std::to_string(expect) + ", next_seq=" +
+              std::to_string(ch.next_seq) + ")");
+        }
+      }
+    }
+  }
 }
 
 }  // namespace ntbshmem::shmem

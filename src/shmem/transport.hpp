@@ -66,6 +66,7 @@
 #include <deque>
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <span>
 #include <unordered_map>
@@ -83,6 +84,15 @@ namespace ntbshmem::shmem {
 
 class Runtime;
 
+// Raised by Transport::check_protocol_invariants when a safety invariant
+// (credit conservation, staging-slot partition, seq-window discipline) is
+// broken — the model checker's violation signal.
+class ProtocolViolation : public std::runtime_error {
+ public:
+  explicit ProtocolViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
 // Per-PE transport statistics (tests assert on these; benches report them).
 struct TransportStats {
   std::uint64_t puts_issued = 0;
@@ -93,6 +103,9 @@ struct TransportStats {
   std::uint64_t messages_forwarded = 0;
   std::uint64_t bytes_forwarded = 0;
   std::uint64_t delivery_acks_sent = 0;
+  // Put payloads written into a resident PE's heap (local + remote arrivals)
+  // — the exactly-once ledger the model checker sums against puts_issued.
+  std::uint64_t puts_delivered = 0;
   std::uint64_t barriers_completed = 0;
   std::uint64_t barrier_tokens_sent = 0;  // tree barrier: up+down tokens
   // Reliability-layer accounting (all zero when reliability is off).
@@ -219,6 +232,33 @@ class Transport {
   // Allocates a fresh completion-domain id (per-PE contexts draw from the
   // host transport so ids never collide between co-resident PEs).
   int allocate_domain() { return next_domain_++; }
+
+  // ---- Model-checker introspection (DESIGN.md §4i) -------------------------
+  // FNV hash of this host's protocol state: per-channel credit/in-flight/
+  // sequence state, RX/TX/retransmit queues, reassembly and cut-through
+  // tables, pending ops, per-domain outstanding counts, barrier token
+  // counters, and each adapter's NtbPort register state. Cumulative
+  // statistics are excluded (they grow monotonically along every path and
+  // would defeat revisit pruning). Unordered containers are folded with a
+  // commutative combine so iteration order cannot leak in.
+  std::uint64_t state_hash() const;
+  // True when no protocol work is pending on this host: empty RX/TX/retx
+  // queues, all credits free, no in-flight frames, no reassembly or
+  // cut-through residue, all pending gets/atomics done, zero outstanding
+  // deliveries in every domain. A runtime whose transports are all
+  // quiescent after the PE mains return has fully drained.
+  bool quiescent() const;
+  // Human-readable summary of what quiescent() found pending (deadlock
+  // diagnostics); empty string when quiescent.
+  std::string pending_summary() const;
+  // Checks the safety invariants that must hold at every scheduler point:
+  // credit conservation (free slots + in-flight == capacity, matching the
+  // sim::Resource ledger), staging-slot partition (slots distinct, in
+  // range, free/in-flight sets disjoint), and — with reliability on — the
+  // go-back-N window discipline (in-flight sequence numbers consecutive
+  // mod 256, ending just below the channel's next_seq). Throws
+  // ProtocolViolation with a diagnostic on the first breach.
+  void check_protocol_invariants() const;
 
  private:
   // One TX adapter of the host. `credits` is the number of frames that may

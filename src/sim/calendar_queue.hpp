@@ -104,6 +104,21 @@ class CalendarQueue {
     return item;
   }
 
+  // Visits every queued item in unspecified order (wheel buckets are
+  // heap-ordered, rungs unsorted). Used by order-insensitive state hashing:
+  // the caller must fold items with a commutative combine so the queue's
+  // physical layout (which varies with push history) cannot leak into the
+  // hash.
+  template <class Fn>
+  void for_each(Fn&& fn) const {
+    for (const std::vector<Item>& b : wheel_) {
+      for (const Item& item : b) fn(item);
+    }
+    for (const Rung& r : rungs_) {
+      for (const Item& item : r.items) fn(item);
+    }
+  }
+
   // Structure diagnostics (tests + bench reporting).
   int width_shift() const { return width_shift_; }
   std::size_t overflow_size() const { return size_ - wheel_count_; }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "common/log.hpp"
+#include "sim/branch.hpp"
 #include "sim/event.hpp"
 
 namespace ntbshmem::sim {
@@ -223,21 +224,78 @@ void Engine::resume(Process* p) {
   current_ = prev;
 }
 
+bool Engine::item_stale(const QueueItem& item) {
+  if (item.process == nullptr) {
+    CallbackSlot& s = cb_slots_[item.cb_slot];
+    if (s.gen != item.epoch_or_gen) return true;  // slot already recycled
+    if (s.cancelled) {
+      retire_slot(item.cb_slot);
+      return true;
+    }
+    return false;
+  }
+  return item.process->finished() || item.epoch_or_gen != item.process->epoch_;
+}
+
+bool Engine::pop_runnable(QueueItem* out) {
+  while (!queue_.empty()) {
+    QueueItem item = queue_.pop_min();
+    assert(item.t >= now_);
+    if (item_stale(item)) continue;
+    *out = item;
+    return true;
+  }
+  return false;
+}
+
+bool Engine::next_dispatch(QueueItem* out) {
+  if (hook_ == nullptr) return pop_runnable(out);
+  QueueItem first;
+  if (!pop_runnable(&first)) return false;
+  // Collect every runnable item queued for the same instant. Items are
+  // popped in (t, tie, seq) order, so frontier index 0 is exactly what the
+  // unhooked dispatcher would run next.
+  std::vector<QueueItem> frontier;
+  frontier.push_back(first);
+  while (!queue_.empty()) {
+    QueueItem item = queue_.pop_min();
+    if (item_stale(item)) continue;
+    if (item.t != first.t) {
+      // Overshot into the next instant; re-queueing at the just-popped
+      // time is legal per the calendar queue's preconditions.
+      queue_.push(item);
+      break;
+    }
+    frontier.push_back(item);
+  }
+  std::size_t pick = 0;
+  if (frontier.size() > 1) {
+    pick = hook_->choose_dispatch(frontier.size());
+    if (pick >= frontier.size()) {
+      throw std::logic_error("BranchHook::choose_dispatch returned " +
+                             std::to_string(pick) + " for a frontier of " +
+                             std::to_string(frontier.size()));
+    }
+  }
+  // Non-chosen items go back with their ORIGINAL (t, tie, seq) keys: the
+  // residual frontier keeps its relative order and is re-offered on the
+  // next dispatch.
+  for (std::size_t i = 0; i < frontier.size(); ++i) {
+    if (i != pick) queue_.push(frontier[i]);
+  }
+  *out = frontier[pick];
+  return true;
+}
+
 void Engine::run() {
   if (current_ != nullptr) {
     throw std::logic_error("Engine::run() called from inside a process");
   }
   while (live_nondaemon_ > 0) {
-    if (queue_.empty()) throw_deadlock();
-    QueueItem item = queue_.pop_min();
-    assert(item.t >= now_);
+    QueueItem item;
+    if (!next_dispatch(&item)) throw_deadlock();
     if (item.process == nullptr) {
       CallbackSlot& s = cb_slots_[item.cb_slot];
-      if (s.gen != item.epoch_or_gen) continue;  // slot already recycled
-      if (s.cancelled) {
-        retire_slot(item.cb_slot);
-        continue;
-      }
       now_ = item.t;
       dispatch_count_++;
       if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kCallback);
@@ -249,7 +307,6 @@ void Engine::run() {
       continue;
     }
     Process* p = item.process;
-    if (p->finished() || item.epoch_or_gen != p->epoch_) continue;  // stale
     now_ = item.t;
     dispatch_count_++;
     if (digest_enabled_) digest_.mix(now_, item.seq, DispatchKind::kProcess);
@@ -260,6 +317,70 @@ void Engine::run() {
       std::rethrow_exception(err);
     }
   }
+}
+
+namespace {
+
+std::uint64_t fnv_mix_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = (h ^ (v & 0xffu)) * 0x100000001b3ull;
+    v >>= 8;
+  }
+  return h;
+}
+
+std::uint64_t fnv_mix_str(std::uint64_t h, const std::string& s) {
+  for (const char c : s) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  }
+  return (h ^ 0xffu) * 0x100000001b3ull;  // terminator: "ab"+"c" != "a"+"bc"
+}
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+
+}  // namespace
+
+std::uint64_t Engine::state_hash() const {
+  // Per-item hashes are folded with XOR *and* ADD: both are commutative
+  // (the calendar queue's physical layout must not matter), and the pair is
+  // far harder to cancel than XOR alone (two identical items XOR to zero
+  // but still sum). Times are hashed relative to now_ so the same pending
+  // work at a different absolute time still collides — the checker prunes
+  // on logical state, not wall position.
+  std::uint64_t xored = 0;
+  std::uint64_t summed = 0;
+  std::uint64_t items = 0;
+  queue_.for_each([&](const QueueItem& item) {
+    if (item.process == nullptr) {
+      const CallbackSlot& s = cb_slots_[item.cb_slot];
+      if (s.gen != item.epoch_or_gen || s.cancelled) return;  // stale
+    } else if (item.process->finished() ||
+               item.epoch_or_gen != item.process->epoch_) {
+      return;  // stale
+    }
+    std::uint64_t h = kFnvOffset;
+    h = fnv_mix_u64(h, static_cast<std::uint64_t>(item.t - now_));
+    h = fnv_mix_u64(h, item.process == nullptr ? 1u : 2u);
+    if (item.process != nullptr) h = fnv_mix_str(h, item.process->name());
+    xored ^= h;
+    summed += h;
+    ++items;
+  });
+  std::uint64_t acc = kFnvOffset;
+  acc = fnv_mix_u64(acc, xored);
+  acc = fnv_mix_u64(acc, summed);
+  acc = fnv_mix_u64(acc, items);
+  // Process control state, in spawn order (deterministic across replays of
+  // the same workload). Epochs and seq counters are excluded on purpose.
+  for (const auto& p : processes_) {
+    std::uint64_t h = kFnvOffset;
+    h = fnv_mix_str(h, p->name_);
+    h = fnv_mix_u64(h, (p->started_ ? 1u : 0u) | (p->finished_ ? 2u : 0u) |
+                           (p->daemon_ ? 4u : 0u));
+    if (p->waiting_on_ != nullptr) h = fnv_mix_str(h, p->waiting_on_->name());
+    acc = fnv_mix_u64(acc, h);
+  }
+  return acc;
 }
 
 void Engine::throw_deadlock() {

@@ -60,6 +60,7 @@ struct Hub;
 
 namespace ntbshmem::sim {
 
+class BranchHook;
 class Engine;
 class Event;
 class FaultPlan;
@@ -264,6 +265,27 @@ class Engine {
   void set_tiebreak_permutation(std::uint64_t seed) { tiebreak_seed_ = seed; }
   std::uint64_t tiebreak_permutation() const { return tiebreak_seed_; }
 
+  // ---- Exploration (sim/branch.hpp, tools/mck) -----------------------------
+  // Installs a branch hook that picks among same-timestamp runnable queue
+  // items instead of the (tie, seq) FIFO order (nullptr detaches — the
+  // default, zero-cost path). With a hook installed the dispatcher collects
+  // the whole same-timestamp runnable frontier before each dispatch and asks
+  // the hook to choose; a hook that always returns 0 reproduces the unhooked
+  // schedule exactly (same dispatch order, same digests). The hook is not
+  // owned and must outlive the run.
+  void set_branch_hook(BranchHook* hook) { hook_ = hook; }
+  BranchHook* branch_hook() const { return hook_; }
+
+  // Order-insensitive FNV hash of the engine's schedulable state: every
+  // non-stale queue item folded as (t - now, kind, process name) with a
+  // commutative combine (so the calendar queue's physical layout cannot
+  // leak in), plus each live process's (name, started, waiting-on event).
+  // Path-dependent counters (seq, epoch, dispatch_count) are deliberately
+  // excluded so that two interleavings reaching the same logical state
+  // collide — that collision is exactly what lets the model checker prune
+  // revisits. Used by mck together with the transport/heap hashes.
+  std::uint64_t state_hash() const;
+
   // Kills every unfinished process (ProcessKilled unwinds each stack so
   // RAII cleanup runs). Idempotent; invoked by the destructor, public so
   // owners can tear processes down while their captured state still lives.
@@ -327,6 +349,17 @@ class Engine {
   void resume(Process* p);
   [[noreturn]] void throw_deadlock();
 
+  // True when the item can no longer dispatch (recycled/cancelled callback
+  // slot, finished process, stale epoch). Retires cancelled callback slots
+  // as a side effect, exactly like the old inline dispatch loop did.
+  bool item_stale(const QueueItem& item);
+  // Pops queue items until a non-stale one is found; false when drained.
+  bool pop_runnable(QueueItem* out);
+  // The dispatcher front end: without a hook, pop_runnable; with a hook,
+  // collect the same-timestamp runnable frontier, let the hook choose, and
+  // re-queue the rest with their original keys.
+  bool next_dispatch(QueueItem* out);
+
   EngineBackend backend_;
   std::size_t fiber_stack_bytes_;
   // The scheduler side of every fiber switch: the engine thread's own
@@ -344,6 +377,7 @@ class Engine {
   std::vector<std::uint32_t> cb_free_;
   AllocStats alloc_stats_;
   Process* current_ = nullptr;
+  BranchHook* hook_ = nullptr;
   FaultPlan* faults_ = nullptr;
   obs::Hub* obs_ = nullptr;
   std::binary_semaphore sched_sem_{0};  // kThreads handoff

@@ -1,0 +1,135 @@
+// Replay-based explicit-state exploration driver (DESIGN.md §4i).
+//
+// Fiber stacks cannot be checkpointed, so the explorer cannot fork the
+// simulation at a branch point the way a classical model checker forks its
+// state vector. Instead every explored path RE-RUNS the whole simulation
+// from scratch (SPIN would call this "stateless" search with a visited-set
+// assist): a ScriptedHook follows a prescribed choice prefix, then takes
+// defaults (dispatch -> frontier index 0, fault -> skip), recording every
+// branch point it passes. After the path completes, the Explorer expands
+// unexplored siblings of branch points whose pre-decision state was first
+// seen on this path, pushing one new prefix per sibling onto a DFS stack.
+//
+// State pruning is hash-based (Holzmann's bitstate caveat applies: an FNV
+// collision silently merges two distinct states and their successors are
+// missed — acceptable for the tiny configs mck targets, where the hash
+// space towers over the state count). The hash is supplied by the caller
+// (mck folds engine + transport + ScratchPad + heap state), keyed together
+// with the branch kind and fan-out so "same state, different choice menu"
+// stays distinct.
+//
+// Each path runs to completion even when it re-enters visited territory —
+// mid-run backtracking is impossible without checkpoints. Exhaustiveness
+// therefore means: every reachable (state, branch) pair within the limits
+// had all its outgoing choices either taken or scheduled.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/branch.hpp"
+
+namespace ntbshmem::sim {
+
+// One branch decision, as recorded and as replayed.
+struct Choice {
+  enum class Kind : std::uint8_t { kDispatch, kFault };
+  Kind kind = Kind::kDispatch;
+  std::uint32_t chosen = 0;   // dispatch: frontier index; fault: 1 = fire
+  std::uint32_t options = 0;  // dispatch: frontier size; fault: 2
+};
+
+// "d1.d0.f1" — dispatch index 1, dispatch index 0, fault fired. The
+// human-portable counterexample form printed by mck and accepted by
+// --replay.
+std::string format_script(const std::vector<Choice>& script);
+// Inverse of format_script; throws std::invalid_argument on malformed
+// input. Option counts are not encoded — replay rediscovers them.
+std::vector<Choice> parse_script(const std::string& text);
+
+// What the ScriptedHook captured at one branch point.
+struct BranchRecord {
+  Choice choice;
+  std::uint64_t state_key = 0;  // fnv(state_hash, kind, options)
+  bool fresh = false;           // first time this state_key was ever seen
+};
+
+// Follows a choice prefix, then defaults; records everything. One hook
+// instance is reused across paths via begin_path().
+class ScriptedHook : public BranchHook {
+ public:
+  using StateFn = std::function<std::uint64_t()>;
+
+  // Arms the hook for one path. `state_fn` is called at every branch point
+  // (before the decision) to hash the current simulation state; `visited`
+  // is the cross-path visited set the freshness bit is computed against
+  // (may be nullptr: every record reports fresh = false).
+  void begin_path(std::vector<Choice> prefix, StateFn state_fn,
+                  std::unordered_set<std::uint64_t>* visited);
+
+  std::size_t choose_dispatch(std::size_t n) override;
+  bool choose_fault(int site, const std::string& key) override;
+
+  const std::vector<Choice>& prefix() const { return prefix_; }
+  const std::vector<BranchRecord>& records() const { return records_; }
+  // The choices actually executed on this path (prefix + defaults).
+  std::vector<Choice> executed() const;
+
+ private:
+  std::uint32_t decide(Choice::Kind kind, std::uint32_t options);
+
+  std::vector<Choice> prefix_;
+  std::vector<BranchRecord> records_;
+  StateFn state_fn_;
+  std::unordered_set<std::uint64_t>* visited_ = nullptr;
+};
+
+// How one full path ended.
+struct PathOutcome {
+  enum class Status : std::uint8_t { kOk, kDeadlock, kViolation };
+  Status status = Status::kOk;
+  std::string detail;  // deadlock/violation diagnostic
+};
+
+struct Counterexample {
+  std::vector<Choice> script;  // the executed choices reproducing it
+  PathOutcome outcome;
+};
+
+struct ExploreLimits {
+  std::uint64_t max_paths = 1u << 20;
+  std::uint64_t max_states = 1u << 22;
+  // Branch records per path beyond which siblings are no longer expanded
+  // (the path itself still runs to completion).
+  std::size_t max_depth = 4096;
+  bool stop_at_first_violation = true;
+};
+
+struct ExploreReport {
+  std::uint64_t paths = 0;          // full paths executed
+  std::uint64_t states = 0;         // distinct (state, branch) keys seen
+  std::uint64_t branch_points = 0;  // total branch decisions executed
+  std::uint64_t violations = 0;
+  bool truncated = false;  // a limit cut the search short of exhaustion
+  std::vector<Counterexample> counterexamples;
+};
+
+// Bounded DFS over choice prefixes. The caller owns all simulation
+// machinery: `run_path` must (1) build a FRESH simulation, (2) arm `hook`
+// via begin_path with the given prefix and its own state function, (3)
+// install the hook (engine + fault plan), (4) run to completion, and (5)
+// report how the path ended. The Explorer never touches the simulation.
+class Explorer {
+ public:
+  using PathFn =
+      std::function<PathOutcome(ScriptedHook& hook, std::vector<Choice> prefix,
+                                std::unordered_set<std::uint64_t>* visited)>;
+
+  ExploreReport explore(const PathFn& run_path, const ExploreLimits& limits);
+};
+
+}  // namespace ntbshmem::sim

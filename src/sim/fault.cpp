@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "sim/branch.hpp"
 #include "sim/trace.hpp"
 
 namespace ntbshmem::sim {
@@ -70,6 +71,24 @@ bool FaultPlan::roll(Site site, const std::string& key, double prob) {
   return to_unit(splitmix64(stream(site, key))) < prob;
 }
 
+void FaultPlan::set_branch_hook(BranchHook* hook, std::uint32_t site_mask,
+                                int fire_budget) {
+  hook_ = hook;
+  hook_site_mask_ = site_mask;
+  fire_budget_ = fire_budget;
+  fires_used_ = 0;
+}
+
+bool FaultPlan::explore_decision(Site site, const std::string& key) {
+  if ((hook_site_mask_ & (1u << static_cast<unsigned>(site))) == 0) {
+    return false;
+  }
+  if (fires_used_ >= fire_budget_) return false;
+  if (!hook_->choose_fault(static_cast<int>(site), key)) return false;
+  ++fires_used_;
+  return true;
+}
+
 std::uint32_t FaultPlan::draw_mask(Site site, const std::string& key) {
   // Any nonzero XOR mask corrupts; force the low bit so a zero draw cannot
   // produce a no-op "corruption".
@@ -82,10 +101,17 @@ void FaultPlan::note(Time now, const std::string& message) {
 
 bool FaultPlan::drop_doorbell(Time now, const std::string& port, int bit) {
   const std::string key = port + ":" + std::to_string(bit);
-  const bool armed = take_one_shot(Site::kDoorbell, key);
-  if (!armed) {
+  if (hook_ != nullptr) {
+    // Mask check FIRST: a masked bit (barrier circulation) must not become
+    // a branch point — dropping it would be an unrecoverable false deadlock.
     if ((spec_.doorbell_drop_mask & (1u << bit)) == 0) return false;
-    if (!roll(Site::kDoorbell, key, spec_.doorbell_drop)) return false;
+    if (!explore_decision(Site::kDoorbell, key)) return false;
+  } else {
+    const bool armed = take_one_shot(Site::kDoorbell, key);
+    if (!armed) {
+      if ((spec_.doorbell_drop_mask & (1u << bit)) == 0) return false;
+      if (!roll(Site::kDoorbell, key, spec_.doorbell_drop)) return false;
+    }
   }
   ++stats_.doorbells_dropped;
   note(now, "doorbell drop " + key);
@@ -94,8 +120,10 @@ bool FaultPlan::drop_doorbell(Time now, const std::string& port, int bit) {
 
 bool FaultPlan::corrupt_scratchpad(Time now, const std::string& port, int reg,
                                    std::uint32_t* xor_mask) {
-  if (!take_one_shot(Site::kScratchpad, port) &&
-      !roll(Site::kScratchpad, port, spec_.scratchpad_corrupt)) {
+  if (hook_ != nullptr) {
+    if (!explore_decision(Site::kScratchpad, port)) return false;
+  } else if (!take_one_shot(Site::kScratchpad, port) &&
+             !roll(Site::kScratchpad, port, spec_.scratchpad_corrupt)) {
     return false;
   }
   *xor_mask = draw_mask(Site::kScratchpad, port);
@@ -105,8 +133,10 @@ bool FaultPlan::corrupt_scratchpad(Time now, const std::string& port, int reg,
 }
 
 bool FaultPlan::dma_descriptor_error(Time now, const std::string& port) {
-  if (!take_one_shot(Site::kDma, port) &&
-      !roll(Site::kDma, port, spec_.dma_error)) {
+  if (hook_ != nullptr) {
+    if (!explore_decision(Site::kDma, port)) return false;
+  } else if (!take_one_shot(Site::kDma, port) &&
+             !roll(Site::kDma, port, spec_.dma_error)) {
     return false;
   }
   ++stats_.dma_errors;
@@ -120,6 +150,16 @@ Dur FaultPlan::tlp_replay_penalty(Time now, const std::string& wire,
   const std::uint64_t payload = max_payload > 0 ? max_payload : 1;
   const std::uint64_t n_tlps = bytes == 0 ? 1 : (bytes + payload - 1) / payload;
   Dur penalty = 0;
+  if (hook_ != nullptr) {
+    // Explore mode: one branch per transfer (drop-and-replay or clean);
+    // the drop/corrupt distinction only differs in trace wording.
+    if (explore_decision(Site::kTlp, wire)) {
+      penalty = spec_.tlp_replay_ns;
+      ++stats_.tlp_replays;
+      note(now, "tlp drop replay " + wire);
+    }
+    return penalty;
+  }
   if (take_one_shot(Site::kTlp, wire) ||
       roll(Site::kTlp, wire, per_transfer_prob(spec_.tlp_drop, n_tlps))) {
     penalty += spec_.tlp_replay_ns;
@@ -136,8 +176,10 @@ Dur FaultPlan::tlp_replay_penalty(Time now, const std::string& wire,
 
 Dur FaultPlan::irq_delivery_delay(Time now, const std::string& controller,
                                   int vector) {
-  if (!take_one_shot(Site::kIrq, controller) &&
-      !roll(Site::kIrq, controller, spec_.irq_delay)) {
+  if (hook_ != nullptr) {
+    if (!explore_decision(Site::kIrq, controller)) return 0;
+  } else if (!take_one_shot(Site::kIrq, controller) &&
+             !roll(Site::kIrq, controller, spec_.irq_delay)) {
     return 0;
   }
   ++stats_.irq_delays;

@@ -29,6 +29,7 @@
 
 namespace ntbshmem::sim {
 
+class BranchHook;
 class TraceRecorder;
 
 // One scheduled cable outage: link index `link` goes down at `down_at` and
@@ -111,6 +112,24 @@ class FaultPlan {
   // tlp -> "<wire>" (e.g. "link0-1.a2b"); irq -> "<controller>".
   void arm_one_shot(Site site, const std::string& key, int count = 1);
 
+  // ---- Exploration mode (sim/branch.hpp, tools/mck) -------------------------
+  // Routes every eligible decision through `hook` instead of the seeded
+  // probability roll / one-shot ladder, turning each fault site into an
+  // explicit branch point. `site_mask` has bit (1u << Site) set for each
+  // site eligible to branch (ineligible sites never fire and never consult
+  // the hook); `fire_budget` bounds the number of firings per run — once
+  // exhausted, remaining decisions skip without consulting the hook, which
+  // keeps the explored tree finite. The doorbell drop mask still applies
+  // *before* the hook, so masked bits (the barrier-circulation bits the
+  // runtime clears) never become branch points. nullptr detaches and
+  // restores the seeded behavior.
+  void set_branch_hook(BranchHook* hook, std::uint32_t site_mask,
+                       int fire_budget);
+  BranchHook* branch_hook() const { return hook_; }
+  // Firings consumed from the budget on the current run (reset by
+  // set_branch_hook).
+  int fires_used() const { return fires_used_; }
+
   // ---- Decision sites (called by the hardware models) -----------------------
   // True => this doorbell ring is silently lost.
   bool drop_doorbell(Time now, const std::string& port, int bit);
@@ -134,6 +153,10 @@ class FaultPlan {
   // Uniform [0,1) draw from the (site, key) stream; prob <= 0 short-circuits
   // to false without creating or advancing the stream.
   bool roll(Site site, const std::string& key, double prob);
+  // Explore-mode decision for (site, key): false when the site is masked
+  // out or the fire budget is spent; otherwise whatever the hook chooses
+  // (a firing consumes one budget unit).
+  bool explore_decision(Site site, const std::string& key);
   bool take_one_shot(Site site, const std::string& key);
   std::uint64_t& stream(Site site, const std::string& key);
   std::uint32_t draw_mask(Site site, const std::string& key);
@@ -142,6 +165,10 @@ class FaultPlan {
   std::uint64_t seed_;
   FaultSpec spec_;
   TraceRecorder* trace_ = nullptr;
+  BranchHook* hook_ = nullptr;  // explore mode when non-null
+  std::uint32_t hook_site_mask_ = 0;
+  int fire_budget_ = 0;
+  int fires_used_ = 0;
   std::unordered_map<std::uint64_t, std::uint64_t> streams_;
   std::unordered_map<std::uint64_t, int> one_shots_;
   FaultStats stats_;

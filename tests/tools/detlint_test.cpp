@@ -43,7 +43,10 @@ std::vector<int> lines_of(const std::vector<detlint::Diagnostic>& diags,
 TEST(DetlintWallclock, CatchesEveryEntropySource) {
   const auto diags = lint({"wallclock_violation.cc"});
   EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"),
-            (std::vector<int>{8, 11, 13, 14, 15, 17}));
+            (std::vector<int>{8, 11, 13}));
+  // rand/srand/random_device moved to the dedicated no-unseeded-rng rule.
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"),
+            (std::vector<int>{14, 15, 17}));
   EXPECT_EQ(diags.size(), 6u) << detlint::render_text(diags);
 }
 
@@ -61,12 +64,40 @@ TEST(DetlintWallclock, BadSuppressionsAreDiagnosedAndDoNotSuppress) {
   const auto diags = lint({"wallclock_bad_suppression.cc"});
   // The unjustified allow leaves the rand() finding live AND reports the
   // bad suppression; the bogus rule id is reported separately.
-  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{6}));
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{6}));
   EXPECT_EQ(lines_of(diags, "suppression-missing-justification"),
             (std::vector<int>{6}));
   EXPECT_EQ(lines_of(diags, "suppression-unknown-rule"),
             (std::vector<int>{10}));
   EXPECT_EQ(diags.size(), 3u) << detlint::render_text(diags);
+}
+
+TEST(DetlintWallclock, DirectiveLookalikesAreNeitherParsedNorSuppressing) {
+  const auto diags = lint({"suppression_lookalikes.cc"});
+  // The angle-bracket doc placeholders and the in-string marker produce no
+  // bad-suppression diagnostics, and the in-string marker (directly above
+  // the rand() call) suppresses nothing.
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{15}));
+  EXPECT_EQ(diags.size(), 1u) << detlint::render_text(diags);
+}
+
+// ---- no-unseeded-rng ---------------------------------------------------------
+
+TEST(DetlintRng, CatchesSyscallAndLibraryEntropySources) {
+  const auto diags = lint({"rng_violation.cc"});
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"),
+            (std::vector<int>{8, 11, 12, 14, 15, 18, 19}));
+  EXPECT_EQ(diags.size(), 7u) << detlint::render_text(diags);
+}
+
+TEST(DetlintRng, SilentOnSeededStreamsAndLookalikes) {
+  const auto diags = lint({"rng_clean.cc"});
+  EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
+}
+
+TEST(DetlintRng, SuppressedWithJustification) {
+  const auto diags = lint({"rng_suppressed.cc"});
+  EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
 }
 
 // ---- no-unordered-iteration ------------------------------------------------
@@ -166,8 +197,8 @@ TEST(DetlintRoutingTable, SilentOnFlatTablesAndSeededMix) {
 TEST(DetlintFiberSched, CatchesPoolGlobalsTlsAndWallclockSeeds) {
   const auto diags = lint({"fiber_sched_violation.cc"});
   EXPECT_EQ(lines_of(diags, "no-mutable-static"), (std::vector<int>{11, 12}));
-  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"),
-            (std::vector<int>{16, 18}));
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{16}));
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{18}));
   EXPECT_EQ(diags.size(), 4u) << detlint::render_text(diags);
 }
 
@@ -186,8 +217,8 @@ TEST(DetlintWorkload, CatchesWallclockArrivalsAndHashOrderShardDrains) {
   // sampled from the wall clock (src/workload samples from seeded splitmix64
   // streams instead) and KV shard maps drained in hash order.
   const auto diags = lint({"workload_traffic_violation.cc"});
-  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"),
-            (std::vector<int>{11, 13}));
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{11}));
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{13}));
   EXPECT_EQ(lines_of(diags, "no-unordered-iteration"),
             (std::vector<int>{21, 24}));
   EXPECT_EQ(diags.size(), 4u) << detlint::render_text(diags);
@@ -272,8 +303,9 @@ TEST(DetlintReport, CatalogueNamesAreStable) {
   std::vector<std::string> ids;
   for (const auto& r : detlint::rule_catalogue()) ids.push_back(r.id);
   EXPECT_EQ(ids, (std::vector<std::string>{
-                     "no-wallclock-entropy", "no-unordered-iteration",
-                     "no-pointer-keys", "no-mutable-static"}));
+                     "no-wallclock-entropy", "no-unseeded-rng",
+                     "no-unordered-iteration", "no-pointer-keys",
+                     "no-mutable-static"}));
 }
 
 }  // namespace

@@ -1,0 +1,21 @@
+// Fixture: seeded-randomness look-alikes the no-unseeded-rng rule must
+// stay silent on — the shapes sim/fault.cpp and src/workload actually use.
+#include <cstdint>
+
+struct SplitMix {
+  std::uint64_t state;  // seeded from RuntimeOptions::fault_seed
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    return z ^ (z >> 31);
+  }
+};
+
+// operand1 / is_random / stranded are not rand(.
+std::uint64_t operand1 = 17;
+bool is_random(std::uint64_t v) { return (v & 1) != 0; }
+int stranded(int n) { return n; }
+
+// Naming a banned source in a comment or string is fine:
+// rand() and getentropy belong to the host, not the model.
+const char* kDoc = "seeded streams replace rand() and getrandom()";

@@ -1,0 +1,20 @@
+// Fixture: the unseeded/OS randomness sources the no-unseeded-rng rule
+// bans, one per line (rand/srand/random_device live in the wallclock
+// fixture's history; this one adds the syscall-level sources).
+#include <cstdlib>
+#include <random>
+
+unsigned g1() {
+  std::random_device rd;  // line 8
+  return rd();
+}
+int g2() { return rand(); }  // line 11
+void g3() { srand(7); }      // line 12
+long g4(void* buf) {
+  extern long getrandom(void*, unsigned long, unsigned);  // line 14
+  return getrandom(buf, 8, 0);                            // line 15
+}
+int g5(void* buf) {
+  extern int getentropy(void*, unsigned long);  // line 18
+  return getentropy(buf, 8);                    // line 19
+}

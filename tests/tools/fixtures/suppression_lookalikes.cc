@@ -1,0 +1,16 @@
+// Fixture: directive look-alikes that must NOT be parsed as suppressions —
+// the marker inside a string literal (a linter printing its own syntax)
+// and documentation placeholders in angle brackets. None of these may
+// produce a bad-suppression diagnostic, and none of them may suppress.
+#include <cstdlib>
+
+// Documentation of the syntax, placeholder in angle brackets:
+//   // detlint:allow(<rule-id>): why this site is safe
+//   // detlint:allow-file(<rule-id>): why this file opts out
+
+int still_caught() {
+  // The marker inside a string literal is output text, not a directive —
+  // if it were parsed, it would cover the rand() on the very next line.
+  const char* usage = "detlint:allow(no-unseeded-rng): string, not comment";
+  return rand() + static_cast<int>(usage[0]);
+}

@@ -3,7 +3,7 @@
 #include <cstdlib>
 
 int no_justification() {
-  return rand();  // detlint:allow(no-wallclock-entropy)
+  return rand();  // detlint:allow(no-unseeded-rng)
 }
 
 int unknown_rule() {

@@ -2,10 +2,10 @@
 #include <cstdlib>
 
 int same_line() {
-  return rand();  // detlint:allow(no-wallclock-entropy): fixture exercises same-line allow
+  return rand();  // detlint:allow(no-unseeded-rng): fixture exercises same-line allow
 }
 
 int line_above() {
-  // detlint:allow(no-wallclock-entropy): fixture exercises line-above allow
+  // detlint:allow(no-unseeded-rng): fixture exercises line-above allow
   return rand();
 }

@@ -172,6 +172,36 @@ std::string trim(const std::string& s) {
   return s.substr(a, b - a + 1);
 }
 
+// True when `pos` falls inside a double-quoted string literal, judged by
+// counting unescaped quotes earlier on the line. Directives live in
+// comments; a marker inside a string (e.g. a linter printing its own
+// syntax in a diagnostic message) is output text, not a suppression.
+bool inside_string_literal(const std::string& line, std::size_t pos) {
+  bool in_string = false;
+  for (std::size_t i = 0; i < pos && i < line.size(); ++i) {
+    if (line[i] == '\\' && in_string) {
+      ++i;  // skip the escaped character
+    } else if (line[i] == '"') {
+      in_string = !in_string;
+    }
+  }
+  return in_string;
+}
+
+// A real directive names kebab-case rules. Anything else — angle-bracket
+// placeholders in documentation, prose that happens to end in ")" — is not
+// a suppression and must not be diagnosed as a malformed one. A typo here
+// simply fails to suppress, so the underlying diagnostic still surfaces.
+bool plausible_rule_list(const std::string& rule_list) {
+  if (trim(rule_list).empty()) return false;
+  for (char c : rule_list) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '-' || c == ',' || c == ' ' || c == '\t';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 Suppressions collect_suppressions(const Source& src) {
   Suppressions sup;
   static const std::regex re(
@@ -183,6 +213,10 @@ Suppressions collect_suppressions(const Source& src) {
     for (auto it = begin; it != std::sregex_iterator(); ++it) {
       const bool file_wide = (*it)[1].matched;
       const std::string rule_list = (*it)[2].str();
+      if (inside_string_literal(line, static_cast<std::size_t>(it->position(0))) ||
+          !plausible_rule_list(rule_list)) {
+        continue;
+      }
       // The justification is the text after "): " to end of line.
       const std::size_t after = static_cast<std::size_t>(it->position(0)) +
                                 static_cast<std::size_t>(it->length(0));
@@ -252,11 +286,6 @@ const std::vector<Pattern>& wallclock_patterns() {
     add(R"((^|[^\w.:>])clock\s*\()", "clock()");
     add(R"(\bgettimeofday\b)", "gettimeofday()");
     add(R"(\bclock_gettime\b)", "clock_gettime()");
-    add(R"(\brand\s*\()", "rand()");
-    add(R"(\bsrand\s*\()", "srand()");
-    add(R"(\brandom_device\b)", "std::random_device");
-    add(R"(\bgetrandom\b)", "getrandom()");
-    add(R"(\bgetentropy\b)", "getentropy()");
     return v;
   }();
   return pats;
@@ -274,6 +303,46 @@ void check_wallclock(const Source& src, std::vector<Diagnostic>& out) {
                            " is a wall-clock/entropy source; sim code must "
                            "derive all times and randomness from the engine "
                            "clock and seeded streams"});
+      }
+    }
+  }
+}
+
+// ---- Rule: no-unseeded-rng -------------------------------------------------
+
+// Unseeded / OS-entropy randomness. Split out of no-wallclock-entropy so a
+// workload that legitimately needs a clock (never) and one that needs a
+// scratch RNG justify different things: every random stream in sim-visible
+// code must be seeded from RuntimeOptions/FaultSpec so a run is replayable
+// from its seed alone.
+const std::vector<Pattern>& rng_patterns() {
+  static const std::vector<Pattern> pats = [] {
+    std::vector<Pattern> v;
+    auto add = [&v](const char* re, const char* what) {
+      v.push_back({std::regex(re), what});
+    };
+    add(R"(\brand\s*\()", "rand()");
+    add(R"(\bsrand\s*\()", "srand()");
+    add(R"(\brandom_device\b)", "std::random_device");
+    add(R"(\bgetrandom\b)", "getrandom()");
+    add(R"(\bgetentropy\b)", "getentropy()");
+    return v;
+  }();
+  return pats;
+}
+
+void check_rng(const Source& src, std::vector<Diagnostic>& out) {
+  for (std::size_t li = 0; li < src.code_lines.size(); ++li) {
+    const std::string& line = src.code_lines[li];
+    if (line.empty()) continue;
+    for (const auto& p : rng_patterns()) {
+      if (std::regex_search(line, p.re)) {
+        out.push_back({"no-unseeded-rng", src.path, static_cast<int>(li) + 1,
+                       p.what +
+                           " draws unseeded/OS randomness; sim code must use "
+                           "a deterministic generator seeded from "
+                           "RuntimeOptions (fault_seed, splitmix streams) so "
+                           "every run replays from its seed"});
       }
     }
   }
@@ -475,8 +544,11 @@ std::string next_json_string(const std::string& text, std::size_t& pos) {
 const std::vector<RuleInfo>& rule_catalogue() {
   static const std::vector<RuleInfo> rules = {
       {"no-wallclock-entropy",
-       "no wall-clock or entropy sources (system_clock, time(), rand(), "
-       "std::random_device, ...) in sim-visible code"},
+       "no wall-clock sources (system_clock, time(), clock_gettime, ...) in "
+       "sim-visible code"},
+      {"no-unseeded-rng",
+       "no unseeded/OS randomness (rand(), srand(), std::random_device, "
+       "getrandom, getentropy); seed every stream from RuntimeOptions"},
       {"no-unordered-iteration",
        "no iteration over std::unordered_map/unordered_set; use "
        "common/sorted.hpp snapshots"},
@@ -503,6 +575,7 @@ std::vector<Diagnostic> run_rules(const std::vector<std::string>& files) {
     const Suppressions sup = collect_suppressions(src);
     std::vector<Diagnostic> local;
     check_wallclock(src, local);
+    check_rng(src, local);
     check_unordered_iteration(src, unordered_names, local);
     check_pointer_keys(src, local);
     check_mutable_static(src, local);

@@ -9,16 +9,21 @@
 // are expected occasionally and are silenced with an inline suppression
 // that *must* carry a justification:
 //
-//   // detlint:allow(rule-id): why this site is safe
+//   // detlint:allow(<rule-id>): why this site is safe
 //
 // placed on the offending line or the line directly above. A whole file
-// opts out of one rule with `// detlint:allow-file(rule-id): why` anywhere
-// in the file. A suppression without a justification, or naming an unknown
-// rule, is itself a diagnostic — the suppression inventory stays honest.
+// opts out of one rule with `// detlint:allow-file(<rule-id>): why`
+// anywhere in the file. (The angle brackets mark the placeholder; a real
+// directive writes the bare rule id.) A suppression without a
+// justification, or naming an unknown rule, is itself a diagnostic — the
+// suppression inventory stays honest.
 //
 // Rule catalogue (rationale lives in DESIGN.md §4d):
-//   no-wallclock-entropy    wall-clock/entropy sources (system_clock, time(),
-//                           rand(), std::random_device, ...) in sim code
+//   no-wallclock-entropy    wall-clock time sources (system_clock, time(),
+//                           gettimeofday, ...) in sim code
+//   no-unseeded-rng         unseeded/OS randomness (rand(),
+//                           std::random_device, getrandom, ...); use a
+//                           generator seeded from RuntimeOptions
 //   no-unordered-iteration  iterating std::unordered_{map,set} (hash order is
 //                           not deterministic across histories/libraries);
 //                           use common/sorted.hpp snapshots instead

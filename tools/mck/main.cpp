@@ -1,0 +1,181 @@
+// mck CLI: bounded-exhaustive model checking of tiny ntbshmem configs.
+//
+// Exit codes: 0 = exhaustive and clean, 1 = violation found (counterexample
+// printed, artifact written when --trace-out is given), 2 = usage error,
+// 3 = search truncated by a limit without finding a violation (NOT a proof).
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <stdexcept>
+#include <string>
+
+#include "mck.hpp"
+
+namespace {
+
+void usage(std::ostream& out) {
+  out << "usage: mck [options]\n"
+         "  --model=NAME        put_barrier | notify (default put_barrier)\n"
+         "  --config=NAME       paper2 | paper3 | allon3 (default paper2)\n"
+         "  --seed-bug          arm the planted ack-before-write mutation\n"
+         "  --fault-budget=N    max faults fired per path (default 0)\n"
+         "  --fault-sites=CSV   doorbell,scratchpad,dma,tlp,irq subset\n"
+         "                      (default doorbell,tlp)\n"
+         "  --max-paths=N       path budget (default 1048576)\n"
+         "  --max-states=N      visited-state budget (default 4194304)\n"
+         "  --max-depth=N       branch-expansion depth cap (default 4096)\n"
+         "  --keep-going        collect every violation, not just the first\n"
+         "  --trace-out=FILE    write counterexample ntbshmem-trace-v1 here\n"
+         "  --replay=SCRIPT     run one scripted path (e.g. d1.d0.f1; - for\n"
+         "                      all-defaults) instead of searching\n"
+         "  --list              print known models and configs\n";
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  try {
+    std::size_t pos = 0;
+    *out = std::stoull(text, &pos);
+    return pos == text.size();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ntbshmem::mck::CheckOptions opts;
+  std::string trace_path;
+  std::string replay_script;
+  bool have_replay = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&arg](const char* prefix) {
+      return arg.substr(std::string(prefix).size());
+    };
+    std::uint64_t n = 0;
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else if (arg == "--list") {
+      std::cout << "models:";
+      for (const std::string& m : ntbshmem::mck::model_names()) {
+        std::cout << ' ' << m;
+      }
+      std::cout << "\nconfigs:";
+      for (const std::string& c : ntbshmem::mck::config_names()) {
+        std::cout << ' ' << c;
+      }
+      std::cout << '\n';
+      return 0;
+    } else if (arg.rfind("--model=", 0) == 0) {
+      opts.model = value("--model=");
+    } else if (arg.rfind("--config=", 0) == 0) {
+      opts.config = value("--config=");
+    } else if (arg == "--seed-bug") {
+      opts.seed_bug = true;
+    } else if (arg.rfind("--fault-budget=", 0) == 0) {
+      if (!parse_u64(value("--fault-budget="), &n)) {
+        std::cerr << "mck: bad --fault-budget\n";
+        return 2;
+      }
+      opts.fault_budget = static_cast<int>(n);
+    } else if (arg.rfind("--fault-sites=", 0) == 0) {
+      try {
+        opts.fault_site_mask =
+            ntbshmem::mck::parse_fault_sites(value("--fault-sites="));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << '\n';
+        return 2;
+      }
+    } else if (arg.rfind("--max-paths=", 0) == 0) {
+      if (!parse_u64(value("--max-paths="), &opts.limits.max_paths)) {
+        std::cerr << "mck: bad --max-paths\n";
+        return 2;
+      }
+    } else if (arg.rfind("--max-states=", 0) == 0) {
+      if (!parse_u64(value("--max-states="), &opts.limits.max_states)) {
+        std::cerr << "mck: bad --max-states\n";
+        return 2;
+      }
+    } else if (arg.rfind("--max-depth=", 0) == 0) {
+      if (!parse_u64(value("--max-depth="), &n)) {
+        std::cerr << "mck: bad --max-depth\n";
+        return 2;
+      }
+      opts.limits.max_depth = static_cast<std::size_t>(n);
+    } else if (arg == "--keep-going") {
+      opts.limits.stop_at_first_violation = false;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_path = value("--trace-out=");
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_script = value("--replay=");
+      have_replay = true;
+    } else {
+      std::cerr << "mck: unknown option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+
+  try {
+    if (have_replay) {
+      std::ofstream trace_file;
+      std::ostream* trace_out = nullptr;
+      if (!trace_path.empty()) {
+        trace_file.open(trace_path);
+        if (!trace_file) {
+          std::cerr << "mck: cannot open " << trace_path << '\n';
+          return 2;
+        }
+        trace_out = &trace_file;
+      }
+      std::uint64_t digest = 0;
+      std::uint64_t dispatches = 0;
+      const ntbshmem::sim::PathOutcome out = ntbshmem::mck::replay(
+          opts, replay_script, trace_out, &digest, &dispatches);
+      const bool bad = out.status != ntbshmem::sim::PathOutcome::Status::kOk;
+      std::cout << "mck: replay script=" << replay_script << " outcome="
+                << (bad ? (out.status ==
+                                   ntbshmem::sim::PathOutcome::Status::kDeadlock
+                               ? "deadlock"
+                               : "violation")
+                        : "ok")
+                << " digest=0x" << std::hex << digest << std::dec
+                << " dispatches=" << dispatches << '\n';
+      if (bad) {
+        std::cout << "mck: detail: " << out.detail << '\n';
+      }
+      if (trace_out != nullptr) {
+        std::cout << "mck: trace artifact written to " << trace_path << '\n';
+      }
+      return bad ? 1 : 0;
+    }
+
+    const ntbshmem::mck::CheckResult result =
+        ntbshmem::mck::check(opts, std::cout);
+    if (result.report.violations > 0) {
+      if (!trace_path.empty()) {
+        std::ofstream trace_file(trace_path);
+        if (!trace_file) {
+          std::cerr << "mck: cannot open " << trace_path << '\n';
+          return 2;
+        }
+        ntbshmem::mck::replay(opts, result.script, &trace_file, nullptr,
+                              nullptr);
+        std::cout << "mck: trace artifact written to " << trace_path << '\n';
+      }
+      return 1;
+    }
+    if (result.report.truncated) {
+      std::cout << "mck: INCONCLUSIVE — limits truncated the search\n";
+      return 3;
+    }
+    std::cout << "mck: PASS — exhaustive, no violations\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "mck: error: " << e.what() << '\n';
+    return 2;
+  }
+}
