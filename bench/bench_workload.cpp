@@ -6,6 +6,11 @@
 //
 // Flags (stripped before google-benchmark sees argv):
 //   --scenario=kv|stencil|allreduce|all   what to run (default all)
+//   --backend=sim|shm                     data-path backend (default sim);
+//                                         shm runs each PE as a real forked
+//                                         process over a POSIX shared-memory
+//                                         heap and reports wall-clock
+//                                         latencies ("clock": "wall")
 //   --hosts=N                             PE/host count (default 16)
 //   --seed=S                              workload seed (default 42)
 //   --requests=N                          KV requests per PE (default 16384)
@@ -48,6 +53,7 @@ namespace {
 
 struct Cli {
   std::string scenario = "all";
+  std::string backend = "sim";
   int hosts = 16;
   std::uint64_t seed = 42;
   std::uint64_t requests = 16384;
@@ -73,6 +79,8 @@ void parse_cli(int* argc, char** argv) {
     };
     if (arg.rfind("--scenario=", 0) == 0) {
       g_cli.scenario = std::string(val("--scenario="));
+    } else if (arg.rfind("--backend=", 0) == 0) {
+      g_cli.backend = std::string(val("--backend="));
     } else if (arg.rfind("--hosts=", 0) == 0) {
       g_cli.hosts = std::stoi(std::string(val("--hosts=")));
     } else if (arg.rfind("--seed=", 0) == 0) {
@@ -114,11 +122,29 @@ void torus_shape(int n, int* rows, int* cols) {
   *cols = n / r;
 }
 
-shmem::RuntimeOptions make_options(int hosts, const std::string& topology,
+shmem::RuntimeOptions make_options(const std::string& backend, int hosts,
+                                   const std::string& topology,
                                    const std::string& tuning,
                                    const std::string& fault_plan) {
   shmem::RuntimeOptions opts;
   opts.npes = hosts;
+
+  if (backend == "shm") {
+    // Real forked processes over the POSIX shared-memory segment: no
+    // simulated fabric, so the topology/tuning/fault knobs do not apply.
+    if (fault_plan != "none") {
+      throw std::invalid_argument(
+          "--fault-plan requires --backend=sim (the shm backend has no "
+          "simulated fabric to inject faults into)");
+    }
+    opts.backend = ntbshmem::backend::Kind::kShm;
+    ObsCli::instance().apply(opts);
+    return opts;
+  }
+  if (backend != "sim") {
+    throw std::invalid_argument("unknown --backend=" + backend);
+  }
+
   opts.link_dma_rates_Bps.clear();  // uniform links for clean utilization
   opts.schedule_digest = true;      // pin every artifact to its schedule
 
@@ -245,8 +271,8 @@ std::vector<std::string> scenario_list() {
 void run_single() {
   for (const std::string& sc : scenario_list()) {
     const workload::SloReport r = run_one(
-        sc, make_options(g_cli.hosts, g_cli.topology, g_cli.tuning,
-                         g_cli.fault_plan),
+        sc, make_options(g_cli.backend, g_cli.hosts, g_cli.topology,
+                         g_cli.tuning, g_cli.fault_plan),
         g_cli);
     print_report(r);
     write_report(r, g_cli.out_prefix + "." + sc + ".json");
@@ -256,6 +282,11 @@ void run_single() {
 // Reduced-size grid over topology x tuning x fault-plan. Each cell's
 // artifact is self-describing, so the sweep is just many single runs.
 void run_sweep() {
+  if (g_cli.backend != "sim") {
+    throw std::invalid_argument(
+        "--sweep grids over topology x tuning x fault-plan, which only the "
+        "sim backend has; drop --backend=" + g_cli.backend);
+  }
   Cli small = g_cli;
   small.requests = std::min<std::uint64_t>(small.requests, 512);
   small.iterations = std::min(small.iterations, 8);
@@ -264,8 +295,8 @@ void run_sweep() {
     for (const char* tune : {"paper", "pipelined"}) {
       for (const char* plan : {"none", "drop"}) {
         for (const std::string& sc : scenario_list()) {
-          const workload::SloReport r =
-              run_one(sc, make_options(small.hosts, topo, tune, plan), small);
+          const workload::SloReport r = run_one(
+              sc, make_options("sim", small.hosts, topo, tune, plan), small);
           print_report(r);
           write_report(r, std::string(g_cli.out_prefix) + "." + sc + "." +
                               topo + "." + tune + "." + plan + ".json");
@@ -281,7 +312,7 @@ void BM_WorkloadKv16(benchmark::State& state) {
   for (auto _ : state) {
     Cli cli;
     cli.requests = 128;
-    shmem::Runtime rt(make_options(16, "ring", "pipelined", "none"));
+    shmem::Runtime rt(make_options("sim", 16, "ring", "pipelined", "none"));
     workload::KvSpec spec;
     spec.traffic = make_traffic(cli);
     const workload::ScenarioReport run = workload::run_kv(rt, spec, cli.seed);

@@ -37,7 +37,13 @@ if [[ ! -x "$DETLINT" ]]; then
   cmake --build "$BUILD_DIR" --target detlint -j >/dev/null
 fi
 echo "lint: detlint (determinism rules) over src/ and tools/"
+# src/backend/shm is the real-process backend: PEs are fork()ed OS
+# processes clocked by CLOCK_MONOTONIC that sleep in futexes, so the
+# wall-clock ban is exempted for that subtree only (DESIGN.md §4j). Every
+# other rule still applies there, and the exemption inventory lands in the
+# JSON report.
 "$DETLINT" --compdb "$COMPDB" --include src --include tools \
+  --exempt "src/backend/shm:no-wallclock-entropy:real-process backend is wall-clocked and futex-paced by design (DESIGN.md §4j)" \
   --report "$BUILD_DIR/detlint-report.json"
 
 # ---- Stage 2: clang-tidy ----------------------------------------------------

@@ -1,0 +1,63 @@
+// Futex doorbells for the shared-memory backend (DESIGN.md §4j).
+//
+// Every doorbell is a 32-bit word in the mmap'ed segment. Waiters pass the
+// value they last observed; the kernel blocks them only while the word still
+// holds that value, so a bump-then-wake on the producer side can never be
+// missed (the classic futex protocol). All waits are *bounded* — the caller
+// supplies a timeout slice and re-checks its predicate plus the segment's
+// abort flag on every return — which is what turns a dead peer into a clean
+// error instead of a hang (the liveness watchdog sets the abort flag and
+// wakes every word).
+//
+// On non-Linux hosts there is no futex syscall; the fallback sleeps in
+// short slices and re-checks the word, trading wakeup latency for
+// portability. The protocol above is unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include <time.h>  // NOLINT: clock_gettime/nanosleep (POSIX, not <ctime>)
+
+#ifdef __linux__
+#include <linux/futex.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#endif
+
+namespace ntbshmem::backend {
+
+// Blocks while *addr == expected, for at most timeout_ns. Returns after a
+// wake, a value change, a signal or the timeout — callers always re-check
+// their predicate, so spurious returns are harmless.
+inline void futex_wait(std::uint32_t* addr, std::uint32_t expected,
+                       std::int64_t timeout_ns) {
+#ifdef __linux__
+  timespec ts;
+  ts.tv_sec = static_cast<time_t>(timeout_ns / 1'000'000'000);
+  ts.tv_nsec = static_cast<long>(timeout_ns % 1'000'000'000);
+  syscall(SYS_futex, addr, FUTEX_WAIT, expected, &ts, nullptr, 0);
+#else
+  // Poll fallback: sleep one short slice unless the word already moved.
+  if (__atomic_load_n(addr, __ATOMIC_ACQUIRE) != expected) return;
+  const std::int64_t slice =
+      timeout_ns < 1'000'000 ? timeout_ns : std::int64_t{1'000'000};
+  timespec ts;
+  ts.tv_sec = 0;
+  ts.tv_nsec = static_cast<long>(slice);
+  nanosleep(&ts, nullptr);
+#endif
+}
+
+// Wakes up to `count` waiters blocked on addr (INT32_MAX = everyone).
+inline void futex_wake(std::uint32_t* addr, int count) {
+#ifdef __linux__
+  syscall(SYS_futex, addr, FUTEX_WAKE, count, nullptr, nullptr, 0);
+#else
+  (void)addr;
+  (void)count;  // poll fallback: waiters notice the word change on their own
+#endif
+}
+
+}  // namespace ntbshmem::backend

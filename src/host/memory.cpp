@@ -3,17 +3,20 @@
 namespace ntbshmem::host {
 
 MemoryArena::MemoryArena(std::uint64_t capacity_bytes, std::string name)
-    : name_(std::move(name)), storage_(capacity_bytes) {}
+    : name_(std::move(name)), storage_(capacity_bytes), mem_(storage_) {}
+
+MemoryArena::MemoryArena(std::span<std::byte> view, std::string name)
+    : name_(std::move(name)), mem_(view) {}
 
 Region MemoryArena::allocate(std::uint64_t size, std::uint64_t align) {
   if (align == 0 || (align & (align - 1)) != 0) {
     throw std::invalid_argument("MemoryArena alignment must be a power of 2");
   }
   const std::uint64_t start = (next_ + align - 1) & ~(align - 1);
-  if (size > storage_.size() || start > storage_.size() - size) {
+  if (size > mem_.size() || start > mem_.size() - size) {
     throw OutOfMemory(name_ + ": cannot allocate " + std::to_string(size) +
                       " bytes (used " + std::to_string(next_) + "/" +
-                      std::to_string(storage_.size()) + ")");
+                      std::to_string(mem_.size()) + ")");
   }
   next_ = start + size;
   return Region{start, size};
@@ -21,8 +24,8 @@ Region MemoryArena::allocate(std::uint64_t size, std::uint64_t align) {
 
 void MemoryArena::check(const Region& region, std::uint64_t offset,
                         std::uint64_t len) const {
-  if (region.offset > storage_.size() ||
-      region.size > storage_.size() - region.offset) {
+  if (region.offset > mem_.size() ||
+      region.size > mem_.size() - region.offset) {
     throw std::out_of_range(name_ + ": region outside arena");
   }
   if (offset > region.size || len > region.size - offset) {
@@ -45,15 +48,14 @@ std::span<std::byte> MemoryArena::bytes(const Region& region,
                                         std::uint64_t offset,
                                         std::uint64_t len) {
   check(region, offset, len);
-  return std::span<std::byte>(storage_.data() + region.offset + offset, len);
+  return mem_.subspan(region.offset + offset, len);
 }
 
 std::span<const std::byte> MemoryArena::bytes(const Region& region,
                                               std::uint64_t offset,
                                               std::uint64_t len) const {
   check(region, offset, len);
-  return std::span<const std::byte>(storage_.data() + region.offset + offset,
-                                    len);
+  return std::span<const std::byte>(mem_).subspan(region.offset + offset, len);
 }
 
 }  // namespace ntbshmem::host

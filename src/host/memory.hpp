@@ -32,10 +32,16 @@ class MemoryArena {
  public:
   explicit MemoryArena(std::uint64_t capacity_bytes, std::string name = "ram");
 
+  // View mode: the arena carves regions out of externally owned storage
+  // instead of allocating its own — how the shm backend places each PE's
+  // symmetric heap inside the mmap'ed segment (DESIGN.md §4j). The view
+  // must outlive the arena; the arena never frees or grows it.
+  explicit MemoryArena(std::span<std::byte> view, std::string name = "view");
+
   // Bump-allocates `size` bytes at `align` alignment. Throws OutOfMemory.
   Region allocate(std::uint64_t size, std::uint64_t align = 64);
 
-  std::uint64_t capacity() const { return storage_.size(); }
+  std::uint64_t capacity() const { return mem_.size(); }
   std::uint64_t used() const { return next_; }
 
   // Raw access to a region's bytes (bounds-checked).
@@ -52,7 +58,8 @@ class MemoryArena {
              std::uint64_t len) const;
 
   std::string name_;
-  std::vector<std::byte> storage_;
+  std::vector<std::byte> storage_;  // owned mode only (view mode: empty)
+  std::span<std::byte> mem_;        // = storage_ (owned) or the external view
   std::uint64_t next_ = 0;
 };
 

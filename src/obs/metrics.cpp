@@ -54,6 +54,24 @@ std::uint64_t Histogram::percentile(double q) const {
   return percentile_from_buckets(buckets, count_, min(), max_, q);
 }
 
+void Histogram::absorb(const Histogram& other) {
+  absorb(other.buckets_, kBuckets, other.count_, other.sum_, other.min(),
+         other.max_);
+}
+
+void Histogram::absorb(const std::uint64_t* buckets, std::size_t nbuckets,
+                       std::uint64_t count, std::uint64_t sum,
+                       std::uint64_t min, std::uint64_t max) {
+  if (count == 0) return;
+  for (std::size_t b = 0; b < nbuckets && b < kBuckets; ++b) {
+    buckets_[b] += buckets[b];
+  }
+  if (count_ == 0 || min < min_) min_ = min;
+  if (max > max_) max_ = max;
+  count_ += count;
+  sum_ += sum;
+}
+
 const MetricRow* Snapshot::find(std::string_view name) const {
   const auto it = std::lower_bound(
       rows.begin(), rows.end(), name,

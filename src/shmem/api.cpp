@@ -4,6 +4,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "backend/backend.hpp"
+
 namespace ntbshmem::shmem {
 
 namespace {
@@ -80,9 +82,10 @@ void wait_until_impl(T* ivar, int cmp, T value) {
     waited = true;
   }
   if (waited) {
-    // The blocked application thread pays a reschedule after the service
-    // thread's delivery woke it.
-    c.runtime().engine().wait_for(c.runtime().options().timing.service_wake);
+    // The blocked application thread pays a reschedule after the delivery
+    // woke it (virtual service_wake on the DES backend, a brief real
+    // reschedule on shm).
+    c.chan().yield(c.runtime().options().timing.service_wake);
   }
 }
 

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "backend/backend.hpp"
+
 namespace ntbshmem::shmem {
 
 namespace {
@@ -25,21 +27,21 @@ void wait_tokens(Context& ctx, std::uint64_t off, long need) {
 // Self-consuming tokens: counters only ever carry "deposited minus
 // consumed", so repeated collectives need no reset discipline.
 void consume_tokens(Context& ctx, std::uint64_t off, long k) {
-  ctx.transport().atomic(AtomicOp::kAdd, off, ctx.pe(), 8,
-                         static_cast<std::uint64_t>(-k), 0, ctx.pe());
+  ctx.chan().atomic(AtomicOp::kAdd, off, ctx.pe(), 8,
+                    static_cast<std::uint64_t>(-k), 0);
 }
 
 void add_token(Context& ctx, int pe, std::uint64_t off, long k = 1) {
-  ctx.transport().atomic(AtomicOp::kAdd, off, pe, 8,
-                         static_cast<std::uint64_t>(k), 0, ctx.pe());
+  ctx.chan().atomic(AtomicOp::kAdd, off, pe, 8, static_cast<std::uint64_t>(k),
+                    0);
 }
 
 void put_bytes(Context& ctx, std::uint64_t heap_off, const void* src,
                std::size_t n, int pe) {
-  ctx.transport().put(
+  ctx.chan().put(
       heap_off,
       std::span<const std::byte>(static_cast<const std::byte*>(src), n), pe,
-      ctx.pe(), ctx.default_domain());
+      ctx.default_domain());
 }
 
 // ---- Topology-aware relay trees ---------------------------------------------
@@ -50,6 +52,9 @@ void put_bytes(Context& ctx, std::uint64_t heap_off, const void* src,
 // elsewhere — the hop-ordered tree is the point of a richer topology.
 bool use_tree_collectives(Context& ctx) {
   Runtime& rt = ctx.runtime();
+  // The shm backend has no routing graph to build a relay tree over; its
+  // flat segment makes the linear loops the right shape anyway.
+  if (!rt.has_fabric()) return false;
   return rt.options().tuning.topology_collectives ||
          !rt.fabric().topology().ring_like();
 }
@@ -501,25 +506,25 @@ void set_lock(Context& ctx, long* lock) {
   const std::uint64_t token = static_cast<std::uint64_t>(ctx.pe()) + 1;
   for (;;) {
     const std::uint64_t old =
-        ctx.transport().atomic(AtomicOp::kCompareSwap, off, 0, 8,
-                               /*desired=*/token, /*expected=*/0, ctx.pe());
+        ctx.chan().atomic(AtomicOp::kCompareSwap, off, 0, 8,
+                          /*desired=*/token, /*expected=*/0);
     if (old == 0) return;
-    ctx.runtime().engine().wait_for(kLockBackoff);
+    ctx.chan().yield(kLockBackoff);
   }
 }
 
 int test_lock(Context& ctx, long* lock) {
   const std::uint64_t off = ctx.symmetric_offset(lock);
   const std::uint64_t token = static_cast<std::uint64_t>(ctx.pe()) + 1;
-  const std::uint64_t old = ctx.transport().atomic(
-      AtomicOp::kCompareSwap, off, 0, 8, token, 0, ctx.pe());
+  const std::uint64_t old =
+      ctx.chan().atomic(AtomicOp::kCompareSwap, off, 0, 8, token, 0);
   return old == 0 ? 0 : 1;
 }
 
 void clear_lock(Context& ctx, long* lock) {
   ctx.quiet();  // writes under the lock must be visible before release
   const std::uint64_t off = ctx.symmetric_offset(lock);
-  ctx.transport().atomic(AtomicOp::kSet, off, 0, 8, 0, 0, ctx.pe());
+  ctx.chan().atomic(AtomicOp::kSet, off, 0, 8, 0, 0);
 }
 
 }  // namespace ntbshmem::shmem

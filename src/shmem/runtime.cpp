@@ -4,6 +4,9 @@
 #include <ostream>
 #include <stdexcept>
 
+#include "backend/backend.hpp"
+#include "backend/des/des_backend.hpp"
+#include "backend/shm/shm_backend.hpp"
 #include "shmem/collectives.hpp"
 
 namespace ntbshmem::shmem {
@@ -15,33 +18,48 @@ namespace ntbshmem::shmem {
 // binding would be clobbered at each process switch (all PEs would answer
 // as whichever bound last). Process::user_binding() follows the process
 // across blocks under both backends.
+//
+// On the shm backend a PE is a fork()ed OS process with no simulated
+// process to ride on; the binding then lives in a process-global — each
+// child is single-threaded and owns exactly one PE for its whole life, so
+// the global is written once after fork and read thereafter.
+
+namespace {
+// detlint:allow(no-mutable-static): per-forked-process PE binding for the shm backend; each child process is single-threaded and binds exactly once
+Context* g_process_context = nullptr;
+}  // namespace
 
 CurrentContextBinder::CurrentContextBinder(Context* ctx) {
-  sim::Process* p = sim::current_process();
-  if (p == nullptr) {
-    throw std::logic_error("PE context bound outside a simulated process");
+  if (sim::Process* p = sim::current_process()) {
+    p->set_user_binding(ctx);
+  } else {
+    g_process_context = ctx;
   }
-  p->set_user_binding(ctx);
 }
 
 CurrentContextBinder::~CurrentContextBinder() {
-  if (sim::Process* p = sim::current_process()) p->set_user_binding(nullptr);
+  if (sim::Process* p = sim::current_process()) {
+    p->set_user_binding(nullptr);
+  } else {
+    g_process_context = nullptr;
+  }
 }
 
 Context* Runtime::current() {
   sim::Process* p = sim::current_process();
-  return p == nullptr ? nullptr : static_cast<Context*>(p->user_binding());
+  if (p != nullptr) return static_cast<Context*>(p->user_binding());
+  return g_process_context;
 }
 
 // ---- Context -------------------------------------------------------------------
 
-Context::Context(Runtime& runtime, int pe, Transport& transport)
+Context::Context(Runtime& runtime, int pe)
     : runtime_(runtime),
       pe_(pe),
-      heap_(runtime.fabric().host(transport.host_id()).memory(),
-            runtime.options().symheap_chunk_bytes,
-            runtime.options().symheap_max_bytes),
-      transport_(&transport) {
+      heap_(runtime.backend().heap_arena(pe),
+            runtime.backend().heap_geometry().first,
+            runtime.backend().heap_geometry().second),
+      chan_(runtime.backend().make_channel(pe)) {
   // Reserve the collective scratch block at the bottom of every symmetric
   // heap so token counters and the reduction pipeline buffer sit at
   // identical offsets on all PEs (before any user allocation can skew the
@@ -51,10 +69,16 @@ Context::Context(Runtime& runtime, int pe, Transport& transport)
     throw std::logic_error("collective scratch must occupy heap offset 0");
   }
   // The default completion domain for this PE's ctx-less operations.
-  ctx_domains_.push_back(transport_->allocate_domain());
+  ctx_domains_.push_back(chan_->allocate_domain());
 }
 
+Context::~Context() = default;
+
 int Context::npes() const { return runtime_.npes(); }
+
+Transport& Context::transport() const {
+  return runtime_.host_transport(pe_ / runtime_.options().pes_per_host);
+}
 
 host::Host& Context::host() const { return runtime_.fabric().host(pe_); }
 
@@ -115,19 +139,19 @@ void Context::putmem(void* dest, const void* src, std::size_t nbytes,
                      int target_pe) {
   check_pe(target_pe, "putmem");
   if (nbytes == 0) return;
-  transport_->put(symmetric_offset(dest),
-                  std::span<const std::byte>(
-                      static_cast<const std::byte*>(src), nbytes),
-                  target_pe, pe_, default_domain());
+  chan_->put(symmetric_offset(dest),
+             std::span<const std::byte>(static_cast<const std::byte*>(src),
+                                        nbytes),
+             target_pe, default_domain());
 }
 
 void Context::getmem(void* dest, const void* src, std::size_t nbytes,
                      int source_pe) {
   check_pe(source_pe, "getmem");
   if (nbytes == 0) return;
-  transport_->get(symmetric_offset(src),
-                  std::span<std::byte>(static_cast<std::byte*>(dest), nbytes),
-                  source_pe, pe_);
+  chan_->get(symmetric_offset(src),
+             std::span<std::byte>(static_cast<std::byte*>(dest), nbytes),
+             source_pe);
 }
 
 void Context::putmem_nbi(void* dest, const void* src, std::size_t nbytes,
@@ -145,10 +169,9 @@ void Context::getmem_nbi(void* dest, const void* src, std::size_t nbytes,
     getmem(dest, src, nbytes, source_pe);
     return;
   }
-  transport_->get_nbi(
-      symmetric_offset(src),
-      std::span<std::byte>(static_cast<std::byte*>(dest), nbytes), source_pe,
-      pe_, default_domain());
+  chan_->get_nbi(symmetric_offset(src),
+                 std::span<std::byte>(static_cast<std::byte*>(dest), nbytes),
+                 source_pe, default_domain());
 }
 
 void Context::putmem_signal(void* dest, const void* src, std::size_t nbytes,
@@ -157,22 +180,22 @@ void Context::putmem_signal(void* dest, const void* src, std::size_t nbytes,
   check_pe(target_pe, "putmem_signal");
   const std::uint64_t sig_off = symmetric_offset(sig_addr);
   if (nbytes == 0) {
-    transport_->atomic_post(sig_op, sig_off, target_pe, 8, signal, pe_,
-                            default_domain());
+    chan_->atomic_post(sig_op, sig_off, target_pe, 8, signal,
+                       default_domain());
     return;
   }
-  transport_->put_signal(
+  chan_->put_signal(
       symmetric_offset(dest),
       std::span<const std::byte>(static_cast<const std::byte*>(src), nbytes),
-      sig_off, signal, sig_op, target_pe, pe_, default_domain());
+      sig_off, signal, sig_op, target_pe, default_domain());
 }
 
 std::uint64_t Context::atomic(AtomicOp op, void* target, int target_pe,
                               std::uint8_t width, std::uint64_t operand1,
                               std::uint64_t operand2) {
   check_pe(target_pe, "atomic");
-  return transport_->atomic(op, symmetric_offset(target), target_pe, width,
-                            operand1, operand2, pe_);
+  return chan_->atomic(op, symmetric_offset(target), target_pe, width,
+                       operand1, operand2);
 }
 
 int Context::domain_of(int ctx_handle) const {
@@ -181,7 +204,7 @@ int Context::domain_of(int ctx_handle) const {
 }
 
 int Context::create_ctx_domain() {
-  ctx_domains_.push_back(transport_->allocate_domain());
+  ctx_domains_.push_back(chan_->allocate_domain());
   ctx_alive_.push_back(true);
   return static_cast<int>(ctx_alive_.size()) - 1;
 }
@@ -198,7 +221,7 @@ void Context::destroy_ctx_domain(int handle) {
   if (handle == 0) {
     throw std::invalid_argument("the default context cannot be destroyed");
   }
-  transport_->quiet(domain_of(handle));  // destroy completes its ops
+  chan_->quiet(domain_of(handle));  // destroy completes its ops
   ctx_alive_[static_cast<std::size_t>(handle)] = false;
 }
 
@@ -207,10 +230,10 @@ void Context::ctx_putmem(int handle, void* dest, const void* src,
   const int domain = domain_of(handle);
   check_pe(target_pe, "ctx_putmem");
   if (nbytes == 0) return;
-  transport_->put(symmetric_offset(dest),
-                  std::span<const std::byte>(
-                      static_cast<const std::byte*>(src), nbytes),
-                  target_pe, pe_, domain);
+  chan_->put(symmetric_offset(dest),
+             std::span<const std::byte>(static_cast<const std::byte*>(src),
+                                        nbytes),
+             target_pe, domain);
 }
 
 void Context::ctx_getmem_nbi(int handle, void* dest, const void* src,
@@ -222,33 +245,33 @@ void Context::ctx_getmem_nbi(int handle, void* dest, const void* src,
     getmem(dest, src, nbytes, source_pe);
     return;
   }
-  transport_->get_nbi(
-      symmetric_offset(src),
-      std::span<std::byte>(static_cast<std::byte*>(dest), nbytes), source_pe,
-      pe_, domain);
+  chan_->get_nbi(symmetric_offset(src),
+                 std::span<std::byte>(static_cast<std::byte*>(dest), nbytes),
+                 source_pe, domain);
 }
 
-void Context::ctx_quiet(int handle) { transport_->quiet(domain_of(handle)); }
+void Context::ctx_quiet(int handle) { chan_->quiet(domain_of(handle)); }
 
 void Context::quiet() {
   // Drain only this PE's domains (co-resident PEs share the transport).
   for (std::size_t h = 0; h < ctx_domains_.size(); ++h) {
-    if (ctx_alive_[h]) transport_->quiet(ctx_domains_[h]);
+    if (ctx_alive_[h]) chan_->quiet(ctx_domains_[h]);
   }
 }
-void Context::fence() { transport_->fence(); }
+void Context::fence() { chan_->fence(); }
 void Context::barrier_all() {
   quiet();
-  transport_->barrier(pe_);
+  chan_->barrier();
 }
-void Context::wait_heap_change() { transport_->wait_heap_change(); }
+void Context::wait_heap_change() { chan_->wait_heap_change(); }
 
 void Context::mark_initialized() { initialized_ = true; }
 void Context::mark_finalized() { initialized_ = false; }
 
 // ---- Runtime --------------------------------------------------------------------
 
-Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
+Runtime::Runtime(const RuntimeOptions& options)
+    : options_(options), backend_kind_(backend::resolve(options.backend)) {
   if (options_.pes_per_host < 1) {
     throw std::invalid_argument("pes_per_host must be >= 1");
   }
@@ -256,8 +279,12 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
     throw std::invalid_argument(
         "npes must be a positive multiple of pes_per_host (>= 2)");
   }
-  if (options_.num_hosts() < 2) {
+  if (backend_kind_ == backend::Kind::kSim && options_.num_hosts() < 2) {
     throw std::invalid_argument("the switchless fabric needs >= 2 hosts");
+  }
+  if (backend_kind_ == backend::Kind::kShm && options_.pes_per_host != 1) {
+    throw std::invalid_argument(
+        "the shm backend maps one PE per process (pes_per_host must be 1)");
   }
   if (options_.npes > 255) {
     throw std::invalid_argument("PE ids must fit in the 8-bit wire format");
@@ -299,58 +326,67 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
     fault_plan_->bind_trace(&trace_);
     engine_.attach_faults(fault_plan_.get());
   }
-  fabric_ = std::make_unique<fabric::RingFabric>(engine_,
-                                                 options_.fabric_config());
-  // Routing/topology compatibility: the legacy right-only circulation is
-  // only defined where port 0 walks a ring, and dimension-order needs torus
-  // coordinates. Checked here rather than deep in RoutingTable::build so
-  // the error names the RuntimeOptions fields to change.
-  {
-    const fabric::Topology& topo = fabric_->topology();
-    if (options_.routing == fabric::RoutingMode::kRightOnly &&
-        !topo.ring_like()) {
-      throw std::invalid_argument(
-          "RoutingMode::kRightOnly requires a ring-like topology; use "
-          "kShortest (or kDimensionOrder on a 2-D torus)");
+  if (backend_kind_ == backend::Kind::kSim) {
+    fabric_ = std::make_unique<fabric::RingFabric>(engine_,
+                                                   options_.fabric_config());
+    // Routing/topology compatibility: the legacy right-only circulation is
+    // only defined where port 0 walks a ring, and dimension-order needs
+    // torus coordinates. Checked here rather than deep in
+    // RoutingTable::build so the error names the RuntimeOptions fields to
+    // change.
+    {
+      const fabric::Topology& topo = fabric_->topology();
+      if (options_.routing == fabric::RoutingMode::kRightOnly &&
+          !topo.ring_like()) {
+        throw std::invalid_argument(
+            "RoutingMode::kRightOnly requires a ring-like topology; use "
+            "kShortest (or kDimensionOrder on a 2-D torus)");
+      }
+      if (options_.routing == fabric::RoutingMode::kDimensionOrder &&
+          topo.kind() != fabric::TopologyKind::kTorus2D) {
+        throw std::invalid_argument(
+            "RoutingMode::kDimensionOrder is only defined on kTorus2D "
+            "topologies");
+      }
+      // Build the table eagerly so a misconfigured fabric fails at Runtime
+      // construction instead of at the first multi-hop operation. Pure
+      // computation: no simulated time passes, no events are queued.
+      fabric_->routing(options_.routing);
     }
-    if (options_.routing == fabric::RoutingMode::kDimensionOrder &&
-        topo.kind() != fabric::TopologyKind::kTorus2D) {
-      throw std::invalid_argument(
-          "RoutingMode::kDimensionOrder is only defined on kTorus2D "
-          "topologies");
+    // Per-link utilization windows feed both the Perfetto congestion series
+    // and the trace artifact's tracecheck oracle. Pure arithmetic inside the
+    // link accounting — never touches the engine — but only armed when some
+    // recording is on, so benchmark runs allocate nothing.
+    if ((options_.obs.spans_enabled || options_.obs.causal_enabled) &&
+        options_.obs.link_util_window > 0) {
+      for (int i = 0; i < fabric_->num_links(); ++i) {
+        fabric_->link(i).set_util_window(options_.obs.link_util_window);
+      }
     }
-    // Build the table eagerly so a misconfigured fabric fails at Runtime
-    // construction instead of at the first multi-hop operation. Pure
-    // computation: no simulated time passes, no events are queued.
-    fabric_->routing(options_.routing);
-  }
-  // Per-link utilization windows feed both the Perfetto congestion series
-  // and the trace artifact's tracecheck oracle. Pure arithmetic inside the
-  // link accounting — never touches the engine — but only armed when some
-  // recording is on, so benchmark runs allocate nothing.
-  if ((options_.obs.spans_enabled || options_.obs.causal_enabled) &&
-      options_.obs.link_util_window > 0) {
-    for (int i = 0; i < fabric_->num_links(); ++i) {
-      fabric_->link(i).set_util_window(options_.obs.link_util_window);
+    for (const sim::LinkFlap& flap : fault_plan_->spec().link_flaps) {
+      if (flap.up_at < flap.down_at || flap.down_at < 0) {
+        throw std::invalid_argument("LinkFlap: need 0 <= down_at <= up_at");
+      }
+      engine_.call_at(flap.down_at, [this, flap] {
+        fabric_->set_link_up(flap.link, false);
+      });
+      engine_.call_at(flap.up_at,
+                      [this, flap] { fabric_->set_link_up(flap.link, true); });
     }
-  }
-  for (const sim::LinkFlap& flap : fault_plan_->spec().link_flaps) {
-    if (flap.up_at < flap.down_at || flap.down_at < 0) {
-      throw std::invalid_argument("LinkFlap: need 0 <= down_at <= up_at");
+    transports_.reserve(static_cast<std::size_t>(options_.num_hosts()));
+    for (int h = 0; h < options_.num_hosts(); ++h) {
+      transports_.push_back(std::make_unique<Transport>(*this, h));
     }
-    engine_.call_at(flap.down_at,
-                    [this, flap] { fabric_->set_link_up(flap.link, false); });
-    engine_.call_at(flap.up_at,
-                    [this, flap] { fabric_->set_link_up(flap.link, true); });
-  }
-  transports_.reserve(static_cast<std::size_t>(options_.num_hosts()));
-  for (int h = 0; h < options_.num_hosts(); ++h) {
-    transports_.push_back(std::make_unique<Transport>(*this, h));
+    backend_ = std::make_unique<backend::DesBackend>(*this);
+  } else {
+    // Real processes over a POSIX shm segment: no simulated fabric, no NTB
+    // transports — the segment mapping plus futex doorbells are the whole
+    // data path (DESIGN.md §4j).
+    backend_ = std::make_unique<backend::ShmBackend>(*this);
   }
   contexts_.reserve(static_cast<std::size_t>(options_.npes));
   for (int pe = 0; pe < options_.npes; ++pe) {
-    contexts_.push_back(std::make_unique<Context>(
-        *this, pe, host_transport(pe / options_.pes_per_host)));
+    contexts_.push_back(std::make_unique<Context>(*this, pe));
   }
   // Services start only after every transport exists (forwarding resolves
   // neighbour staging regions at send time).
@@ -360,6 +396,30 @@ Runtime::Runtime(const RuntimeOptions& options) : options_(options) {
 }
 
 Runtime::~Runtime() = default;
+
+fabric::RingFabric& Runtime::fabric() {
+  if (!fabric_) {
+    throw std::logic_error(
+        "Runtime::fabric(): no simulated fabric on the shm backend");
+  }
+  return *fabric_;
+}
+
+Transport& Runtime::host_transport(int host) {
+  if (transports_.empty()) {
+    throw std::logic_error(
+        "Runtime::host_transport(): no NTB transports on the shm backend");
+  }
+  return *transports_.at(static_cast<std::size_t>(host));
+}
+
+sim::Time Runtime::clock_now() { return backend_->now_ns(); }
+void Runtime::clock_wait_until(sim::Time t) { backend_->wait_until_ns(t); }
+void Runtime::clock_wait_for(sim::Dur d) { backend_->wait_for_ns(d); }
+
+std::span<std::byte> Runtime::pe_scratch(int pe) {
+  return backend_->pe_scratch(pe);
+}
 
 std::uint64_t Runtime::retransmit_bound() const {
   const std::uint64_t injected = fault_plan_->stats().total();
@@ -377,8 +437,9 @@ std::uint64_t Runtime::retransmit_bound() const {
 void Runtime::write_causal_trace(std::ostream& out) {
   // Close every partial utilization window first so each direction's sample
   // series integrates exactly to its busy_ns — the consistency oracle
-  // tools/tracecheck asserts.
-  for (int i = 0; i < fabric_->num_links(); ++i) {
+  // tools/tracecheck asserts. (The shm backend has no links: the loop body
+  // never runs and the artifact's links array is empty.)
+  for (int i = 0; has_fabric() && i < fabric_->num_links(); ++i) {
     fabric_->link(i).flush_util(engine_.now());
   }
   std::uint64_t retransmits = 0, frames_sent = 0, frames_received = 0;
@@ -431,7 +492,7 @@ void Runtime::write_causal_trace(std::ostream& out) {
   out << "\n  ],\n";
   out << "  \"links\": [";
   first = true;
-  for (int i = 0; i < fabric_->num_links(); ++i) {
+  for (int i = 0; has_fabric() && i < fabric_->num_links(); ++i) {
     pcie::Link& link = fabric_->link(i);
     for (const pcie::End dir : {pcie::End::kA, pcie::End::kB}) {
       out << (first ? "\n" : ",\n");
@@ -507,16 +568,7 @@ void Runtime::check_invariants() const {
 }
 
 sim::Dur Runtime::run(const std::function<void()>& pe_main) {
-  const sim::Time start = engine_.now();
-  for (int pe = 0; pe < options_.npes; ++pe) {
-    Context* ctx = contexts_[static_cast<std::size_t>(pe)].get();
-    engine_.spawn("pe" + std::to_string(pe), [ctx, &pe_main] {
-      CurrentContextBinder bind(ctx);
-      pe_main();
-    });
-  }
-  engine_.run();
-  return engine_.now() - start;
+  return backend_->run(*this, pe_main);
 }
 
 }  // namespace ntbshmem::shmem

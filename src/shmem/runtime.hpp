@@ -19,8 +19,10 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <vector>
 
+#include "backend/kind.hpp"
 #include "fabric/ring.hpp"
 #include "obs/hub.hpp"
 #include "shmem/options.hpp"
@@ -30,13 +32,19 @@
 #include "sim/fault.hpp"
 #include "sim/trace.hpp"
 
+namespace ntbshmem::backend {
+class Backend;
+class Channel;
+}  // namespace ntbshmem::backend
+
 namespace ntbshmem::shmem {
 
 class Runtime;
 
 class Context {
  public:
-  Context(Runtime& runtime, int pe, Transport& transport);
+  Context(Runtime& runtime, int pe);
+  ~Context();
   Context(const Context&) = delete;
   Context& operator=(const Context&) = delete;
 
@@ -45,9 +53,14 @@ class Context {
   Runtime& runtime() const { return runtime_; }
   host::Host& host() const;
   SymmetricHeap& heap() { return heap_; }
-  // The host-level transport shared by all PEs resident on this PE's host.
-  Transport& transport() { return *transport_; }
-  // This PE's default completion domain within the host transport.
+  const SymmetricHeap& heap() const { return heap_; }
+  // This PE's backend data-path endpoint (DES transport adapter or the shm
+  // segment channel) — the seam collectives and the API dispatch through.
+  backend::Channel& chan() { return *chan_; }
+  // Sim-backend-only convenience: the NTB transport of this PE's host
+  // (stats introspection in tests); throws std::logic_error on shm.
+  Transport& transport() const;
+  // This PE's default completion domain within the backend channel.
   int default_domain() const { return ctx_domains_.front(); }
 
   // ---- Symmetric memory management (collective; implicit barrier) ---------
@@ -126,7 +139,7 @@ class Context {
   Runtime& runtime_;
   int pe_;
   SymmetricHeap heap_;
-  Transport* transport_;  // owned by Runtime (one per host)
+  std::unique_ptr<backend::Channel> chan_;
   std::vector<TeamRecord> teams_;
   // ctx handle -> transport domain; index 0 is the default context.
   std::vector<int> ctx_domains_;
@@ -141,19 +154,36 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
-  // Runs `pe_main` on every PE (SPMD); returns the virtual duration of the
-  // run. May be called repeatedly; heaps and services persist across runs.
+  // Runs `pe_main` on every PE (SPMD); returns the elapsed duration in the
+  // backend's native clock (virtual ns on sim, wall ns on shm). May be
+  // called repeatedly on the sim backend; heaps and services persist across
+  // runs. The shm backend forks fresh PE processes per call.
   sim::Dur run(const std::function<void()>& pe_main);
 
   const RuntimeOptions& options() const { return options_; }
   sim::Engine& engine() { return engine_; }
-  fabric::RingFabric& fabric() { return *fabric_; }
+  // The resolved data-path backend (options.backend x NTBSHMEM_BACKEND).
+  backend::Kind backend_kind() const { return backend_kind_; }
+  backend::Backend& backend() { return *backend_; }
+  bool has_fabric() const { return fabric_ != nullptr; }
+  // Sim-backend-only accessors; throw std::logic_error on the shm backend
+  // (which has no simulated fabric or NTB transports).
+  fabric::RingFabric& fabric();
+  Transport& host_transport(int host);
   Context& context(int pe) { return *contexts_.at(static_cast<std::size_t>(pe)); }
-  Transport& host_transport(int host) {
-    return *transports_.at(static_cast<std::size_t>(host));
-  }
   int npes() const { return options_.npes; }
   int num_hosts() const { return options_.num_hosts(); }
+
+  // ---- Backend-neutral clock (workload pacing; DESIGN.md §4j) ---------------
+  // Virtual ns on the sim backend (exactly engine().now()/wait_*, so golden
+  // times are unchanged); wall-clock ns on shm. Workload code uses these so
+  // no clock source is ever named outside src/backend/.
+  sim::Time clock_now();
+  void clock_wait_until(sim::Time t);
+  void clock_wait_for(sim::Dur d);
+  // Per-PE POD result mailbox that survives the run loop on every backend
+  // (under fork it is the only road a PE's results travel back on).
+  std::span<std::byte> pe_scratch(int pe);
 
   // Protocol trace (populated when options().trace_enabled).
   sim::TraceRecorder& trace() { return trace_; }
@@ -204,15 +234,20 @@ class Runtime {
 
  private:
   RuntimeOptions options_;
+  backend::Kind backend_kind_;
   sim::Engine engine_;
   // The hub must outlive every component that cached instrument pointers at
   // construction (fabric, transports): declared before them, attached to the
   // engine before they are built.
   obs::Hub obs_;
   std::unique_ptr<sim::FaultPlan> fault_plan_;
+  // Sim backend only (null on shm): the simulated fabric + NTB transports.
   std::unique_ptr<fabric::RingFabric> fabric_;
   std::vector<std::unique_ptr<Transport>> transports_;  // one per host
-  std::vector<std::unique_ptr<Context>> contexts_;      // one per PE
+  // The data-path backend; built after fabric/transports (the DES facade
+  // binds them), before the contexts (whose heaps live in backend arenas).
+  std::unique_ptr<backend::Backend> backend_;
+  std::vector<std::unique_ptr<Context>> contexts_;  // one per PE
   sim::TraceRecorder trace_;
 };
 

@@ -4,8 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <type_traits>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "obs/metrics.hpp"
 #include "shmem/api.hpp"
 #include "shmem/teams.hpp"
@@ -15,6 +17,62 @@ namespace ntbshmem::workload {
 namespace {
 
 using namespace ntbshmem::shmem;
+
+// POD wire image of one PE's ScenarioReport counters, published through the
+// backend's pe_scratch mailbox at the end of each PE body. Under the shm
+// backend the PE bodies run in forked processes, so by-reference lambda
+// captures are copy-on-write ghosts — the mailbox is the only road a PE's
+// results travel back on, and using it unconditionally keeps the sim and
+// shm paths byte-for-byte the same code.
+struct ReportWire {
+  std::uint64_t requests_issued;
+  std::uint64_t requests_completed;
+  std::uint64_t bytes_requested;
+  std::uint64_t bytes_transferred;
+  std::uint64_t verify_errors;
+  std::uint64_t signals_sent;
+  std::uint64_t signals_received;
+  double checksum;
+};
+static_assert(std::is_trivially_copyable_v<ReportWire>,
+              "ReportWire crosses a fork boundary as raw bytes");
+static_assert(sizeof(ReportWire) <= backend::kPeScratchBytes,
+              "ReportWire must fit the per-PE scratch mailbox");
+
+void publish_report(Runtime& rt, int pe, const ScenarioReport& mine) {
+  const ReportWire w{mine.requests_issued,   mine.requests_completed,
+                     mine.bytes_requested,   mine.bytes_transferred,
+                     mine.verify_errors,     mine.signals_sent,
+                     mine.signals_received,  mine.checksum};
+  std::memcpy(rt.pe_scratch(pe).data(), &w, sizeof(w));
+}
+
+// Sums the per-PE wire images into the scenario total. When
+// `compare_checksums`, every PE's checksum must equal PE 0's (the scenarios
+// compute it via a world reduction, so divergence is a verification error).
+ScenarioReport collect_reports(Runtime& rt, const std::string& name,
+                               sim::Dur elapsed, bool compare_checksums) {
+  ScenarioReport total;
+  total.scenario = name;
+  for (int pe = 0; pe < rt.npes(); ++pe) {
+    ReportWire w;
+    std::memcpy(&w, rt.pe_scratch(pe).data(), sizeof(w));
+    total.requests_issued += w.requests_issued;
+    total.requests_completed += w.requests_completed;
+    total.bytes_requested += w.bytes_requested;
+    total.bytes_transferred += w.bytes_transferred;
+    total.verify_errors += w.verify_errors;
+    total.signals_sent += w.signals_sent;
+    total.signals_received += w.signals_received;
+    if (pe == 0) {
+      total.checksum = w.checksum;
+    } else if (compare_checksums && w.checksum != total.checksum) {
+      ++total.verify_errors;
+    }
+  }
+  total.elapsed_ns = static_cast<long long>(elapsed);
+  return total;
+}
 
 // Value byte of key `key` at offset `i`: a pure function of the key, so
 // every writer of a key writes identical bytes (any interleaving leaves the
@@ -77,11 +135,6 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
     throw std::invalid_argument("run_kv: empty shard or size distribution");
   }
 
-  // Per-PE accounting, summed after the run (outer vectors keep the SPMD
-  // body free of cross-PE state).
-  const auto unpes = static_cast<std::size_t>(npes);
-  std::vector<ScenarioReport> per_pe(unpes);
-
   obs::MetricsRegistry& reg = rt.obs().metrics;
   obs::Histogram* h_total = reg.histogram("workload." + spec.name + ".latency_ns");
   obs::Histogram* h_get = reg.histogram("workload." + spec.name + ".get.latency_ns");
@@ -102,8 +155,8 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
     shmem_init();
     const int me = shmem_my_pe();
     const std::string pe_tag = ".pe" + std::to_string(me);
-    sim::Engine& engine = Runtime::current()->runtime().engine();
-    ScenarioReport& mine = per_pe[static_cast<std::size_t>(me)];
+    Runtime& wrt = Runtime::current()->runtime();
+    ScenarioReport mine;
 
     auto* shard = static_cast<std::byte*>(shmem_malloc(slots * vbytes));
     auto* sigs = static_cast<std::uint64_t*>(
@@ -126,7 +179,7 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
     Stream size_stream(seed, spec.name + ".size" + pe_tag);
     Stream slot_stream(seed, spec.name + ".slot" + pe_tag);
     ArrivalClock arrivals(tr, seed, spec.name + ".arrival" + pe_tag,
-                          engine.now());
+                          wrt.clock_now());
 
     shmem_ctx_t ctx = SHMEM_CTX_INVALID;
     shmem_ctx_create(SHMEM_CTX_PRIVATE, &ctx);
@@ -145,7 +198,7 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
       shmem_ctx_quiet(ctx);
       for (const Pending& p : pending) {
         const auto lat =
-            static_cast<std::uint64_t>(engine.now() - p.issued);
+            static_cast<std::uint64_t>(wrt.clock_now() - p.issued);
         h_total->record(lat);
         h_nbi->record(lat);
         ++mine.requests_completed;
@@ -156,7 +209,7 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
 
     std::vector<std::byte> scratch(vbytes);
     for (std::uint64_t k = 0; k < tr.requests_per_pe; ++k) {
-      const sim::Time scheduled = arrivals.next(engine);
+      const sim::Time scheduled = arrivals.next(wrt);
       const int target = targets.pick();
       const std::uint64_t slot = slot_stream.next_below(slots);
       const std::uint64_t key =
@@ -170,7 +223,7 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
 
       const auto done = [&](obs::Histogram* h_op) {
         const auto lat =
-            static_cast<std::uint64_t>(engine.now() - scheduled);
+            static_cast<std::uint64_t>(wrt.clock_now() - scheduled);
         h_total->record(lat);
         h_op->record(lat);
         ++mine.requests_completed;
@@ -247,22 +300,11 @@ ScenarioReport run_kv(shmem::Runtime& rt, const KvSpec& spec,
     shmem_barrier_all();
     shmem_free(sigs);
     shmem_free(shard);
+    publish_report(wrt, me, mine);
     shmem_finalize();
   });
 
-  ScenarioReport total;
-  total.scenario = spec.name;
-  for (const ScenarioReport& p : per_pe) {
-    total.requests_issued += p.requests_issued;
-    total.requests_completed += p.requests_completed;
-    total.bytes_requested += p.bytes_requested;
-    total.bytes_transferred += p.bytes_transferred;
-    total.verify_errors += p.verify_errors;
-    total.signals_sent += p.signals_sent;
-    total.signals_received += p.signals_received;
-  }
-  total.elapsed_ns = static_cast<long long>(elapsed);
-  return total;
+  return collect_reports(rt, spec.name, elapsed, /*compare_checksums=*/false);
 }
 
 ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
@@ -275,10 +317,6 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
     throw std::invalid_argument("run_stencil: bad tile/iteration shape");
   }
 
-  const auto unpes = static_cast<std::size_t>(npes);
-  std::vector<ScenarioReport> per_pe(unpes);
-  std::vector<double> checksums(unpes, 0.0);
-
   obs::Histogram* h_iter =
       rt.obs().metrics.histogram("workload." + spec.name + ".latency_ns");
 
@@ -288,8 +326,8 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
   const sim::Dur elapsed = rt.run([&] {
     shmem_init();
     const int me = shmem_my_pe();
-    sim::Engine& engine = Runtime::current()->runtime().engine();
-    ScenarioReport& mine = per_pe[static_cast<std::size_t>(me)];
+    Runtime& wrt = Runtime::current()->runtime();
+    ScenarioReport mine;
     const int r = me / cols, c = me % cols;
     const int north = ((r - 1 + rows) % rows) * cols + c;
     const int south = ((r + 1) % rows) * cols + c;
@@ -321,7 +359,7 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
     std::vector<double>* cur = &tile_a;
     std::vector<double>* nxt = &tile_b;
     for (int it = 0; it < spec.iterations; ++it) {
-      const sim::Time t0 = engine.now();
+      const sim::Time t0 = wrt.clock_now();
       // Pack and push halos (put_nbi batch completed by one quiet).
       if (vertical) {
         for (std::size_t j = 0; j < utc; ++j) {
@@ -366,7 +404,7 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
         }
       }
       std::swap(cur, nxt);
-      h_iter->record(static_cast<std::uint64_t>(engine.now() - t0));
+      h_iter->record(static_cast<std::uint64_t>(wrt.clock_now() - t0));
       // Everyone must be done reading its inboxes before the next round of
       // puts may overwrite them.
       shmem_barrier_all();
@@ -380,7 +418,7 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
       for (std::size_t j = 1; j <= utc; ++j) *local += at(*cur, i, j);
     }
     shmem_double_sum_reduce(SHMEM_TEAM_WORLD, global, local, 1);
-    checksums[static_cast<std::size_t>(me)] = *global;
+    mine.checksum = *global;
     if (!std::isfinite(*global)) ++mine.verify_errors;
     shmem_free(global);
     shmem_free(local);
@@ -388,24 +426,11 @@ ScenarioReport run_stencil(shmem::Runtime& rt, const StencilSpec& spec,
     shmem_free(west_in);
     shmem_free(south_in);
     shmem_free(north_in);
+    publish_report(wrt, me, mine);
     shmem_finalize();
   });
 
-  ScenarioReport total;
-  total.scenario = spec.name;
-  for (const ScenarioReport& p : per_pe) {
-    total.requests_issued += p.requests_issued;
-    total.requests_completed += p.requests_completed;
-    total.bytes_requested += p.bytes_requested;
-    total.bytes_transferred += p.bytes_transferred;
-    total.verify_errors += p.verify_errors;
-  }
-  total.checksum = checksums[0];
-  for (double c : checksums) {
-    if (c != checksums[0]) ++total.verify_errors;
-  }
-  total.elapsed_ns = static_cast<long long>(elapsed);
-  return total;
+  return collect_reports(rt, spec.name, elapsed, /*compare_checksums=*/true);
 }
 
 ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
@@ -421,10 +446,6 @@ ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
     throw std::invalid_argument("run_allreduce: bad gradient/step shape");
   }
 
-  const auto unpes = static_cast<std::size_t>(npes);
-  std::vector<ScenarioReport> per_pe(unpes);
-  std::vector<double> checksums(unpes, 0.0);
-
   obs::Histogram* h_step =
       rt.obs().metrics.histogram("workload." + spec.name + ".latency_ns");
 
@@ -436,8 +457,8 @@ ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
   const sim::Dur elapsed = rt.run([&] {
     shmem_init();
     const int me = shmem_my_pe();
-    sim::Engine& engine = Runtime::current()->runtime().engine();
-    ScenarioReport& mine = per_pe[static_cast<std::size_t>(me)];
+    Runtime& wrt = Runtime::current()->runtime();
+    ScenarioReport mine;
     const int g = me % groups;
 
     // Data-parallel group teams {g, g+groups, ...} and the leader team
@@ -462,9 +483,9 @@ ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
     shmem_barrier_all();
 
     for (int step = 0; step < spec.steps; ++step) {
-      const sim::Time t0 = engine.now();
+      const sim::Time t0 = wrt.clock_now();
       // Backward-pass skew: seeded exponential compute time.
-      engine.wait_for(
+      wrt.clock_wait_for(
           static_cast<sim::Dur>(compute.next_exp(spec.compute_mean_ns)));
       for (std::size_t i = 0; i < elems; ++i) {
         grad[i] = static_cast<float>(static_cast<std::size_t>(me % 8) +
@@ -495,12 +516,12 @@ ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
       }
       ++mine.requests_completed;
       mine.bytes_transferred += elems * sizeof(float);
-      h_step->record(static_cast<std::uint64_t>(engine.now() - t0));
+      h_step->record(static_cast<std::uint64_t>(wrt.clock_now() - t0));
     }
 
     double sum = 0.0;
     for (std::size_t i = 0; i < elems; ++i) sum += static_cast<double>(out[i]);
-    checksums[static_cast<std::size_t>(me)] = sum;
+    mine.checksum = sum;
 
     shmem_barrier_all();
     shmem_free(out);
@@ -510,24 +531,11 @@ ScenarioReport run_allreduce(shmem::Runtime& rt, const AllreduceSpec& spec,
     // Destroy is collective over each team: members only.
     if (leader_team != SHMEM_TEAM_INVALID) shmem_team_destroy(leader_team);
     shmem_team_destroy(group_team);
+    publish_report(wrt, me, mine);
     shmem_finalize();
   });
 
-  ScenarioReport total;
-  total.scenario = spec.name;
-  for (const ScenarioReport& p : per_pe) {
-    total.requests_issued += p.requests_issued;
-    total.requests_completed += p.requests_completed;
-    total.bytes_requested += p.bytes_requested;
-    total.bytes_transferred += p.bytes_transferred;
-    total.verify_errors += p.verify_errors;
-  }
-  total.checksum = checksums[0];
-  for (double c : checksums) {
-    if (c != checksums[0]) ++total.verify_errors;
-  }
-  total.elapsed_ns = static_cast<long long>(elapsed);
-  return total;
+  return collect_reports(rt, spec.name, elapsed, /*compare_checksums=*/true);
 }
 
 }  // namespace ntbshmem::workload

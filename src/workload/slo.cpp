@@ -97,10 +97,14 @@ SloReport build_slo_report(shmem::Runtime& rt, const ScenarioReport& run,
                            std::uint64_t seed) {
   SloReport r;
   r.scenario = run.scenario;
-  r.backend = backend_name(rt.engine());
-  r.topology = topology_name(rt.options().topology);
-  r.tuning = tuning_name(rt.options().tuning);
-  r.fault_plan = fault_plan_name(rt.options().faults);
+  // The shm backend has no simulated fabric: latencies are wall-clock and
+  // the sim-only metadata (topology/tuning/fault plan) does not apply.
+  const bool sim = rt.has_fabric();
+  r.backend = sim ? backend_name(rt.engine()) : "shm";
+  r.clock = sim ? "virtual" : "wall";
+  r.topology = sim ? topology_name(rt.options().topology) : "none";
+  r.tuning = sim ? tuning_name(rt.options().tuning) : "none";
+  r.fault_plan = sim ? fault_plan_name(rt.options().faults) : "none";
   r.seed = seed;
   r.hosts = rt.num_hosts();
   r.run = run;
@@ -136,21 +140,23 @@ SloReport build_slo_report(shmem::Runtime& rt, const ScenarioReport& run,
     r.latencies.push_back(latency_from_row(op, row));
   }
 
-  fabric::RingFabric& fab = rt.fabric();
-  for (int i = 0; i < fab.num_links(); ++i) {
-    pcie::Link& link = fab.link(i);
-    SloLink l;
-    l.name = link.name();
-    const auto dir_bytes = [&](const char* dir) -> std::uint64_t {
-      const obs::MetricRow* row = snap.find(l.name + dir);
-      return row == nullptr ? 0 : static_cast<std::uint64_t>(row->value);
-    };
-    l.bytes = dir_bytes(".a2b.bytes") + dir_bytes(".b2a.bytes");
-    const double capacity =
-        2.0 * link.config().effective_Bps() * elapsed_s;
-    l.utilization =
-        capacity > 0.0 ? static_cast<double>(l.bytes) / capacity : 0.0;
-    r.links.push_back(std::move(l));
+  if (sim) {
+    fabric::RingFabric& fab = rt.fabric();
+    for (int i = 0; i < fab.num_links(); ++i) {
+      pcie::Link& link = fab.link(i);
+      SloLink l;
+      l.name = link.name();
+      const auto dir_bytes = [&](const char* dir) -> std::uint64_t {
+        const obs::MetricRow* row = snap.find(l.name + dir);
+        return row == nullptr ? 0 : static_cast<std::uint64_t>(row->value);
+      };
+      l.bytes = dir_bytes(".a2b.bytes") + dir_bytes(".b2a.bytes");
+      const double capacity =
+          2.0 * link.config().effective_Bps() * elapsed_s;
+      l.utilization =
+          capacity > 0.0 ? static_cast<double>(l.bytes) / capacity : 0.0;
+      r.links.push_back(std::move(l));
+    }
   }
 
   r.critical_path = obs::critical_path_by_family(rt.obs().causal);
@@ -168,6 +174,7 @@ void write_slo_json(const SloReport& r, std::ostream& out) {
   out << "  \"schema\": \"ntbshmem-slo-v1\",\n";
   out << "  \"scenario\": \"" << json_escape(r.scenario) << "\",\n";
   out << "  \"backend\": \"" << json_escape(r.backend) << "\",\n";
+  out << "  \"clock\": \"" << json_escape(r.clock) << "\",\n";
   out << "  \"topology\": \"" << json_escape(r.topology) << "\",\n";
   out << "  \"tuning\": \"" << json_escape(r.tuning) << "\",\n";
   out << "  \"fault_plan\": \"" << json_escape(r.fault_plan) << "\",\n";

@@ -37,7 +37,8 @@ struct SloLink {
 
 struct SloReport {
   std::string scenario;
-  std::string backend;     // "fibers" | "threads"
+  std::string backend;     // "fibers" | "threads" (sim engine) | "shm"
+  std::string clock = "virtual";  // "virtual" (sim ns) | "wall" (CLOCK_MONOTONIC)
   std::string topology;    // e.g. "ring", "torus2d-4x4", "chordal+2+5"
   std::string tuning;      // "paper" | "pipelined" | "+reliable" suffix
   std::string fault_plan;  // "none" or a compact spec summary

@@ -1,8 +1,9 @@
 // Traffic-engine core: arrival pacing and run accounting.
 //
 // ArrivalClock turns a TrafficSpec's arrival process into scheduled request
-// times on the simulation clock. Open-loop clocks pre-compute each arrival
-// from the PE's seeded stream and wait on the engine until it is due;
+// times on the runtime's backend-neutral clock (virtual ns on the sim
+// backend, wall-clock ns on shm). Open-loop clocks pre-compute each arrival
+// from the PE's seeded stream and wait on the clock until it is due;
 // closed-loop clocks simply stamp "now". Latency is always measured from
 // the *scheduled* arrival, so an open-loop PE that falls behind sees its
 // queueing delay in the histogram — the property that makes open-loop SLO
@@ -12,7 +13,7 @@
 #include <cstdint>
 #include <string>
 
-#include "sim/engine.hpp"
+#include "shmem/runtime.hpp"
 #include "sim/time.hpp"
 #include "workload/rng.hpp"
 #include "workload/spec.hpp"
@@ -22,7 +23,7 @@ namespace ntbshmem::workload {
 class ArrivalClock {
  public:
   // `key` scopes the PE's arrival stream (e.g. "kv.arrival.pe3"); `start`
-  // is the sim time of the first possible arrival (after setup barriers).
+  // is the clock time of the first possible arrival (after setup barriers).
   ArrivalClock(const TrafficSpec& spec, std::uint64_t seed,
                const std::string& key, sim::Time start)
       : kind_(spec.arrival),
@@ -35,13 +36,13 @@ class ArrivalClock {
   // process until the arrival is due — if the previous request overran, the
   // arrival is already in the past and the request starts late (queueing).
   // Closed-loop: returns the current time, never blocks.
-  sim::Time next(sim::Engine& engine) {
-    if (kind_ == ArrivalProcess::kClosedLoop) return engine.now();
+  sim::Time next(shmem::Runtime& rt) {
+    if (kind_ == ArrivalProcess::kClosedLoop) return rt.clock_now();
     const sim::Time scheduled = next_;
     const double gap =
         kind_ == ArrivalProcess::kOpenFixed ? gap_ns_ : stream_.next_exp(gap_ns_);
     next_ = scheduled + static_cast<sim::Dur>(gap);
-    if (scheduled > engine.now()) engine.wait_until(scheduled);
+    if (scheduled > rt.clock_now()) rt.clock_wait_until(scheduled);
     return scheduled;
   }
 

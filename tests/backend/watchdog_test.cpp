@@ -1,0 +1,129 @@
+// Liveness watchdog of the shm backend (ISSUE 10 satellite): a PE that
+// dies, throws, or wedges must turn the whole run into a clean
+// std::runtime_error in the parent — with the per-PE flight-recorder dump
+// attached — instead of hanging the remaining PEs in a barrier forever.
+// These tests fork real processes and kill them on purpose; every check
+// happens in the parent (gtest assertions inside a forked child would be
+// invisible).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "backend/kind.hpp"
+#include "shmem/api.hpp"
+#include "shmem/runtime.hpp"
+
+namespace ntbshmem::backend {
+namespace {
+
+using namespace ntbshmem::shmem;
+
+RuntimeOptions shm_options(int npes) {
+  RuntimeOptions opts;
+  opts.backend = Kind::kShm;
+  opts.npes = npes;
+  opts.symheap_max_bytes = 1u << 20;
+  return opts;
+}
+
+// Scoped NTBSHMEM_SHM_TIMEOUT_MS override (read at Runtime construction).
+class TimeoutEnv {
+ public:
+  explicit TimeoutEnv(const char* ms) {
+    const char* old = std::getenv("NTBSHMEM_SHM_TIMEOUT_MS");
+    if (old != nullptr) saved_ = old;
+    had_ = old != nullptr;
+    setenv("NTBSHMEM_SHM_TIMEOUT_MS", ms, 1);
+  }
+  ~TimeoutEnv() {
+    if (had_) {
+      setenv("NTBSHMEM_SHM_TIMEOUT_MS", saved_.c_str(), 1);
+    } else {
+      unsetenv("NTBSHMEM_SHM_TIMEOUT_MS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
+
+std::string run_expecting_error(Runtime& rt, const std::function<void()>& body) {
+  try {
+    rt.run(body);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "run() completed although a PE was sabotaged";
+  return {};
+}
+
+TEST(ShmWatchdog, KilledPeTurnsBarrierIntoError) {
+  Runtime rt(shm_options(4));
+  const std::string what = run_expecting_error(rt, [] {
+    shmem_init();
+    if (shmem_my_pe() == 1) raise(SIGKILL);  // die without a trace
+    shmem_barrier_all();                     // peers must not hang here
+    shmem_finalize();
+  });
+  EXPECT_NE(what.find("PE 1 died on signal"), std::string::npos) << what;
+  EXPECT_NE(what.find("flight recorder"), std::string::npos) << what;
+}
+
+TEST(ShmWatchdog, PeExceptionPropagatesItsMessage) {
+  Runtime rt(shm_options(4));
+  const std::string what = run_expecting_error(rt, [] {
+    shmem_init();
+    if (shmem_my_pe() == 2) {
+      throw std::runtime_error("sabotage: pe2 gave up");
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_NE(what.find("PE 2 failed"), std::string::npos) << what;
+  EXPECT_NE(what.find("sabotage: pe2 gave up"), std::string::npos) << what;
+}
+
+TEST(ShmWatchdog, WedgedPeTripsTheLivenessTimeout) {
+  TimeoutEnv env("400");  // 400 ms instead of the 60 s default
+  Runtime rt(shm_options(4));
+  const std::string what = run_expecting_error(rt, [] {
+    shmem_init();
+    if (shmem_my_pe() == 0) {
+      // Wedge outside the SHMEM API: no heartbeat, no barrier arrival. The
+      // peers' barrier deadline or the parent watchdog must fire; either
+      // way the parent reports a timeout, never a hang.
+      std::this_thread::sleep_for(std::chrono::seconds(30));
+    }
+    shmem_barrier_all();
+    shmem_finalize();
+  });
+  EXPECT_NE(what.find("shm backend:"), std::string::npos) << what;
+  const bool names_timeout = what.find("liveness timeout") != std::string::npos ||
+                             what.find("timed out") != std::string::npos;
+  EXPECT_TRUE(names_timeout) << what;
+}
+
+TEST(ShmWatchdog, HealthyRunStillSucceedsWithTightTimeout) {
+  TimeoutEnv env("5000");
+  Runtime rt(shm_options(4));
+  EXPECT_NO_THROW(rt.run([] {
+    shmem_init();
+    shmem_barrier_all();
+    shmem_finalize();
+  }));
+}
+
+TEST(ShmWatchdog, BadTimeoutEnvIsRejected) {
+  TimeoutEnv env("banana");
+  EXPECT_THROW(Runtime rt(shm_options(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ntbshmem::backend

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -172,6 +173,96 @@ TEST(DetlintMutableStatic, SuppressedWithJustification) {
 TEST(DetlintMutableStatic, FileLevelAllowCoversWholeFile) {
   const auto diags = lint({"mutable_static_file_allow.cc"});
   EXPECT_TRUE(diags.empty()) << detlint::render_text(diags);
+}
+
+// ---- path-scoped exemptions (ISSUE 10: the wall-clocked shm backend) ---------
+
+TEST(DetlintExemption, DropsOnlyInsideTheExemptSubtree) {
+  std::vector<detlint::Exemption> ex = {
+      {"exempt_tree/backend/shm", "no-wallclock-entropy", "shm fixture", 0}};
+  const auto diags = detlint::run_rules(
+      {fixture("exempt_tree/backend/shm/shm_clock.cc"),
+       fixture("exempt_tree/sim/engine_clock.cc")},
+      ex);
+  // Inside backend/shm both wall-clock reads are absorbed; the identical
+  // read under sim/ still fires (the shm file's rand() also survives — the
+  // exemption is rule-scoped, covered by the next test).
+  ASSERT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{7}));
+  for (const auto& d : diags) {
+    if (d.rule == "no-wallclock-entropy") {
+      EXPECT_NE(d.file.find("sim/engine_clock.cc"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(ex[0].hits, 2);
+}
+
+TEST(DetlintExemption, IsRuleScopedNotBlanket) {
+  std::vector<detlint::Exemption> ex = {
+      {"exempt_tree/backend/shm", "no-wallclock-entropy", "shm fixture", 0}};
+  const auto diags =
+      detlint::run_rules({fixture("exempt_tree/backend/shm/shm_clock.cc")}, ex);
+  // rand() in the exempt subtree is a different rule and must survive.
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{20}));
+  EXPECT_EQ(diags.size(), 1u) << detlint::render_text(diags);
+}
+
+TEST(DetlintExemption, MatchesWholePathComponentsOnly) {
+  // "backend/shm" must not cover "backend/shmx" — the name merely starts
+  // with the exempt component.
+  std::vector<detlint::Exemption> ex = {
+      {"exempt_tree/backend/shm", "no-wallclock-entropy", "shm fixture", 0}};
+  const auto diags = detlint::run_rules(
+      {fixture("exempt_tree/backend/shmx/lookalike_clock.cc")}, ex);
+  EXPECT_EQ(lines_of(diags, "no-wallclock-entropy"), (std::vector<int>{8}));
+  EXPECT_EQ(ex[0].hits, 0);
+}
+
+TEST(DetlintExemption, RejectsUnknownRuleAndMissingJustification) {
+  std::vector<detlint::Exemption> unknown = {
+      {"src/backend/shm", "no-such-rule", "why", 0}};
+  EXPECT_THROW(detlint::run_rules({fixture("wallclock_clean.cc")}, unknown),
+               std::invalid_argument);
+  std::vector<detlint::Exemption> unjustified = {
+      {"src/backend/shm", "no-wallclock-entropy", "", 0}};
+  EXPECT_THROW(
+      detlint::run_rules({fixture("wallclock_clean.cc")}, unjustified),
+      std::invalid_argument);
+}
+
+TEST(DetlintExemption, DoesNotAbsorbSuppressionMetaDiagnostics) {
+  // An exemption for the checker rule cannot silence the bad-suppression
+  // bookkeeping in the same subtree: meta-diagnostics stay unconditional.
+  std::vector<detlint::Exemption> ex = {
+      {"fixtures", "no-unseeded-rng", "testing meta passthrough", 0}};
+  const auto diags =
+      detlint::run_rules({fixture("wallclock_bad_suppression.cc")}, ex);
+  EXPECT_EQ(lines_of(diags, "no-unseeded-rng"), (std::vector<int>{}));
+  EXPECT_EQ(lines_of(diags, "suppression-missing-justification"),
+            (std::vector<int>{6}));
+  EXPECT_EQ(lines_of(diags, "suppression-unknown-rule"),
+            (std::vector<int>{10}));
+  EXPECT_EQ(ex[0].hits, 1);
+}
+
+TEST(DetlintExemption, JsonReportCarriesTheExemptionInventory) {
+  std::vector<detlint::Exemption> ex = {
+      {"exempt_tree/backend/shm", "no-wallclock-entropy",
+       "real-process backend is wall-clocked by design", 0}};
+  const auto diags = detlint::run_rules(
+      {fixture("exempt_tree/backend/shm/shm_clock.cc")}, ex);
+  const std::string json = detlint::render_json(diags, 1, ex);
+  EXPECT_NE(json.find("\"path\": \"exempt_tree/backend/shm\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"rule\": \"no-wallclock-entropy\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"reason\": \"real-process backend is wall-clocked "
+                      "by design\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"exempted_count\": 2"), std::string::npos);
+  // The two-argument renderer stays byte-compatible: an empty exemptions
+  // array, same diagnostics.
+  EXPECT_NE(detlint::render_json(diags, 1).find("\"exemptions\": []"),
+            std::string::npos);
 }
 
 // ---- routing-table fixtures (fabric subsystem shapes) ------------------------

@@ -1,0 +1,20 @@
+// Fixture: the shm-backend shape — real wall-clock reads that are exempt
+// via --exempt backend/shm:no-wallclock-entropy, plus an unseeded-rng use
+// that must STILL fire (exemptions are rule-scoped, not blanket).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long long wall_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // line 10: exempted wallclock
+  return ts.tv_sec * 1000000000LL + ts.tv_nsec;
+}
+
+long long epoch_ns() {
+  return std::chrono::system_clock::now()  // line 15: exempted wallclock
+      .time_since_epoch()
+      .count();
+}
+
+int jitter() { return rand(); }  // line 20: no-unseeded-rng still fires

@@ -1,0 +1,10 @@
+// Fixture: directory whose name merely STARTS with the exempt component
+// ("shmx" vs "shm") — the exemption matches whole path components, so this
+// wall-clock read must still fire.
+#include <ctime>
+
+long long sneaky_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // line 8: must still fire
+  return ts.tv_nsec;
+}

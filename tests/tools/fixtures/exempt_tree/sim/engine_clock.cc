@@ -1,0 +1,9 @@
+// Fixture: the same wall-clock read OUTSIDE the exempt subtree — the
+// backend/shm exemption must not reach it.
+#include <ctime>
+
+long long now_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);  // line 7: must still fire
+  return ts.tv_sec * 1000000000LL + ts.tv_nsec;
+}

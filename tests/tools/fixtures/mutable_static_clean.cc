@@ -17,3 +17,14 @@ struct Model {
 static int helper(int x) { return static_cast<int>(x * 2); }  // function
 
 int use() { return helper(kLimit) + kTable[0]; }
+
+// Statements that *use* a (declared-and-suppressed elsewhere) global are
+// not declarations; `return g_ctx;` and `delete g_ctx;` must not match the
+// g_ declaration shape. (Fixtures are scanned, never compiled.)
+struct Ctx;
+Ctx* current_ctx() {
+  return g_ctx;
+}
+void reset_ctx() {
+  delete g_ctx;
+}

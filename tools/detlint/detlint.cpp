@@ -457,8 +457,10 @@ void check_mutable_static(const Source& src, std::vector<Diagnostic>& out) {
       R"(^\s*(?:static\s+thread_local|thread_local\s+static|static|thread_local)\b([^;{=(]*)([;{=(]))");
   static const std::regex const_re(R"(\b(const|constexpr|consteval)\b)");
   // Named globals by repo convention (g_ prefix), e.g. `std::mutex g_mu;`.
+  // The leading lookahead keeps statements that merely *use* a global
+  // (`return g_ctx;`, `delete g_ptr;`) from matching the declaration shape.
   static const std::regex global_re(
-      R"(^\s*[A-Za-z_][\w:<>(),\s*&]*[\s&*]g_\w+\s*(\{|=(?!=)|;))");
+      R"(^\s*(?!return\b|co_return\b|delete\b|throw\b)[A-Za-z_][\w:<>(),\s*&]*[\s&*]g_\w+\s*(\{|=(?!=)|;))");
   for (std::size_t li = 0; li < src.code_lines.size(); ++li) {
     const std::string& line = src.code_lines[li];
     if (line.empty()) continue;
@@ -537,6 +539,34 @@ std::string next_json_string(const std::string& text, std::size_t& pos) {
   return out;
 }
 
+// Shared by filter_by_prefix and path-scoped exemptions: `prefix` matches
+// at the start of `file` or as an interior path-component run, so
+// "src/backend/shm" covers "/repo/src/backend/shm/futex.hpp" but not
+// "/repo/src/backend/shm_lookalike/x.cpp".
+bool path_in_tree(const std::string& file, const std::string& prefix) {
+  if (file.rfind(prefix, 0) == 0) {
+    return file.size() == prefix.size() || file[prefix.size()] == '/';
+  }
+  return file.find("/" + prefix + "/") != std::string::npos;
+}
+
+void validate_exemptions(const std::vector<Exemption>& exemptions) {
+  for (const auto& e : exemptions) {
+    if (e.path.empty() || e.reason.empty()) {
+      throw std::invalid_argument(
+          "detlint: exemption needs a path and a justification "
+          "(PATH:RULE:REASON), got \"" + e.path + ":" + e.rule + ":" +
+          e.reason + "\"");
+    }
+    bool known = false;
+    for (const auto& r : rule_catalogue()) known = known || r.id == e.rule;
+    if (!known) {
+      throw std::invalid_argument("detlint: exemption names unknown rule \"" +
+                                  e.rule + "\"");
+    }
+  }
+}
+
 }  // namespace
 
 // ---- Public API ------------------------------------------------------------
@@ -561,6 +591,13 @@ const std::vector<RuleInfo>& rule_catalogue() {
 }
 
 std::vector<Diagnostic> run_rules(const std::vector<std::string>& files) {
+  std::vector<Exemption> none;
+  return run_rules(files, none);
+}
+
+std::vector<Diagnostic> run_rules(const std::vector<std::string>& files,
+                                  std::vector<Exemption>& exemptions) {
+  validate_exemptions(exemptions);
   std::vector<Source> sources;
   sources.reserve(files.size());
   for (const auto& f : files) sources.push_back(load_source(f));
@@ -580,7 +617,21 @@ std::vector<Diagnostic> run_rules(const std::vector<std::string>& files) {
     check_pointer_keys(src, local);
     check_mutable_static(src, local);
     for (auto& d : local) {
-      if (!suppressed(sup, d.rule, d.line)) diags.push_back(std::move(d));
+      if (suppressed(sup, d.rule, d.line)) continue;
+      // Path-scoped exemptions absorb checker diagnostics only; the
+      // suppression meta-diagnostics below stay unconditionally on.
+      Exemption* exempt = nullptr;
+      for (auto& e : exemptions) {
+        if (e.rule == d.rule && path_in_tree(d.file, e.path)) {
+          exempt = &e;
+          break;
+        }
+      }
+      if (exempt != nullptr) {
+        ++exempt->hits;
+        continue;
+      }
+      diags.push_back(std::move(d));
     }
     for (const auto& d : sup.meta) diags.push_back(d);
   }
@@ -649,7 +700,7 @@ std::vector<std::string> filter_by_prefix(
   std::vector<std::string> out;
   for (const auto& f : files) {
     for (const auto& p : prefixes) {
-      if (f.rfind(p, 0) == 0 || f.find("/" + p + "/") != std::string::npos) {
+      if (path_in_tree(f, p)) {
         out.push_back(f);
         break;
       }
@@ -669,6 +720,12 @@ std::string render_text(const std::vector<Diagnostic>& diags) {
 
 std::string render_json(const std::vector<Diagnostic>& diags,
                         std::size_t files_scanned) {
+  return render_json(diags, files_scanned, {});
+}
+
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        std::size_t files_scanned,
+                        const std::vector<Exemption>& exemptions) {
   std::ostringstream ss;
   ss << "{\n  \"files_scanned\": " << files_scanned
      << ",\n  \"diagnostic_count\": " << diags.size() << ",\n  \"rules\": [";
@@ -677,7 +734,16 @@ std::string render_json(const std::vector<Diagnostic>& diags,
     ss << (first ? "" : ", ") << "\"" << json_escape(r.id) << "\"";
     first = false;
   }
-  ss << "],\n  \"diagnostics\": [";
+  ss << "],\n  \"exemptions\": [";
+  first = true;
+  for (const auto& e : exemptions) {
+    ss << (first ? "\n" : ",\n") << "    {\"path\": \"" << json_escape(e.path)
+       << "\", \"rule\": \"" << json_escape(e.rule) << "\", \"reason\": \""
+       << json_escape(e.reason) << "\", \"exempted_count\": " << e.hits
+       << "}";
+    first = false;
+  }
+  ss << (first ? "" : "\n  ") << "],\n  \"diagnostics\": [";
   first = true;
   for (const auto& d : diags) {
     ss << (first ? "\n" : ",\n") << "    {\"file\": \"" << json_escape(d.file)

@@ -18,6 +18,15 @@
 // justification, or naming an unknown rule, is itself a diagnostic — the
 // suppression inventory stays honest.
 //
+// Whole subtrees can be exempted from one rule with a path-scoped
+// Exemption (CLI: --exempt PATH:RULE:REASON). This exists for code that is
+// *intentionally* outside the determinism contract — e.g. the real-process
+// shm backend (src/backend/shm) is clocked by CLOCK_MONOTONIC and sleeps
+// in futexes by design, so no-wallclock-entropy does not apply there.
+// Exemptions are rule-scoped (the other rules still fire inside the
+// subtree), require a justification like inline suppressions, and report
+// how many diagnostics they absorbed so the inventory stays auditable.
+//
 // Rule catalogue (rationale lives in DESIGN.md §4d):
 //   no-wallclock-entropy    wall-clock time sources (system_clock, time(),
 //                           gettimeofday, ...) in sim code
@@ -51,6 +60,20 @@ struct RuleInfo {
   std::string summary;
 };
 
+// Path-scoped rule exemption: diagnostics of `rule` in files under `path`
+// (matched like filter_by_prefix — as a leading prefix or an interior
+// path-component run, so "src/backend/shm" covers
+// "/repo/src/backend/shm/futex.hpp") are dropped. `reason` is mandatory,
+// mirroring inline suppressions. run_rules fills `hits` with the number of
+// diagnostics the exemption absorbed, so a stale exemption (hits == 0) is
+// visible in reports.
+struct Exemption {
+  std::string path;
+  std::string rule;
+  std::string reason;
+  int hits = 0;
+};
+
 // The stable rule catalogue (checker rules only; the suppression
 // meta-diagnostics `suppression-missing-justification` and
 // `suppression-unknown-rule` are always on and not suppressible).
@@ -62,6 +85,14 @@ const std::vector<RuleInfo>& rule_catalogue();
 // are sorted by (file, line, rule). Throws std::runtime_error on unreadable
 // files.
 std::vector<Diagnostic> run_rules(const std::vector<std::string>& files);
+
+// As above, but drops diagnostics covered by a path-scoped exemption and
+// counts the drops into each Exemption's `hits`. Throws
+// std::invalid_argument if an exemption names an unknown rule, or has an
+// empty path or reason — exemptions are validated as strictly as inline
+// suppressions, just up front instead of via meta-diagnostics.
+std::vector<Diagnostic> run_rules(const std::vector<std::string>& files,
+                                  std::vector<Exemption>& exemptions);
 
 // Extracts the "file" entries from a CMake compile_commands.json. Minimal
 // parser: sufficient for CMake's output shape. Throws std::runtime_error on
@@ -83,5 +114,12 @@ std::vector<std::string> filter_by_prefix(
 std::string render_text(const std::vector<Diagnostic>& diags);
 std::string render_json(const std::vector<Diagnostic>& diags,
                         std::size_t files_scanned);
+
+// As above plus an "exemptions" array recording each path-scoped exemption
+// (path, rule, reason, exempted_count) so CI artifacts carry the full
+// escape-hatch inventory, not just the surviving diagnostics.
+std::string render_json(const std::vector<Diagnostic>& diags,
+                        std::size_t files_scanned,
+                        const std::vector<Exemption>& exemptions);
 
 }  // namespace detlint

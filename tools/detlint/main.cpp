@@ -3,9 +3,14 @@
 //
 // Usage:
 //   detlint --compdb build/compile_commands.json [--include PREFIX]...
-//           [--no-headers] [--report out.json]
+//           [--exempt PATH:RULE:REASON]... [--no-headers] [--report out.json]
 //   detlint [--report out.json] FILE...
 //   detlint --list-rules
+//
+// --exempt drops diagnostics of RULE in files under PATH (path-component
+// prefix match), with a mandatory justification — for subtrees that are
+// intentionally outside the determinism contract, like the wall-clocked
+// shm backend. Exempted counts land in the JSON report.
 //
 // With --compdb, the file list is the compile database's translation units
 // filtered to the sim-visible tree (default prefix: src), plus the sibling
@@ -25,6 +30,7 @@ int main(int argc, char** argv) {
   std::string report;
   std::vector<std::string> includes;
   std::vector<std::string> files;
+  std::vector<detlint::Exemption> exemptions;
   bool headers = true;
 
   for (int i = 1; i < argc; ++i) {
@@ -40,6 +46,22 @@ int main(int argc, char** argv) {
       compdb = value();
     } else if (arg == "--include") {
       includes.push_back(value());
+    } else if (arg == "--exempt") {
+      const std::string spec = value();
+      const std::size_t c1 = spec.find(':');
+      const std::size_t c2 =
+          c1 == std::string::npos ? std::string::npos : spec.find(':', c1 + 1);
+      if (c2 == std::string::npos) {
+        std::fprintf(stderr,
+                     "detlint: --exempt wants PATH:RULE:REASON, got %s\n",
+                     spec.c_str());
+        return 2;
+      }
+      detlint::Exemption e;
+      e.path = spec.substr(0, c1);
+      e.rule = spec.substr(c1 + 1, c2 - c1 - 1);
+      e.reason = spec.substr(c2 + 1);
+      exemptions.push_back(std::move(e));
     } else if (arg == "--report") {
       report = value();
     } else if (arg == "--no-headers") {
@@ -52,7 +74,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: detlint --compdb compile_commands.json [--include PREFIX]\n"
-          "               [--no-headers] [--report out.json]\n"
+          "               [--exempt PATH:RULE:REASON] [--no-headers]\n"
+          "               [--report out.json]\n"
           "       detlint [--report out.json] FILE...\n"
           "       detlint --list-rules\n");
       return 0;
@@ -77,15 +100,26 @@ int main(int argc, char** argv) {
                    "detlint: nothing to scan (need --compdb or files)\n");
       return 2;
     }
-    const auto diags = detlint::run_rules(files);
+    const auto diags = detlint::run_rules(files, exemptions);
     std::fputs(detlint::render_text(diags).c_str(), stdout);
+    for (const auto& e : exemptions) {
+      if (e.hits > 0) {
+        std::printf("detlint: exemption %s:%s absorbed %d diagnostic(s)\n",
+                    e.path.c_str(), e.rule.c_str(), e.hits);
+      } else {
+        std::fprintf(stderr,
+                     "detlint: warning: exemption %s:%s matched nothing — "
+                     "stale?\n",
+                     e.path.c_str(), e.rule.c_str());
+      }
+    }
     if (!report.empty()) {
       std::ofstream out(report);
       if (!out) {
         std::fprintf(stderr, "detlint: cannot write %s\n", report.c_str());
         return 2;
       }
-      out << detlint::render_json(diags, files.size());
+      out << detlint::render_json(diags, files.size(), exemptions);
     }
     std::printf("detlint: %zu file(s), %zu diagnostic(s)\n", files.size(),
                 diags.size());
